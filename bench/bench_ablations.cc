@@ -1,0 +1,123 @@
+// Ablations over DYNO's design choices (DESIGN.md §5): each sub-experiment
+// switches one mechanism off (or sweeps one knob) and reports the impact
+// on Q8' / Q9' at SF300 — the queries where the paper attributes wins to
+// re-optimization and pilot runs respectively.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+
+using namespace dyno;
+using namespace dyno::bench;
+
+namespace {
+
+Measured RunWith(Scenario* scenario, const Query& query,
+                 const std::function<void(DynoOptions*)>& tweak) {
+  StatsStore store;
+  DynoOptions options;
+  options.cost = scenario->cost;
+  options.pilot.k = 128;
+  tweak(&options);
+  DynoDriver driver(scenario->engine.get(), scenario->catalog.get(), &store,
+                    options);
+  Measured out;
+  auto report = driver.Execute(query);
+  if (!report.ok()) {
+    out.detail = report.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.total_ms = report->total_ms;
+  out.report = std::move(*report);
+  return out;
+}
+
+void Report(const char* name, const Measured& base, const Measured& variant) {
+  if (!variant.ok) {
+    std::printf("  %-34s FAILED (%s)\n", name, variant.detail.c_str());
+    return;
+  }
+  std::printf("  %-34s %9s  (%.2fx of baseline)%s\n", name,
+              FormatSimMillis(variant.total_ms).c_str(),
+              base.ok ? static_cast<double>(variant.total_ms) /
+                            static_cast<double>(base.total_ms)
+                      : 0.0,
+              variant.report.broadcast_fallbacks > 0 ? "  [fallbacks]" : "");
+}
+
+}  // namespace
+
+int main() {
+  auto scenario = MakeScenario("SF300");
+  Query q8 = MakeTpchQ8Prime();
+  Query q9 = MakeTpchQ9Prime();
+
+  for (auto& [qname, query] : std::vector<std::pair<const char*, Query*>>{
+           {"Q8'", &q8}, {"Q9'", &q9}}) {
+    std::printf("\n=== Ablations on %s (SF300) ===\n", qname);
+    Measured base = RunWith(scenario.get(), *query, [](DynoOptions*) {});
+    std::printf("  %-34s %9s  (baseline: DYNOPT, UNC-1)\n", "full DYNO",
+                FormatSimMillis(base.total_ms).c_str());
+
+    Report("no pilot runs (base stats only)", base,
+           RunWith(scenario.get(), *query,
+                   [](DynoOptions* o) { o->use_pilot_runs = false; }));
+    Report("no re-optimization (SIMPLE_MO)", base,
+           RunWith(scenario.get(), *query, [](DynoOptions* o) {
+             o->strategy = ExecutionStrategy::kSimpleParallel;
+           }));
+    Report("left-deep plans only", base,
+           RunWith(scenario.get(), *query,
+                   [](DynoOptions* o) { o->cost.left_deep_only = true; }));
+    Report("no broadcast chaining", base,
+           RunWith(scenario.get(), *query, [](DynoOptions* o) {
+             o->cost.enable_broadcast_chains = false;
+           }));
+    Report("no broadcast joins at all", base,
+           RunWith(scenario.get(), *query, [](DynoOptions* o) {
+             o->cost.enable_broadcast = false;
+           }));
+    Report("paper-exact margins (1.0)+no fallback", base,
+           RunWith(scenario.get(), *query, [](DynoOptions* o) {
+             o->cost.estimated_build_margin = 1.0;
+             o->adaptive_join_fallback = false;
+           }));
+    Report("reopt threshold 50% error", base,
+           RunWith(scenario.get(), *query, [](DynoOptions* o) {
+             o->reopt_row_error_threshold = 0.5;
+           }));
+    Report("predicate reordering on", base,
+           RunWith(scenario.get(), *query, [](DynoOptions* o) {
+             o->reorder_local_predicates = true;
+           }));
+    for (int k : {32, 512, 2048}) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "pilot sample k = %d", k);
+      Report(label, base, RunWith(scenario.get(), *query,
+                                  [k](DynoOptions* o) { o->pilot.k = k; }));
+    }
+  }
+
+  // Statistics reuse across recurring queries (§4.1).
+  std::printf("\n=== Statistics reuse (recurring Q8') ===\n");
+  StatsStore store;
+  DynoOptions options;
+  options.cost = scenario->cost;
+  options.pilot.k = 128;
+  DynoDriver driver(scenario->engine.get(), scenario->catalog.get(), &store,
+                    options);
+  auto first = driver.Execute(q8);
+  auto second = driver.Execute(q8);
+  if (first.ok() && second.ok()) {
+    std::printf("  first run : %9s (pilot %s)\n",
+                FormatSimMillis(first->total_ms).c_str(),
+                FormatSimMillis(first->pilot_ms).c_str());
+    std::printf("  second run: %9s (pilot %s, %llu metastore hits)\n",
+                FormatSimMillis(second->total_ms).c_str(),
+                FormatSimMillis(second->pilot_ms).c_str(),
+                (unsigned long long)store.hits());
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace dyno::bench {
+
+double ScaleFor(const std::string& sf_name) {
+  if (sf_name == "SF100") return 0.002;
+  if (sf_name == "SF300") return 0.006;
+  if (sf_name == "SF1000") return 0.02;
+  return 0.002;
+}
+
+std::unique_ptr<Scenario> MakeScenario(const std::string& sf_name,
+                                       bool hive_broadcast) {
+  auto scenario = std::make_unique<Scenario>();
+  scenario->sf_name = sf_name;
+  scenario->tpch_scale = ScaleFor(sf_name);
+
+  // The paper's cluster: 15 nodes, 140 map / 84 reduce slots, 15 s job
+  // startup, 2 GB per slot. Task memory is an *absolute* budget: it does
+  // not grow with the scale factor, which is why larger SFs offer fewer
+  // broadcast opportunities (paper §6.5).
+  scenario->cluster.num_nodes = 15;
+  scenario->cluster.map_slots = 140;
+  scenario->cluster.reduce_slots = 84;
+  scenario->cluster.job_startup_ms = 5000;
+  scenario->cluster.memory_per_task_bytes = 64 * 1024;
+  // Calibrated so jobs are data-dominated (many map waves, expensive
+  // shuffles) rather than startup-dominated, matching the paper's
+  // several-minute queries; see DESIGN.md §6.
+  scenario->cluster.map_read_bytes_per_ms = 2.0;
+  scenario->cluster.map_write_bytes_per_ms = 2.0;
+  scenario->cluster.shuffle_bytes_per_ms = 50.0;
+  scenario->cluster.reduce_read_bytes_per_ms = 4.0;
+  scenario->cluster.reduce_write_bytes_per_ms = 4.0;
+  scenario->cluster.side_load_bytes_per_ms = 100.0;
+  scenario->cluster.cpu_units_per_ms = 500.0;
+  scenario->engine =
+      std::make_unique<MapReduceEngine>(&scenario->dfs, scenario->cluster);
+  scenario->catalog = std::make_unique<Catalog>(&scenario->dfs);
+
+  scenario->cost.max_memory_bytes = scenario->cluster.memory_per_task_bytes;
+  // One job costs ~15 s of startup plus a materialization round-trip; in
+  // cost units (~c_probe bytes) that is roughly 200k at the bench rates.
+  scenario->cost.c_job = 200000.0;
+  scenario->cost.memory_factor = scenario->cluster.broadcast_memory_factor;
+  (void)hive_broadcast;  // Exec-level flag; plumbed per run.
+
+  TpchConfig config;
+  config.scale = scenario->tpch_scale;
+  config.split_bytes = 2 * 1024;
+  Status st = GenerateTpch(scenario->catalog.get(), config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "TPC-H generation failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  return scenario;
+}
+
+Measured RunDynopt(Scenario* scenario, const Query& query,
+                   ExecutionStrategy strategy, bool hive) {
+  Measured out;
+  StatsStore store;
+  DynoOptions options;
+  options.cost = scenario->cost;
+  options.strategy = strategy;
+  // k scaled to the simulator's table sizes (the paper's 1024 is ~1e-5 of
+  // its smallest table; 128 keeps the same "tiny sample" proportionality).
+  options.pilot.k = 128;
+  options.exec.hive_broadcast = hive;
+  DynoDriver driver(scenario->engine.get(), scenario->catalog.get(), &store,
+                    options);
+  auto report = driver.Execute(query);
+  if (!report.ok()) {
+    out.detail = report.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.total_ms = report->total_ms;
+  out.report = std::move(*report);
+  return out;
+}
+
+Measured RunDynoptSimple(Scenario* scenario, const Query& query, bool hive) {
+  return RunDynopt(scenario, query, ExecutionStrategy::kSimpleParallel, hive);
+}
+
+Measured RunRelopt(Scenario* scenario, const Query& query, bool hive) {
+  Measured out;
+  RelOptBaseline relopt(scenario->engine.get(), scenario->catalog.get(),
+                        scenario->cost);
+  ExecOptions exec;
+  exec.hive_broadcast = hive;
+  auto run = relopt.PlanAndExecute(query.join_block, exec);
+  if (!run.ok()) {
+    out.detail = run.status().ToString();
+    return out;
+  }
+  out.total_ms = run->elapsed_ms;
+  out.ok = run->exec_status.ok();
+  out.detail = run->exec_status.ok() ? run->plan_compact
+                                     : run->exec_status.ToString();
+  return out;
+}
+
+Measured RunBestStatic(Scenario* scenario, const Query& query, bool hive) {
+  Measured out;
+  BestStaticOptions options;
+  options.cost = scenario->cost;
+  options.execute_top_k = 5;
+  options.exec.hive_broadcast = hive;
+  BestStaticBaseline baseline(scenario->engine.get(),
+                              scenario->catalog.get(), options);
+  auto result = baseline.Run(query.join_block);
+  if (!result.ok()) {
+    out.detail = result.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.total_ms = result->best_time_ms;
+  out.detail = result->best_plan;
+  return out;
+}
+
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-18s", "");
+  for (const std::string& column : columns) {
+    std::printf("%14s", column.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& name, const std::vector<double>& values,
+              double baseline) {
+  std::printf("%-18s", name.c_str());
+  for (double value : values) {
+    if (value < 0) {
+      std::printf("%14s", "fail");
+    } else if (baseline > 0) {
+      std::printf("%13.1f%%", 100.0 * value / baseline);
+    } else {
+      std::printf("%14.0f", value);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace dyno::bench

@@ -1,0 +1,93 @@
+// Micro-benchmarks for the join enumerator (google-benchmark): real
+// wall-clock optimizer latency as the number of relations grows, for chain
+// and star join graphs, bushy vs left-deep-only search spaces. The paper's
+// observation (Fig. 4 discussion): the initial call on the 8-relation Q8'
+// dominates total re-optimization cost because the alternatives grow
+// steeply with the relation count.
+
+#include <benchmark/benchmark.h>
+
+#include "common/string_util.h"
+#include "optimizer/optimizer.h"
+
+namespace {
+
+using namespace dyno;
+
+TableStats MakeStats(double rows, std::map<std::string, double> ndvs) {
+  TableStats stats;
+  stats.cardinality = rows;
+  stats.avg_record_size = 50;
+  for (auto& [col, ndv] : ndvs) {
+    ColumnStats cs;
+    cs.ndv = ndv;
+    stats.columns[col] = cs;
+  }
+  return stats;
+}
+
+OptJoinGraph ChainGraph(int n) {
+  OptJoinGraph graph;
+  for (int i = 0; i < n; ++i) {
+    std::map<std::string, double> ndvs;
+    if (i > 0) ndvs[StrFormat("e%d", i - 1)] = 1000;
+    if (i < n - 1) ndvs[StrFormat("e%d", i)] = 1000;
+    graph.relations.push_back(
+        {StrFormat("r%d", i), MakeStats(10000.0 * (i + 1), ndvs)});
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    std::string col = StrFormat("e%d", i);
+    graph.edges.push_back(
+        {StrFormat("r%d", i), col, StrFormat("r%d", i + 1), col});
+  }
+  return graph;
+}
+
+OptJoinGraph StarGraph(int n) {
+  OptJoinGraph graph;
+  std::map<std::string, double> fact_ndvs;
+  for (int i = 1; i < n; ++i) fact_ndvs[StrFormat("d%d", i)] = 500;
+  graph.relations.push_back({"fact", MakeStats(1000000, fact_ndvs)});
+  for (int i = 1; i < n; ++i) {
+    std::string col = StrFormat("d%d", i);
+    graph.relations.push_back(
+        {StrFormat("dim%d", i), MakeStats(500, {{col, 500.0}})});
+    graph.edges.push_back({"fact", col, StrFormat("dim%d", i), col});
+  }
+  return graph;
+}
+
+void RunOptimize(benchmark::State& state, const OptJoinGraph& graph,
+                 bool left_deep) {
+  CostModelParams params;
+  params.max_memory_bytes = 100000;
+  params.left_deep_only = left_deep;
+  JoinOptimizer optimizer(params);
+  int expressions = 0;
+  for (auto _ : state) {
+    auto result = optimizer.Optimize(graph);
+    if (!result.ok()) state.SkipWithError("optimize failed");
+    expressions = result->report.expressions_costed;
+    benchmark::DoNotOptimize(result->plan->est_cost);
+  }
+  state.counters["expressions"] = expressions;
+}
+
+void BM_OptimizeChainBushy(benchmark::State& state) {
+  RunOptimize(state, ChainGraph(static_cast<int>(state.range(0))), false);
+}
+BENCHMARK(BM_OptimizeChainBushy)->DenseRange(2, 10, 2);
+
+void BM_OptimizeChainLeftDeep(benchmark::State& state) {
+  RunOptimize(state, ChainGraph(static_cast<int>(state.range(0))), true);
+}
+BENCHMARK(BM_OptimizeChainLeftDeep)->DenseRange(2, 10, 2);
+
+void BM_OptimizeStarBushy(benchmark::State& state) {
+  RunOptimize(state, StarGraph(static_cast<int>(state.range(0))), false);
+}
+BENCHMARK(BM_OptimizeStarBushy)->DenseRange(3, 9, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Multi-block queries (paper §5.1): a query whose join blocks are
+// separated by grouping operators, with later blocks consuming earlier
+// blocks' outputs. DYNOPT runs once per block, in dependency order; each
+// block gets its own pilot runs and re-optimization points.
+//
+//   ./build/examples/multi_block
+
+#include <cstdio>
+
+#include "dyno/driver.h"
+#include "tpch/dbgen.h"
+
+namespace {
+
+using namespace dyno;  // NOLINT — example brevity
+
+int RunExample() {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  ClusterConfig cluster;
+  cluster.job_startup_ms = 5000;
+  cluster.memory_per_task_bytes = 64 * 1024;
+  MapReduceEngine engine(&dfs, cluster);
+  TpchConfig data;
+  data.scale = 0.002;
+  if (!GenerateTpch(&catalog, data).ok()) return 1;
+
+  // Block "busy": per-customer order counts in 1996+ (join + group-by).
+  MultiBlockQuery query;
+  MultiBlockQuery::Block busy;
+  busy.name = "busy";
+  busy.join_block.tables = {{"customer", "c"}, {"orders", "o"}};
+  busy.join_block.edges = {{"c", "c_custkey", "o", "o_custkey"}};
+  busy.join_block.predicates = {
+      {Ge(Col("o_orderdate"), LitInt(19960101)), {"o"}}};
+  busy.join_block.output_columns = {"c_custkey", "c_nationkey"};
+  GroupBySpec per_customer;
+  per_customer.keys = {"c_custkey", "c_nationkey"};
+  per_customer.aggregates = {{Aggregate::Kind::kCount, "", "orders_1996"}};
+  busy.group_by = per_customer;
+
+  // Block "report": join the aggregate with nation and re-group by nation.
+  MultiBlockQuery::Block report;
+  report.name = "report";
+  report.join_block.tables = {{"@block:busy", "b"}, {"nation", "n"}};
+  report.join_block.edges = {{"b", "c_nationkey", "n", "n_nationkey"}};
+  report.join_block.output_columns = {"n_name", "orders_1996"};
+  GroupBySpec per_nation;
+  per_nation.keys = {"n_name"};
+  per_nation.aggregates = {
+      {Aggregate::Kind::kCount, "", "active_customers"},
+      {Aggregate::Kind::kSum, "orders_1996", "orders_total"},
+      {Aggregate::Kind::kMax, "orders_1996", "busiest_customer_orders"}};
+  report.group_by = per_nation;
+
+  query.blocks = {busy, report};
+  OrderBySpec order;
+  order.keys = {{"orders_total", /*desc=*/true}};
+  order.limit = 8;
+  query.final_order_by = order;
+
+  StatsStore store;
+  DynoOptions options;
+  options.cost.max_memory_bytes = cluster.memory_per_task_bytes;
+  options.pilot.k = 256;
+  DynoDriver driver(&engine, &catalog, &store, options);
+  auto result = driver.ExecuteMultiBlock(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== per-nation activity report (two join blocks) ===\n");
+  auto rows = ReadAllRows(*result->result);
+  if (rows.ok()) {
+    for (const Value& row : *rows) {
+      std::printf("  %-16s customers=%-4lld orders=%-6.0f busiest=%.0f\n",
+                  row.FindField("n_name")->string_value().c_str(),
+                  (long long)row.FindField("active_customers")->int_value(),
+                  row.FindField("orders_total")->AsDouble(),
+                  row.FindField("busiest_customer_orders")->AsDouble());
+    }
+  }
+  std::printf("\nsimulated time %s across %d jobs; DYNOPT ran per block "
+              "(%d optimizer calls total)\n",
+              FormatSimMillis(result->total_ms).c_str(), result->jobs_run,
+              result->optimizer_calls);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RunExample(); }

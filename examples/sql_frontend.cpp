@@ -1,0 +1,104 @@
+// SQL frontend: parse SQL text (with UDFs from a registry) straight into
+// DYNO and execute it with pilot runs + dynamic re-optimization. Runs a
+// TPC-H-flavoured revenue report and the paper's restaurant query from
+// their SQL forms.
+//
+//   ./build/examples/sql_frontend
+
+#include <cstdio>
+
+#include "dyno/driver.h"
+#include "lang/parser.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/restaurant.h"
+
+namespace {
+
+using namespace dyno;  // NOLINT — example brevity
+
+int RunSql(DynoDriver* driver, const std::string& sql,
+           const UdfRegistry& udfs) {
+  std::printf("\nSQL> %s\n", sql.c_str());
+  auto query = ParseQuery(sql, udfs);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  auto report = driver->Execute(*query);
+  if (!report.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- %llu rows in %s (%d jobs, %d map-only, %d plan changes)\n",
+              (unsigned long long)report->result_records,
+              FormatSimMillis(report->total_ms).c_str(), report->jobs_run,
+              report->map_only_jobs, report->plan_changes);
+  auto rows = ReadAllRows(*report->result);
+  if (rows.ok()) {
+    for (size_t i = 0; i < rows->size() && i < 5; ++i) {
+      std::printf("   %s\n", (*rows)[i].ToString().c_str());
+    }
+    if (rows->size() > 5) std::printf("   ... (%zu more)\n", rows->size() - 5);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  ClusterConfig cluster;
+  cluster.job_startup_ms = 5000;
+  cluster.memory_per_task_bytes = 64 * 1024;
+  MapReduceEngine engine(&dfs, cluster);
+
+  TpchConfig tpch;
+  tpch.scale = 0.002;
+  if (!GenerateTpch(&catalog, tpch).ok()) return 1;
+  RestaurantConfig rest;
+  if (!GenerateRestaurantData(&catalog, rest).ok()) return 1;
+
+  StatsStore store;
+  DynoOptions options;
+  options.cost.max_memory_bytes = cluster.memory_per_task_bytes;
+  options.pilot.k = 256;
+  DynoDriver driver(&engine, &catalog, &store, options);
+
+  // UDFs callable from SQL.
+  UdfRegistry udfs;
+  udfs["SENTANALYSIS"] = [](const std::vector<std::string>& cols) {
+    return MakeHashFilterUdf("sentanalysis", cols, 0.3, 80.0);
+  };
+  udfs["CHECKID"] = [](const std::vector<std::string>& cols) {
+    return MakeHashFilterUdf("checkid", cols, 0.7, 60.0);
+  };
+
+  int rc = 0;
+  rc |= RunSql(&driver,
+               "SELECT n_name, COUNT(*) AS orders, SUM(o_totalprice) AS "
+               "revenue "
+               "FROM customer c, orders o, nation n "
+               "WHERE c.c_custkey = o.o_custkey AND "
+               "c.c_nationkey = n.n_nationkey AND "
+               "o.o_orderdate >= 19960101 "
+               "GROUP BY n_name ORDER BY revenue DESC LIMIT 5",
+               udfs);
+
+  rc |= RunSql(&driver,
+               "SELECT rs_name FROM restaurant rs, review rv, tweet t "
+               "WHERE rs.rs_id = rv.rv_rsid AND rv.rv_tid = t.t_id "
+               "AND rs.rs_addr[0].zip = 94301 AND rs.rs_addr[0].state = 'CA' "
+               "AND sentanalysis(rv.rv_id) AND checkid(rv.rv_id, t.t_id)",
+               udfs);
+
+  rc |= RunSql(&driver,
+               "SELECT p_name, l_quantity FROM part p, lineitem l "
+               "WHERE p.p_partkey = l.l_partkey AND p.p_size = 15 "
+               "AND l.l_quantity >= 45 LIMIT 8",
+               udfs);
+  return rc;
+}

@@ -1,0 +1,74 @@
+// Star-join sensitivity (the paper's §6.4 scenario on Q9'): UDFs of
+// varying selectivity filter the dimension tables. When the UDFs are
+// selective, every dimension fits in memory and DYNO executes the whole
+// star as one or two chained map-only broadcast jobs; the traditional
+// optimizer, blind to UDF selectivity, repartitions everything. This
+// example sweeps the selectivity and shows where the plans diverge.
+//
+//   ./build/examples/star_schema_udf
+
+#include <cstdio>
+
+#include "baselines/relopt.h"
+#include "dyno/driver.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+using namespace dyno;  // NOLINT — example brevity
+
+int CountMapOnly(const QueryRunReport& report) { return report.map_only_jobs; }
+
+int RunExample() {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  ClusterConfig cluster;
+  cluster.memory_per_task_bytes = 32 * 1024;
+  MapReduceEngine engine(&dfs, cluster);
+  TpchConfig data;
+  data.scale = 0.002;
+  if (!GenerateTpch(&catalog, data).ok()) return 1;
+
+  CostModelParams cost;
+  cost.max_memory_bytes = cluster.memory_per_task_bytes;
+
+  std::printf("=== Q9' star join: dimension-UDF selectivity sweep ===\n");
+  std::printf("%-12s %-18s %-14s %-10s %-10s\n", "selectivity",
+              "DYNO time", "RELOPT time", "dyno jobs", "map-only");
+  for (double selectivity : {0.001, 0.01, 0.1, 1.0}) {
+    Query q9 = MakeTpchQ9Prime(selectivity);
+
+    StatsStore store;
+    DynoOptions options;
+    options.cost = cost;
+    options.strategy = ExecutionStrategy::kSimpleParallel;
+    DynoDriver driver(&engine, &catalog, &store, options);
+    auto dyn = driver.Execute(q9);
+    if (!dyn.ok()) {
+      std::fprintf(stderr, "DYNO failed at sel=%g: %s\n", selectivity,
+                   dyn.status().ToString().c_str());
+      continue;
+    }
+
+    RelOptBaseline relopt(&engine, &catalog, cost);
+    auto rel = relopt.PlanAndExecute(q9.join_block, ExecOptions());
+    std::string rel_time = "failed";
+    if (rel.ok() && rel->exec_status.ok()) {
+      rel_time = FormatSimMillis(rel->elapsed_ms);
+    }
+    std::printf("%-12g %-18s %-14s %-10d %-10d\n", selectivity,
+                FormatSimMillis(dyn->total_ms).c_str(), rel_time.c_str(),
+                dyn->jobs_run, CountMapOnly(*dyn));
+  }
+  std::printf(
+      "\nAt low selectivities DYNO discovers (via pilot runs) that the\n"
+      "filtered dimensions fit in memory and chains broadcast joins into\n"
+      "map-only jobs; RELOPT treats each UDF as selectivity 1.0 and\n"
+      "repartitions the full tables (cf. paper Fig. 3 and Fig. 6).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RunExample(); }

@@ -1,0 +1,46 @@
+#include "baselines/exact_stats.h"
+
+#include <unordered_set>
+
+namespace dyno {
+
+Result<TableStats> ComputeExactLeafStats(Catalog* catalog,
+                                         const LeafExpr& leaf) {
+  DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file,
+                        catalog->OpenTable(leaf.table));
+  TableStats stats;
+  std::vector<std::unordered_set<uint64_t>> distinct(
+      leaf.join_columns.size());
+  std::vector<ColumnStats> columns(leaf.join_columns.size());
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  for (const Split& split : file->splits()) {
+    SplitReader reader(&split);
+    while (!reader.AtEnd()) {
+      DYNO_ASSIGN_OR_RETURN(Value row, reader.Next());
+      if (leaf.filter != nullptr) {
+        DYNO_ASSIGN_OR_RETURN(Value keep, leaf.filter->Eval(row));
+        if (keep.type() != Value::Type::kBool || !keep.bool_value()) continue;
+      }
+      ++records;
+      bytes += row.EncodedSize();
+      for (size_t i = 0; i < leaf.join_columns.size(); ++i) {
+        const Value* v = row.FindField(leaf.join_columns[i]);
+        if (v == nullptr || v->is_null()) continue;
+        distinct[i].insert(v->Hash());
+        columns[i].UpdateMinMax(*v);
+      }
+    }
+  }
+  stats.cardinality = static_cast<double>(records);
+  stats.avg_record_size =
+      records == 0 ? 0.0
+                   : static_cast<double>(bytes) / static_cast<double>(records);
+  for (size_t i = 0; i < leaf.join_columns.size(); ++i) {
+    columns[i].ndv = static_cast<double>(distinct[i].size());
+    stats.columns[leaf.join_columns[i]] = columns[i];
+  }
+  return stats;
+}
+
+}  // namespace dyno

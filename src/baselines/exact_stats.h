@@ -1,0 +1,22 @@
+#ifndef DYNO_BASELINES_EXACT_STATS_H_
+#define DYNO_BASELINES_EXACT_STATS_H_
+
+#include "common/status.h"
+#include "lang/query.h"
+#include "stats/table_stats.h"
+#include "storage/catalog.h"
+
+namespace dyno {
+
+/// Computes *exact* statistics of a leaf expression (scan + local
+/// predicates) by a full client-side pass over the table: exact cardinality,
+/// record sizes, and exact per-join-column distinct counts. This is
+/// "experimenter knowledge" used only by the BESTSTATICJAQL baseline to
+/// stand in for the paper's exhaustive hand-tuning of FROM orders; it is
+/// never billed simulated time and never available to DYNO itself.
+Result<TableStats> ComputeExactLeafStats(Catalog* catalog,
+                                         const LeafExpr& leaf);
+
+}  // namespace dyno
+
+#endif  // DYNO_BASELINES_EXACT_STATS_H_

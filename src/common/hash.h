@@ -1,0 +1,47 @@
+#ifndef DYNO_COMMON_HASH_H_
+#define DYNO_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dyno {
+
+/// 64-bit FNV-1a over a byte range. Used for join-key partitioning and for
+/// the KMV distinct-value synopsis (which needs a hash whose outputs are
+/// close to uniform on [0, 2^64)).
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashBytes(std::string_view s, uint64_t seed) {
+  return Fnv1a64(s.data(), s.size(), seed ^ 0xcbf29ce484222325ULL);
+}
+
+/// Mixes a 64-bit value (final avalanche step of MurmurHash3). Applied on
+/// top of FNV for short keys, whose raw FNV output is poorly distributed in
+/// the high bits.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines two hashes (boost::hash_combine recipe widened to 64 bits).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace dyno
+
+#endif  // DYNO_COMMON_HASH_H_

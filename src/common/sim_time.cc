@@ -1,0 +1,18 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace dyno {
+
+std::string FormatSimMillis(SimMillis ms) {
+  char buf[64];
+  if (ms >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3f s",
+                  static_cast<double>(ms) / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ms", static_cast<long long>(ms));
+  }
+  return buf;
+}
+
+}  // namespace dyno

@@ -1,0 +1,20 @@
+#ifndef DYNO_COMMON_SIM_TIME_H_
+#define DYNO_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dyno {
+
+/// Simulated wall-clock duration, in milliseconds. The MapReduce simulator
+/// charges every job phase in SimMillis; all paper figures are reproduced in
+/// this unit (the paper reports only *relative* times, so the unit choice is
+/// immaterial as long as it is consistent).
+using SimMillis = int64_t;
+
+/// Formats a duration as "12.345 s" / "987 ms" for human-readable reports.
+std::string FormatSimMillis(SimMillis ms);
+
+}  // namespace dyno
+
+#endif  // DYNO_COMMON_SIM_TIME_H_

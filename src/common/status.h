@@ -1,0 +1,129 @@
+#ifndef DYNO_COMMON_STATUS_H_
+#define DYNO_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dyno {
+
+/// Error categories used across the library. Mirrors the coarse error
+/// taxonomy of large-scale engines: user errors (bad query), resource
+/// exhaustion (a broadcast build side that does not fit in memory aborts the
+/// job, exactly as in Jaql), and internal invariant violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, used instead of exceptions across
+/// all public APIs (RocksDB/Arrow idiom). Statuses are cheap to copy in the
+/// OK case and carry a message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status union: the standard way library functions return
+/// fallible results. `ok()` must be checked before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse (`return 42;` / `return Status::NotFound(...)`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; undefined behaviour if `!ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dyno
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define DYNO_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::dyno::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define DYNO_ASSIGN_OR_RETURN(lhs, expr)          \
+  DYNO_ASSIGN_OR_RETURN_IMPL(                     \
+      DYNO_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define DYNO_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value();
+
+#define DYNO_CONCAT_NAME(x, y) DYNO_CONCAT_NAME_IMPL(x, y)
+#define DYNO_CONCAT_NAME_IMPL(x, y) x##y
+
+#endif  // DYNO_COMMON_STATUS_H_

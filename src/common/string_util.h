@@ -1,0 +1,27 @@
+#ifndef DYNO_COMMON_STRING_UTIL_H_
+#define DYNO_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dyno {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `delim`, keeping empty tokens.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace dyno
+
+#endif  // DYNO_COMMON_STRING_UTIL_H_

@@ -1,0 +1,632 @@
+#include "dyno/driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "exec/aggregates.h"
+#include "pilot/predicate_order.h"
+#include "exec/row_ops.h"
+
+namespace dyno {
+
+namespace {
+
+/// Evaluates a boolean filter; non-bool/null results count as false.
+Result<bool> EvalFilter(const ExprPtr& filter, const Value& row) {
+  if (filter == nullptr) return true;
+  DYNO_ASSIGN_OR_RETURN(Value v, filter->Eval(row));
+  return v.type() == Value::Type::kBool && v.bool_value();
+}
+
+/// Map-only materialization of one leaf (single-table join "blocks").
+Result<JobResult> RunScanFilterJob(MapReduceEngine* engine,
+                                   std::shared_ptr<DfsFile> file,
+                                   const ExprPtr& filter,
+                                   const std::vector<std::string>& projection,
+                                   const std::string& output_path) {
+  JobSpec spec;
+  spec.name = "scan";
+  spec.output_path = output_path;
+  MapInput input;
+  input.file = std::move(file);
+  input.cpu_per_record = 1.0 + (filter ? filter->CpuCost() : 0.0);
+  std::vector<std::string> proj = projection;
+  ExprPtr f = filter;
+  input.map_fn = [f, proj](const Value& record, MapContext* ctx) -> Status {
+    DYNO_ASSIGN_OR_RETURN(bool keep, EvalFilter(f, record));
+    if (!keep) return Status::OK();
+    ctx->Output(proj.empty() ? record : ProjectRow(record, proj));
+    return Status::OK();
+  };
+  spec.inputs = {std::move(input)};
+  DYNO_ASSIGN_OR_RETURN(JobResult job, engine->Submit(spec));
+  if (!job.status.ok()) return job.status;
+  return job;
+}
+
+/// The paper's §8 "dynamic join operator": when a broadcast join's build
+/// side turns out not to fit in task memory (discovered while building the
+/// hash tables, before wasting the probe scan), re-run the unit's joins as
+/// repartition jobs instead of failing the query, threading the original
+/// request's statistics/projection onto the last job. Returns the final
+/// step; `extra_jobs` counts the repartition jobs run.
+Result<StepResult> RunRepartitionFallback(
+    PlanExecutor* executor, const JobUnit& unit,
+    const PlanExecutor::UnitRequest& original, int* extra_jobs) {
+  DYNO_ASSIGN_OR_RETURN(std::string current,
+                        executor->ResolveInput(unit.inputs[0]));
+  StepResult last;
+  for (size_t i = 0; i < unit.nodes.size(); ++i) {
+    const PlanNode& node = *unit.nodes[i];
+    DYNO_ASSIGN_OR_RETURN(std::string build_id,
+                          executor->ResolveInput(unit.inputs[i + 1]));
+    auto plan = PlanNode::Join(JoinMethod::kRepartition,
+                               PlanNode::Leaf(current),
+                               PlanNode::Leaf(build_id), node.key_pairs);
+    plan->post_filter = node.post_filter;
+    DYNO_ASSIGN_OR_RETURN(std::vector<JobUnit> units,
+                          PlanExecutor::Decompose(*plan));
+    PlanExecutor::UnitRequest request;
+    request.unit = &units[0];
+    if (i + 1 == unit.nodes.size()) {
+      request.stats_columns = original.stats_columns;
+      request.projection = original.projection;
+    }
+    DYNO_ASSIGN_OR_RETURN(StepResult step, executor->ExecuteOne(request));
+    ++*extra_jobs;
+    current = step.relation_id;
+    last = std::move(step);
+  }
+  return last;
+}
+
+}  // namespace
+
+/// Mutable optimization state of one join block: the relations still to be
+/// joined (base leaves and virtual intermediates), the surviving join
+/// edges, and the not-yet-applied non-local predicates.
+struct DynoDriver::BlockState {
+  std::map<std::string, TableStats> relations;
+  std::vector<OptEdge> edges;
+  std::vector<OptNonLocalPred> preds;
+
+  OptJoinGraph BuildGraph() const {
+    OptJoinGraph graph;
+    for (const auto& [id, stats] : relations) {
+      graph.relations.push_back({id, stats});
+    }
+    graph.edges = edges;
+    graph.non_local_preds = preds;
+    return graph;
+  }
+
+  /// Replaces the executed relation set `covered` with the virtual relation
+  /// `new_id` carrying `stats`: edges inside `covered` are consumed,
+  /// crossing edges re-attach to `new_id`, and non-local predicates whose
+  /// relations have all been merged are dropped (the join applied them).
+  void Substitute(const std::set<std::string>& covered,
+                  const std::string& new_id, TableStats stats) {
+    for (const std::string& id : covered) relations.erase(id);
+    relations[new_id] = std::move(stats);
+
+    std::vector<OptEdge> kept_edges;
+    for (OptEdge edge : edges) {
+      if (covered.count(edge.left_id)) edge.left_id = new_id;
+      if (covered.count(edge.right_id)) edge.right_id = new_id;
+      if (edge.left_id == edge.right_id) continue;  // consumed by the join
+      kept_edges.push_back(std::move(edge));
+    }
+    edges = std::move(kept_edges);
+
+    std::vector<OptNonLocalPred> kept_preds;
+    for (OptNonLocalPred pred : preds) {
+      std::set<std::string> ids;
+      for (std::string& id : pred.relation_ids) {
+        if (covered.count(id)) id = new_id;
+        ids.insert(id);
+      }
+      pred.relation_ids.assign(ids.begin(), ids.end());
+      if (pred.relation_ids.size() >= 2) kept_preds.push_back(std::move(pred));
+      // size == 1: the executed join covered the predicate and its
+      // post_filter already applied it.
+    }
+    preds = std::move(kept_preds);
+  }
+
+  /// Columns of relations in `covered` that future joins still need — the
+  /// attribute set online statistics are collected for (paper §5.4).
+  std::vector<std::string> StatsColumnsFor(
+      const std::set<std::string>& covered) const {
+    std::set<std::string> cols;
+    for (const OptEdge& edge : edges) {
+      bool left_in = covered.count(edge.left_id) > 0;
+      bool right_in = covered.count(edge.right_id) > 0;
+      if (left_in && !right_in) cols.insert(edge.left_column);
+      if (right_in && !left_in) cols.insert(edge.right_column);
+    }
+    return {cols.begin(), cols.end()};
+  }
+};
+
+DynoDriver::DynoDriver(MapReduceEngine* engine, Catalog* catalog,
+                       StatsStore* store, DynoOptions options)
+    : engine_(engine), catalog_(catalog), store_(store),
+      options_(std::move(options)) {}
+
+Result<QueryRunReport> DynoDriver::Execute(const Query& query) {
+  QueryRunReport report;
+  SimMillis start = engine_->now();
+  DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> joined,
+                        RunJoinBlock(query.join_block, &report));
+  std::shared_ptr<DfsFile> current = std::move(joined);
+  if (query.group_by.has_value()) {
+    std::string path =
+        StrFormat("%s/gb_%lld", options_.exec.temp_prefix.c_str(),
+                  static_cast<long long>(engine_->now()));
+    DYNO_ASSIGN_OR_RETURN(
+        JobResult job,
+        RunGroupBy(engine_, current, *query.group_by, path));
+    current = job.output;
+    ++report.jobs_run;
+  }
+  if (query.order_by.has_value()) {
+    std::string path =
+        StrFormat("%s/ob_%lld", options_.exec.temp_prefix.c_str(),
+                  static_cast<long long>(engine_->now()));
+    DYNO_ASSIGN_OR_RETURN(
+        JobResult job,
+        RunOrderBy(engine_, current, *query.order_by, path));
+    current = job.output;
+    ++report.jobs_run;
+  }
+  report.result = current;
+  report.result_records = current ? current->num_records() : 0;
+  report.total_ms = engine_->now() - start;
+  return report;
+}
+
+Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
+    const MultiBlockQuery& query) {
+  if (query.blocks.empty()) {
+    return Status::InvalidArgument("multi-block query has no blocks");
+  }
+  QueryRunReport report;
+  SimMillis start = engine_->now();
+
+  std::set<std::string> names;
+  for (const auto& block : query.blocks) {
+    if (block.name.empty() || StartsWith(block.name, kBlockRefPrefix)) {
+      return Status::InvalidArgument("bad block name: " + block.name);
+    }
+    if (!names.insert(block.name).second) {
+      return Status::InvalidArgument("duplicate block name: " + block.name);
+    }
+  }
+
+  // Dependencies: block -> blocks it reads via "@block:" table references.
+  auto deps_of = [&](const MultiBlockQuery::Block& block)
+      -> Result<std::vector<std::string>> {
+    std::vector<std::string> deps;
+    for (const TableRef& ref : block.join_block.tables) {
+      if (!StartsWith(ref.table, kBlockRefPrefix)) continue;
+      std::string dep = ref.table.substr(sizeof(kBlockRefPrefix) - 1);
+      if (!names.count(dep)) {
+        return Status::InvalidArgument("unknown block reference: " +
+                                       ref.table);
+      }
+      deps.push_back(std::move(dep));
+    }
+    return deps;
+  };
+
+  // Execute in dependency order (Kahn-style over declaration order).
+  std::set<std::string> done;
+  std::vector<const MultiBlockQuery::Block*> pending;
+  for (const auto& block : query.blocks) pending.push_back(&block);
+  std::shared_ptr<DfsFile> last_output;
+
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      DYNO_ASSIGN_OR_RETURN(std::vector<std::string> deps, deps_of(**it));
+      bool ready = true;
+      for (const std::string& dep : deps) {
+        if (!done.count(dep)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        ++it;
+        continue;
+      }
+      const MultiBlockQuery::Block& block = **it;
+      DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> joined,
+                            RunJoinBlock(block.join_block, &report));
+      std::shared_ptr<DfsFile> output = std::move(joined);
+      if (block.group_by.has_value()) {
+        std::string path =
+            StrFormat("%s/mb_gb_%lld", options_.exec.temp_prefix.c_str(),
+                      static_cast<long long>(engine_->now()));
+        DYNO_ASSIGN_OR_RETURN(
+            JobResult job,
+            RunGroupBy(engine_, output, *block.group_by, path));
+        output = job.output;
+        ++report.jobs_run;
+      }
+      // Expose the block's output to downstream blocks through the catalog.
+      DYNO_RETURN_IF_ERROR(catalog_->RegisterTable(
+          kBlockRefPrefix + block.name, output->path()));
+      done.insert(block.name);
+      last_output = std::move(output);
+      it = pending.erase(it);
+      progressed = true;
+    }
+    if (!progressed) {
+      return Status::InvalidArgument("cyclic block references");
+    }
+  }
+
+  if (query.final_order_by.has_value()) {
+    std::string path =
+        StrFormat("%s/mb_ob_%lld", options_.exec.temp_prefix.c_str(),
+                  static_cast<long long>(engine_->now()));
+    DYNO_ASSIGN_OR_RETURN(
+        JobResult job,
+        RunOrderBy(engine_, last_output, *query.final_order_by, path));
+    last_output = job.output;
+    ++report.jobs_run;
+  }
+  report.result = last_output;
+  report.result_records = last_output ? last_output->num_records() : 0;
+  report.total_ms = engine_->now() - start;
+  return report;
+}
+
+Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
+    const JoinBlock& block, QueryRunReport* report) {
+  DYNO_RETURN_IF_ERROR(ValidateJoinBlock(block));
+  SimMillis block_start = engine_->now();
+  std::vector<Predicate> non_local;
+  std::vector<LeafExpr> leaves = ExtractLeafExprs(block, &non_local);
+
+  // Optional §4.4 extension: order each leaf's conjuncts by measured rank
+  // so cheap, selective predicates run first at every scan.
+  if (options_.reorder_local_predicates) {
+    for (LeafExpr& leaf : leaves) {
+      if (leaf.filter == nullptr) continue;
+      PredicateOrderOptions order_options;
+      DYNO_ASSIGN_OR_RETURN(
+          leaf.filter,
+          ReorderConjunction(catalog_, leaf.table, leaf.filter,
+                             order_options));
+    }
+  }
+
+  PlanExecutor executor(engine_, options_.exec);
+
+  // --- Bind base leaves. ---
+  for (const LeafExpr& leaf : leaves) {
+    DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file,
+                          catalog_->OpenTable(leaf.table));
+    RelationBinding binding;
+    binding.file = std::move(file);
+    binding.scan_filter = leaf.filter;
+    binding.scan_cpu_per_record = leaf.filter ? leaf.filter->CpuCost() : 0.0;
+    binding.signature = LeafSignature(leaf);
+    executor.Bind(leaf.alias, std::move(binding));
+  }
+
+  // --- Acquire leaf statistics: pilot runs, or base statistics when the
+  // pilot is ablated away. ---
+  BlockState state;
+  if (options_.use_pilot_runs) {
+    PilotRunner pilot(engine_, catalog_, store_, options_.pilot);
+    DYNO_ASSIGN_OR_RETURN(PilotRunReport pilot_report, pilot.Run(leaves));
+    report->pilot_ms += pilot_report.elapsed_ms;
+    for (const LeafExpr& leaf : leaves) {
+      const PilotLeafResult* result = pilot_report.Find(leaf.alias);
+      if (result == nullptr) {
+        return Status::Internal("pilot run missing leaf " + leaf.alias);
+      }
+      state.relations[leaf.alias] = result->stats;
+      if (options_.reuse_pilot_full_outputs && result->full_output != nullptr) {
+        // The pilot consumed the whole relation: its output *is* the leaf.
+        RelationBinding binding;
+        binding.file = result->full_output;
+        binding.signature = result->signature;
+        executor.Bind(leaf.alias, std::move(binding));
+      }
+    }
+  } else {
+    for (const LeafExpr& leaf : leaves) {
+      auto cached = store_->Get(leaf.table + "|");
+      if (cached.has_value()) {
+        state.relations[leaf.alias] = *cached;
+      } else {
+        DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file,
+                              catalog_->OpenTable(leaf.table));
+        TableStats stats;
+        stats.cardinality = static_cast<double>(file->num_records());
+        stats.avg_record_size = file->avg_record_size();
+        state.relations[leaf.alias] = std::move(stats);
+      }
+    }
+  }
+
+  // --- Single-table block: a bare scan job. ---
+  if (leaves.size() == 1) {
+    DYNO_ASSIGN_OR_RETURN(RelationBinding binding,
+                          executor.GetBinding(leaves[0].alias));
+    std::string path =
+        StrFormat("%s/scan_%lld", options_.exec.temp_prefix.c_str(),
+                  static_cast<long long>(engine_->now()));
+    DYNO_ASSIGN_OR_RETURN(
+        JobResult job,
+        RunScanFilterJob(engine_, binding.file, binding.scan_filter,
+                         block.output_columns, path));
+    ++report->jobs_run;
+    ++report->map_only_jobs;
+    return job.output;
+  }
+
+  for (const JoinEdge& edge : block.edges) {
+    state.edges.push_back({edge.left_alias, edge.left_column,
+                           edge.right_alias, edge.right_column});
+  }
+  for (const Predicate& pred : non_local) {
+    OptNonLocalPred opt_pred;
+    opt_pred.expr = pred.expr;
+    opt_pred.relation_ids = pred.aliases;
+    state.preds.push_back(std::move(opt_pred));
+  }
+
+  JoinOptimizer optimizer(options_.cost);
+  bool reoptimize = options_.reoptimize && !IsSimpleStrategy(options_.strategy);
+  std::string previous_plan;
+
+  auto record_plan = [&](const OptimizeResult& opt) {
+    PlanEvent event;
+    event.at_ms = engine_->now() - block_start;
+    event.plan_tree = opt.plan->ToTreeString();
+    event.plan_compact = opt.plan->ToString();
+    event.est_cost = opt.plan->est_cost;
+    event.plan_changed =
+        !previous_plan.empty() && previous_plan != event.plan_compact;
+    if (event.plan_changed) ++report->plan_changes;
+    previous_plan = event.plan_compact;
+    report->plan_history.push_back(std::move(event));
+    report->optimizer_ms += opt.report.simulated_ms;
+    ++report->optimizer_calls;
+    engine_->AdvanceClock(opt.report.simulated_ms);
+  };
+
+  auto account_step = [&](const JobUnit& unit, const StepResult& step) {
+    ++report->jobs_run;
+    if (unit.map_only) ++report->map_only_jobs;
+    report->stats_overhead_ms += step.job.observer_overhead_ms;
+    store_->Put(step.subtree_signature, step.stats);
+  };
+
+  if (!reoptimize) {
+    // --- DYNOPT-SIMPLE: one optimizer call, then run the plan as-is. ---
+    DYNO_ASSIGN_OR_RETURN(OptimizeResult opt,
+                          optimizer.Optimize(state.BuildGraph()));
+    record_plan(opt);
+    DYNO_ASSIGN_OR_RETURN(
+        StaticRunResult run,
+        RunStaticPlan(&executor, *opt.plan,
+                      options_.strategy == ExecutionStrategy::kSimpleParallel,
+                      block.output_columns,
+                      options_.adaptive_join_fallback));
+    report->jobs_run += run.jobs_run;
+    report->map_only_jobs += run.map_only_jobs;
+    report->broadcast_fallbacks += run.broadcast_fallbacks;
+    return run.output;
+  }
+
+  // --- DYNOPT (Algorithm 2): optimize, execute leaf jobs, collect
+  // statistics, substitute, and repeat. Re-optimization is conditional: if
+  // every executed job's observed cardinality landed within
+  // `reopt_row_error_threshold` of its estimate, the current plan is
+  // continued instead of re-planned (paper §3/§5.1: "the decision to
+  // re-optimize could be conditional on a threshold difference between the
+  // estimated result size and the observed one"). The default threshold of
+  // 0 re-optimizes after every step, the paper's implementation.
+  std::unique_ptr<PlanNode> plan;
+  std::vector<JobUnit> units;
+  std::set<int64_t> executed_units;
+  bool replan = true;
+
+  for (;;) {
+    if (replan) {
+      DYNO_ASSIGN_OR_RETURN(OptimizeResult opt,
+                            optimizer.Optimize(state.BuildGraph()));
+      record_plan(opt);
+      plan = std::move(opt.plan);
+      DYNO_ASSIGN_OR_RETURN(units, PlanExecutor::Decompose(*plan));
+      executed_units.clear();
+      if (units.empty()) {
+        return Status::Internal("optimizer returned a plan with no jobs");
+      }
+    }
+
+    // A unit is ready when all its inputs are materialized: bound base
+    // leaves or outputs of already-executed units of this decomposition.
+    auto is_ready = [&](const JobUnit& unit) {
+      if (executed_units.count(unit.uid)) return false;
+      for (const JobInput& input : unit.inputs) {
+        if (!input.IsLeaf() && !executed_units.count(input.unit_uid)) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    // The root unit completing means the block is done: run it with the
+    // final projection (Algorithm 2, line 6).
+    const JobUnit& root = units.back();
+    bool root_is_last = executed_units.size() + 1 == units.size();
+    if (root_is_last && is_ready(root)) {
+      PlanExecutor::UnitRequest request;
+      request.unit = &root;
+      request.projection = block.output_columns;
+      auto attempt = executor.ExecuteOne(request);
+      StepResult step;
+      if (attempt.ok()) {
+        step = std::move(*attempt);
+      } else if (attempt.status().code() == StatusCode::kOutOfMemory &&
+                 options_.adaptive_join_fallback && root.map_only) {
+        int extra_jobs = 0;
+        DYNO_ASSIGN_OR_RETURN(
+            step, RunRepartitionFallback(&executor, root, request,
+                                         &extra_jobs));
+        report->jobs_run += extra_jobs - 1;  // account_step adds one more
+        ++report->broadcast_fallbacks;
+      } else {
+        return attempt.status();
+      }
+      account_step(root, step);
+      DYNO_ASSIGN_OR_RETURN(RelationBinding binding,
+                            executor.GetBinding(step.relation_id));
+      return binding.file;
+    }
+
+    std::vector<const JobUnit*> ready_jobs;
+    for (const JobUnit& unit : units) {
+      if (&unit != &root && is_ready(unit)) ready_jobs.push_back(&unit);
+    }
+    if (ready_jobs.empty()) {
+      return Status::Internal("plan decomposition produced no ready jobs");
+    }
+    std::vector<const JobUnit*> chosen =
+        PickLeafJobs(options_.strategy, ready_jobs);
+
+    std::vector<PlanExecutor::UnitRequest> requests;
+    std::vector<std::set<std::string>> covered_sets;
+    for (const JobUnit* unit : chosen) {
+      std::set<std::string> covered;
+      for (const JobInput& input : unit->inputs) {
+        DYNO_ASSIGN_OR_RETURN(std::string id,
+                              executor.ResolveInput(input));
+        covered.insert(std::move(id));
+      }
+      PlanExecutor::UnitRequest request;
+      request.unit = unit;
+      request.stats_columns = state.StatsColumnsFor(covered);
+      requests.push_back(std::move(request));
+      covered_sets.push_back(std::move(covered));
+    }
+    DYNO_ASSIGN_OR_RETURN(std::vector<StepResult> steps,
+                          executor.Execute(requests));
+    replan = options_.reopt_row_error_threshold <= 0.0;
+    for (size_t i = 0; i < steps.size(); ++i) {
+      if (!steps[i].status.ok()) {
+        if (steps[i].status.code() == StatusCode::kOutOfMemory &&
+            options_.adaptive_join_fallback && chosen[i]->map_only) {
+          int extra_jobs = 0;
+          DYNO_ASSIGN_OR_RETURN(
+              steps[i], RunRepartitionFallback(&executor, *chosen[i],
+                                               requests[i], &extra_jobs));
+          report->jobs_run += extra_jobs - 1;
+          ++report->broadcast_fallbacks;
+          executor.RegisterUnitOutput(chosen[i]->uid, steps[i].relation_id);
+          replan = true;  // the plan was provably wrong here
+        } else {
+          return steps[i].status;
+        }
+      }
+      account_step(*chosen[i], steps[i]);
+      state.Substitute(covered_sets[i], steps[i].relation_id,
+                       steps[i].stats);
+      executed_units.insert(chosen[i]->uid);
+      // Estimation error check for conditional re-optimization.
+      double estimated = std::max(chosen[i]->est_rows, 1.0);
+      double observed = std::max(steps[i].stats.cardinality, 1.0);
+      double error = std::abs(observed - estimated) / estimated;
+      if (error > options_.reopt_row_error_threshold) replan = true;
+    }
+  }
+}
+
+Result<StaticRunResult> RunStaticPlan(
+    PlanExecutor* executor, const PlanNode& plan, bool parallel_waves,
+    const std::vector<std::string>& final_projection,
+    bool broadcast_fallback) {
+  StaticRunResult result;
+  if (plan.IsLeaf()) {
+    DYNO_ASSIGN_OR_RETURN(RelationBinding binding,
+                          executor->GetBinding(plan.relation_id));
+    result.output = binding.file;
+    result.final_relation_id = plan.relation_id;
+    return result;
+  }
+  DYNO_ASSIGN_OR_RETURN(std::vector<JobUnit> units,
+                        PlanExecutor::Decompose(plan));
+  executor->ResetUnitOutputs();
+  std::set<int64_t> executed;
+  std::string last_id;
+  int64_t final_uid = units.empty() ? -1 : units.back().uid;
+
+  while (executed.size() < units.size()) {
+    // Ready = all unit inputs already executed.
+    std::vector<const JobUnit*> ready;
+    for (const JobUnit& unit : units) {
+      if (executed.count(unit.uid)) continue;
+      bool ok = true;
+      for (const JobInput& input : unit.inputs) {
+        if (!input.IsLeaf() && !executed.count(input.unit_uid)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(&unit);
+    }
+    if (ready.empty()) {
+      return Status::Internal("static plan has unexecutable units");
+    }
+    if (!parallel_waves) ready.resize(1);
+    std::vector<PlanExecutor::UnitRequest> requests;
+    for (const JobUnit* unit : ready) {
+      PlanExecutor::UnitRequest request;
+      request.unit = unit;
+      if (unit->uid == final_uid) request.projection = final_projection;
+      requests.push_back(std::move(request));
+    }
+    DYNO_ASSIGN_OR_RETURN(std::vector<StepResult> steps,
+                          executor->Execute(requests));
+    for (size_t i = 0; i < steps.size(); ++i) {
+      if (!steps[i].status.ok()) {
+        if (steps[i].status.code() == StatusCode::kOutOfMemory &&
+            broadcast_fallback && ready[i]->map_only) {
+          int extra_jobs = 0;
+          DYNO_ASSIGN_OR_RETURN(
+              steps[i], RunRepartitionFallback(executor, *ready[i],
+                                               requests[i], &extra_jobs));
+          result.jobs_run += extra_jobs - 1;
+          ++result.broadcast_fallbacks;
+          // The fallback's final output stands in for this unit's output,
+          // so dependants resolving through the unit uid find it.
+          executor->RegisterUnitOutput(ready[i]->uid, steps[i].relation_id);
+        } else {
+          return steps[i].status;
+        }
+      }
+      executed.insert(ready[i]->uid);
+      ++result.jobs_run;
+      if (ready[i]->map_only) ++result.map_only_jobs;
+      if (ready[i]->uid == final_uid) {
+        last_id = steps[i].relation_id;
+        result.output = steps[i].job.output;
+      }
+    }
+  }
+  result.final_relation_id = last_id;
+  return result;
+}
+
+}  // namespace dyno

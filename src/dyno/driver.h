@@ -1,0 +1,161 @@
+#ifndef DYNO_DYNO_DRIVER_H_
+#define DYNO_DYNO_DRIVER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "dyno/strategy.h"
+#include "exec/plan_executor.h"
+#include "lang/query.h"
+#include "mr/engine.h"
+#include "optimizer/optimizer.h"
+#include "pilot/pilot_runner.h"
+#include "stats/stats_store.h"
+#include "storage/catalog.h"
+
+namespace dyno {
+
+/// Configuration of the full DYNO pipeline.
+struct DynoOptions {
+  PilotRunOptions pilot;
+  CostModelParams cost;
+  ExecOptions exec;
+  ExecutionStrategy strategy = ExecutionStrategy::kUncertain1;
+
+  /// Master switch for pilot runs (off = the "no pilot" ablation: the
+  /// optimizer plans from base-table statistics, blind to predicates).
+  bool use_pilot_runs = true;
+  /// When a very selective pilot run consumed its whole relation, reuse its
+  /// output as the leaf's materialization (paper §4.1).
+  bool reuse_pilot_full_outputs = true;
+
+  /// Re-optimize after each execution step (DYNOPT). The SIMPLE strategies
+  /// force this off.
+  bool reoptimize = true;
+
+  /// The paper's §8 extension: when a broadcast build side turns out not
+  /// to fit in memory, switch that join to a repartition join instead of
+  /// failing the query (Jaql's native behaviour, kept for the baselines,
+  /// is to die with OutOfMemory).
+  bool adaptive_join_fallback = true;
+
+  /// Reorder each leaf's conjunction by measured rank (cheap, selective
+  /// predicates first — paper §4.4's pointer to [24]/[11], made actionable
+  /// by pilot-style sampling). Off by default, as in the paper.
+  bool reorder_local_predicates = false;
+
+  /// Conditional re-optimization (paper §3): re-plan only when some
+  /// executed job's observed output cardinality deviates from its estimate
+  /// by more than this relative error. 0 re-optimizes after every step
+  /// (the paper's implementation); e.g. 0.5 tolerates 50% estimation error
+  /// before paying another optimizer call.
+  double reopt_row_error_threshold = 0.0;
+};
+
+/// One (re-)optimization event in a query's life.
+struct PlanEvent {
+  SimMillis at_ms = 0;
+  std::string plan_tree;      ///< Multi-line rendering (Fig. 2 style).
+  std::string plan_compact;   ///< One-line rendering.
+  double est_cost = 0.0;
+  bool plan_changed = false;  ///< Structurally different from previous.
+};
+
+/// Full accounting of one query execution — the raw material for every
+/// overhead/speedup figure.
+struct QueryRunReport {
+  SimMillis total_ms = 0;
+  SimMillis pilot_ms = 0;
+  SimMillis optimizer_ms = 0;        ///< Sum over (re-)optimizer calls.
+  SimMillis stats_overhead_ms = 0;   ///< Online statistics collection.
+  int optimizer_calls = 0;
+  int jobs_run = 0;
+  int map_only_jobs = 0;
+  int plan_changes = 0;              ///< Re-optimizations that changed plan.
+  /// Broadcast joins demoted to repartition at runtime (§8 dynamic join).
+  int broadcast_fallbacks = 0;
+  std::vector<PlanEvent> plan_history;
+  std::shared_ptr<DfsFile> result;
+  uint64_t result_records = 0;
+};
+
+/// A query of several join blocks (paper §5.1): blocks are separated by
+/// grouping operators, and a later block may consume an earlier block's
+/// output by referencing the table name "@block:<name>". DYNOPT is invoked
+/// once per block, in dependency order.
+struct MultiBlockQuery {
+  struct Block {
+    std::string name;
+    JoinBlock join_block;
+    /// Grouping applied to this block's join output before it is exposed
+    /// to downstream blocks.
+    std::optional<GroupBySpec> group_by;
+  };
+  std::vector<Block> blocks;
+  /// Ordering applied to the final block's output.
+  std::optional<OrderBySpec> final_order_by;
+};
+
+/// Table-name prefix marking a reference to another block's output.
+inline constexpr char kBlockRefPrefix[] = "@block:";
+
+/// The DYNO driver: pilot runs → cost-based join enumeration → step-wise
+/// execution with online statistics and re-optimization (Algorithm 2).
+class DynoDriver {
+ public:
+  DynoDriver(MapReduceEngine* engine, Catalog* catalog, StatsStore* store,
+             DynoOptions options);
+
+  /// Executes `query` end to end (join block, then grouping/ordering) and
+  /// returns the result file plus full accounting.
+  Result<QueryRunReport> Execute(const Query& query);
+
+  /// Executes a multi-block query: blocks run in an order that respects
+  /// their "@block:" references (paper §5.1 — "a block can be executed
+  /// only after all blocks it depends on"), each through the full DYNOPT
+  /// pipeline; accounting aggregates across blocks. Fails on reference
+  /// cycles or unknown block names.
+  Result<QueryRunReport> ExecuteMultiBlock(const MultiBlockQuery& query);
+
+  const DynoOptions& options() const { return options_; }
+
+ private:
+  struct BlockState;
+
+  Result<std::shared_ptr<DfsFile>> RunJoinBlock(const JoinBlock& block,
+                                                QueryRunReport* report);
+
+  MapReduceEngine* engine_;
+  Catalog* catalog_;
+  StatsStore* store_;
+  DynoOptions options_;
+};
+
+/// Outcome of executing a fixed physical plan (no re-optimization).
+struct StaticRunResult {
+  std::shared_ptr<DfsFile> output;
+  std::string final_relation_id;
+  int jobs_run = 0;
+  int map_only_jobs = 0;
+  int broadcast_fallbacks = 0;
+};
+
+/// Executes `plan` as-is on `executor` (whose bindings must cover every
+/// leaf): wave-parallel when `parallel_waves` (all ready jobs submitted
+/// together — SIMPLE_MO), else strictly one job at a time (SIMPLE_SO).
+/// Used by DYNOPT-SIMPLE and by the RELOPT / BESTSTATIC baselines. With
+/// `broadcast_fallback`, an over-memory broadcast is demoted to
+/// repartition jobs instead of failing (DYNO's §8 dynamic join operator);
+/// the baselines keep Jaql's fail-on-OOM behaviour.
+Result<StaticRunResult> RunStaticPlan(
+    PlanExecutor* executor, const PlanNode& plan, bool parallel_waves,
+    const std::vector<std::string>& final_projection,
+    bool broadcast_fallback = false);
+
+}  // namespace dyno
+
+#endif  // DYNO_DYNO_DRIVER_H_

@@ -1,0 +1,35 @@
+#ifndef DYNO_EXEC_AGGREGATES_H_
+#define DYNO_EXEC_AGGREGATES_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "lang/query.h"
+#include "mr/engine.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+
+/// Runs GROUP BY + aggregates over `input` as one map-reduce job. With
+/// `use_combiner` (the default) each map task pre-aggregates its split into
+/// one partial state per group and ships only those through the shuffle —
+/// the standard MapReduce combiner, which cuts shuffle volume by up to
+/// rows/groups. Grouping operators sit outside the join block and are
+/// compiled directly, not enumerated by the optimizer (paper §5.1).
+Result<JobResult> RunGroupBy(MapReduceEngine* engine,
+                             std::shared_ptr<DfsFile> input,
+                             const GroupBySpec& spec,
+                             const std::string& output_path,
+                             bool use_combiner = true);
+
+/// Runs ORDER BY (with optional LIMIT) over `input` as a single-reducer
+/// map-reduce job.
+Result<JobResult> RunOrderBy(MapReduceEngine* engine,
+                             std::shared_ptr<DfsFile> input,
+                             const OrderBySpec& spec,
+                             const std::string& output_path);
+
+}  // namespace dyno
+
+#endif  // DYNO_EXEC_AGGREGATES_H_

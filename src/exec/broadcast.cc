@@ -1,0 +1,29 @@
+#include "exec/broadcast.h"
+
+#include "exec/row_ops.h"
+
+namespace dyno {
+
+Result<std::shared_ptr<BroadcastTable>> BuildBroadcastTable(
+    const DfsFile& file, const ExprPtr& filter,
+    const std::vector<std::string>& key_columns) {
+  auto table = std::make_shared<BroadcastTable>();
+  table->load_bytes = file.num_bytes();
+  for (const Split& split : file.splits()) {
+    SplitReader reader(&split);
+    while (!reader.AtEnd()) {
+      DYNO_ASSIGN_OR_RETURN(Value row, reader.Next());
+      if (filter != nullptr) {
+        DYNO_ASSIGN_OR_RETURN(Value keep, filter->Eval(row));
+        if (keep.type() != Value::Type::kBool || !keep.bool_value()) continue;
+      }
+      table->built_bytes += row.EncodedSize();
+      ++table->num_rows;
+      table->rows_by_key[EncodeJoinKey(row, key_columns)].push_back(
+          std::move(row));
+    }
+  }
+  return table;
+}
+
+}  // namespace dyno

@@ -1,0 +1,36 @@
+#ifndef DYNO_EXEC_BROADCAST_H_
+#define DYNO_EXEC_BROADCAST_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+
+/// The in-memory build side of a broadcast join: rows of the small relation
+/// (after local predicates) keyed by their encoded join key. One instance
+/// is shared by all map tasks of the probing job — physically each task
+/// builds its own copy, which the simulator bills via side-load bytes.
+struct BroadcastTable {
+  std::unordered_map<std::string, std::vector<Value>> rows_by_key;
+  /// Raw bytes retained (memory-budget check input).
+  uint64_t built_bytes = 0;
+  /// Bytes read to build (full file scan, billing input).
+  uint64_t load_bytes = 0;
+  uint64_t num_rows = 0;
+};
+
+/// Builds the hash table for the build side `file`, applying `filter` (null
+/// = keep all) and keying on `key_columns`.
+Result<std::shared_ptr<BroadcastTable>> BuildBroadcastTable(
+    const DfsFile& file, const ExprPtr& filter,
+    const std::vector<std::string>& key_columns);
+
+}  // namespace dyno
+
+#endif  // DYNO_EXEC_BROADCAST_H_

@@ -1,0 +1,365 @@
+#include "json/value.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace dyno {
+
+namespace {
+
+void EncodeVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+Result<uint64_t> DecodeVarint(std::string_view data, size_t* offset) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*offset < data.size()) {
+    uint8_t b = static_cast<uint8_t>(data[(*offset)++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+    if (shift > 63) break;
+  }
+  return Status::Internal("malformed varint");
+}
+
+uint64_t DoubleHashKey(double d) {
+  // Integral doubles hash as their integer value so 1 and 1.0 collide (they
+  // also compare equal).
+  if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+    return static_cast<uint64_t>(static_cast<int64_t>(d));
+  }
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+Value Value::Array(ArrayElements elems) {
+  return Value(Rep(std::make_shared<const ArrayElements>(std::move(elems))));
+}
+
+Value Value::Struct(StructFields fields) {
+  return Value(Rep(std::make_shared<const StructFields>(std::move(fields))));
+}
+
+Value::Type Value::type() const {
+  return static_cast<Type>(rep_.index());
+}
+
+double Value::AsDouble() const {
+  if (type() == Type::kInt) return static_cast<double>(int_value());
+  return double_value();
+}
+
+const Value* Value::FindField(std::string_view name) const {
+  if (type() != Type::kStruct) return nullptr;
+  for (const auto& [field_name, value] : fields()) {
+    if (field_name == name) return &value;
+  }
+  return nullptr;
+}
+
+const Value* Value::FindElement(size_t index) const {
+  if (type() != Type::kArray) return nullptr;
+  const auto& elems = array();
+  if (index >= elems.size()) return nullptr;
+  return &elems[index];
+}
+
+int Value::Compare(const Value& other) const {
+  Type a = type();
+  Type b = other.type();
+  // Numeric types compare by value across kInt/kDouble.
+  bool a_num = (a == Type::kInt || a == Type::kDouble);
+  bool b_num = (b == Type::kInt || b == Type::kDouble);
+  if (a_num && b_num) {
+    double x = AsDouble();
+    double y = other.AsDouble();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a != b) return a < b ? -1 : 1;
+  switch (a) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool:
+      return static_cast<int>(bool_value()) -
+             static_cast<int>(other.bool_value());
+    case Type::kString: {
+      int c = string_value().compare(other.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case Type::kArray: {
+      const auto& x = array();
+      const auto& y = other.array();
+      size_t n = std::min(x.size(), y.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = x[i].Compare(y[i]);
+        if (c != 0) return c;
+      }
+      if (x.size() != y.size()) return x.size() < y.size() ? -1 : 1;
+      return 0;
+    }
+    case Type::kStruct: {
+      const auto& x = fields();
+      const auto& y = other.fields();
+      size_t n = std::min(x.size(), y.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = x[i].first.compare(y[i].first);
+        if (c != 0) return c < 0 ? -1 : 1;
+        c = x[i].second.Compare(y[i].second);
+        if (c != 0) return c;
+      }
+      if (x.size() != y.size()) return x.size() < y.size() ? -1 : 1;
+      return 0;
+    }
+    default:
+      return 0;  // kInt/kDouble handled above.
+  }
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case Type::kNull:
+      return 0x6e756c6cULL;
+    case Type::kBool:
+      return bool_value() ? 0x74727565ULL : 0x66616c73ULL;
+    case Type::kInt:
+      return Mix64(static_cast<uint64_t>(int_value()));
+    case Type::kDouble:
+      return Mix64(DoubleHashKey(double_value()));
+    case Type::kString:
+      return HashBytes(string_value(), /*seed=*/0x737472ULL);
+    case Type::kArray: {
+      uint64_t h = 0x617272ULL;
+      for (const auto& e : array()) h = HashCombine(h, e.Hash());
+      return h;
+    }
+    case Type::kStruct: {
+      uint64_t h = 0x6f626aULL;
+      for (const auto& [name, value] : fields()) {
+        h = HashCombine(h, HashBytes(name, 0));
+        h = HashCombine(h, value.Hash());
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+void Value::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      out->push_back(bool_value() ? 1 : 0);
+      break;
+    case Type::kInt: {
+      // Zigzag so small negative ints stay short.
+      int64_t v = int_value();
+      uint64_t zz =
+          (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+      EncodeVarint(zz, out);
+      break;
+    }
+    case Type::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &std::get<double>(rep_), sizeof(bits));
+      for (int i = 0; i < 8; ++i) {
+        out->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+      }
+      break;
+    }
+    case Type::kString: {
+      const std::string& s = string_value();
+      EncodeVarint(s.size(), out);
+      out->append(s);
+      break;
+    }
+    case Type::kArray: {
+      const auto& elems = array();
+      EncodeVarint(elems.size(), out);
+      for (const auto& e : elems) e.EncodeTo(out);
+      break;
+    }
+    case Type::kStruct: {
+      const auto& flds = fields();
+      EncodeVarint(flds.size(), out);
+      for (const auto& [name, value] : flds) {
+        EncodeVarint(name.size(), out);
+        out->append(name);
+        value.EncodeTo(out);
+      }
+      break;
+    }
+  }
+}
+
+Result<Value> Value::Decode(std::string_view data, size_t* offset) {
+  if (*offset >= data.size()) return Status::Internal("truncated value");
+  Type t = static_cast<Type>(data[(*offset)++]);
+  switch (t) {
+    case Type::kNull:
+      return Value::Null();
+    case Type::kBool: {
+      if (*offset >= data.size()) return Status::Internal("truncated bool");
+      return Value::Bool(data[(*offset)++] != 0);
+    }
+    case Type::kInt: {
+      DYNO_ASSIGN_OR_RETURN(uint64_t u, DecodeVarint(data, offset));
+      int64_t v = static_cast<int64_t>(u >> 1);
+      if (u & 1) v = ~v;
+      return Value::Int(v);
+    }
+    case Type::kDouble: {
+      if (*offset + 8 > data.size()) {
+        return Status::Internal("truncated double");
+      }
+      uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<uint64_t>(
+                    static_cast<uint8_t>(data[*offset + i]))
+                << (8 * i);
+      }
+      *offset += 8;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Double(d);
+    }
+    case Type::kString: {
+      DYNO_ASSIGN_OR_RETURN(uint64_t n, DecodeVarint(data, offset));
+      if (*offset + n > data.size()) return Status::Internal("bad string");
+      Value v = Value::String(std::string(data.substr(*offset, n)));
+      *offset += n;
+      return v;
+    }
+    case Type::kArray: {
+      DYNO_ASSIGN_OR_RETURN(uint64_t n, DecodeVarint(data, offset));
+      // Each element encodes to at least one byte; a count beyond the
+      // remaining input is corruption, not a reason to allocate.
+      if (n > data.size() - *offset) {
+        return Status::Internal("array count exceeds input");
+      }
+      ArrayElements elems;
+      elems.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DYNO_ASSIGN_OR_RETURN(Value e, Value::Decode(data, offset));
+        elems.push_back(std::move(e));
+      }
+      return Value::Array(std::move(elems));
+    }
+    case Type::kStruct: {
+      DYNO_ASSIGN_OR_RETURN(uint64_t n, DecodeVarint(data, offset));
+      if (n > data.size() - *offset) {
+        return Status::Internal("field count exceeds input");
+      }
+      StructFields flds;
+      flds.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DYNO_ASSIGN_OR_RETURN(uint64_t len, DecodeVarint(data, offset));
+        if (*offset + len > data.size()) {
+          return Status::Internal("bad field name");
+        }
+        std::string name(data.substr(*offset, len));
+        *offset += len;
+        DYNO_ASSIGN_OR_RETURN(Value v, Value::Decode(data, offset));
+        flds.emplace_back(std::move(name), std::move(v));
+      }
+      return Value::Struct(std::move(flds));
+    }
+  }
+  return Status::Internal("unknown value tag");
+}
+
+size_t Value::EncodedSize() const {
+  switch (type()) {
+    case Type::kNull:
+      return 1;
+    case Type::kBool:
+      return 2;
+    case Type::kInt: {
+      int64_t v = int_value();
+      uint64_t zz =
+          (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+      return 1 + VarintSize(zz);
+    }
+    case Type::kDouble:
+      return 9;
+    case Type::kString:
+      return 1 + VarintSize(string_value().size()) + string_value().size();
+    case Type::kArray: {
+      size_t n = 1 + VarintSize(array().size());
+      for (const auto& e : array()) n += e.EncodedSize();
+      return n;
+    }
+    case Type::kStruct: {
+      size_t n = 1 + VarintSize(fields().size());
+      for (const auto& [name, value] : fields()) {
+        n += VarintSize(name.size()) + name.size() + value.EncodedSize();
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_value() ? "true" : "false";
+    case Type::kInt:
+      return StrFormat("%lld", static_cast<long long>(int_value()));
+    case Type::kDouble:
+      return StrFormat("%g", double_value());
+    case Type::kString:
+      return "\"" + string_value() + "\"";
+    case Type::kArray: {
+      std::string out = "[";
+      const auto& elems = array();
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += elems[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+    case Type::kStruct: {
+      std::string out = "{";
+      const auto& flds = fields();
+      for (size_t i = 0; i < flds.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += flds[i].first + ": " + flds[i].second.ToString();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+Value MakeRow(StructFields fields) { return Value::Struct(std::move(fields)); }
+
+}  // namespace dyno

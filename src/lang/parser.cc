@@ -1,0 +1,517 @@
+#include "lang/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace dyno {
+
+namespace {
+
+// --- Tokenizer ---
+
+enum class TokenKind { kIdent, kInt, kDouble, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier / symbol / string body
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // byte offset, for error messages
+};
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '@') {
+      size_t start = i;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_' || sql[i] == '@' || sql[i] == ':')) {
+        ++i;
+      }
+      token.kind = TokenKind::kIdent;
+      token.text = sql.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.')) {
+        if (sql[i] == '.') {
+          // A dot followed by a digit is a decimal point; otherwise it is
+          // punctuation (e.g. nothing like `1.x` is valid anyway).
+          if (i + 1 < sql.size() &&
+              std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+            is_double = true;
+          } else {
+            break;
+          }
+        }
+        ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      if (is_double) {
+        token.kind = TokenKind::kDouble;
+        token.double_value = std::stod(text);
+      } else {
+        token.kind = TokenKind::kInt;
+        token.int_value = std::stoll(text);
+      }
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < sql.size() && sql[i] != '\'') ++i;
+      if (i >= sql.size()) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string at offset %zu", start - 1));
+      }
+      token.kind = TokenKind::kString;
+      token.text = sql.substr(start, i - start);
+      ++i;  // closing quote
+    } else {
+      // Multi-char operators first.
+      auto two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        token.kind = TokenKind::kSymbol;
+        token.text = two;
+        i += 2;
+      } else if (std::string("=<>,.()[]*").find(c) != std::string::npos) {
+        token.kind = TokenKind::kSymbol;
+        token.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = sql.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+// --- Parser ---
+
+/// A parsed alias-qualified reference, e.g. `rs.rs_addr[0].zip`.
+struct ColumnRef {
+  std::string alias;
+  std::string column;            ///< First path segment (the column).
+  std::vector<PathStep> steps;   ///< Full path (column + nested steps).
+
+  bool IsSimple() const { return steps.size() == 1; }
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const UdfRegistry& udfs)
+      : tokens_(std::move(tokens)), udfs_(udfs) {}
+
+  Result<Query> Parse() {
+    DYNO_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    DYNO_RETURN_IF_ERROR(ParseSelectList());
+    DYNO_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DYNO_RETURN_IF_ERROR(ParseTableList());
+    if (AcceptKeyword("WHERE")) {
+      DYNO_RETURN_IF_ERROR(ParseWhere());
+    }
+    if (AcceptKeyword("GROUP")) {
+      DYNO_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DYNO_RETURN_IF_ERROR(ParseGroupBy());
+    }
+    if (AcceptKeyword("ORDER")) {
+      DYNO_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DYNO_RETURN_IF_ERROR(ParseOrderBy());
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Current().kind != TokenKind::kInt) {
+        return Error("expected integer after LIMIT");
+      }
+      limit_ = Current().int_value;
+      Advance();
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Finalize();
+  }
+
+ private:
+  const Token& Current() const { return tokens_[index_]; }
+  const Token& Peek() const {
+    return tokens_[std::min(index_ + 1, tokens_.size() - 1)];
+  }
+  void Advance() { ++index_; }
+
+  bool AcceptSymbol(const std::string& symbol) {
+    if (Current().kind == TokenKind::kSymbol && Current().text == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptKeyword(const std::string& keyword) {
+    if (Current().kind == TokenKind::kIdent &&
+        ToUpper(Current().text) == keyword) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return Error("expected " + keyword).status();
+    }
+    return Status::OK();
+  }
+
+  Result<Query> Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("%s at offset %zu (near \"%s\")", message.c_str(),
+                  Current().position, Current().text.c_str()));
+  }
+
+  static bool IsAggregateName(const std::string& upper) {
+    return upper == "COUNT" || upper == "SUM" || upper == "MIN" ||
+           upper == "MAX" || upper == "AVG";
+  }
+
+  Status ParseSelectList() {
+    if (AcceptSymbol("*")) return Status::OK();  // empty = all columns
+    for (;;) {
+      if (Current().kind != TokenKind::kIdent) {
+        return Error("expected column or aggregate in SELECT").status();
+      }
+      std::string name = Current().text;
+      std::string upper = ToUpper(name);
+      if (IsAggregateName(upper) && Peek().kind == TokenKind::kSymbol &&
+          Peek().text == "(") {
+        Advance();  // aggregate name
+        Advance();  // '('
+        Aggregate aggregate;
+        if (upper == "COUNT") {
+          aggregate.kind = Aggregate::Kind::kCount;
+          if (!AcceptSymbol("*")) {
+            if (Current().kind != TokenKind::kIdent) {
+              return Error("expected * or column in COUNT()").status();
+            }
+            aggregate.input_column = Current().text;
+            Advance();
+          }
+        } else {
+          aggregate.kind = upper == "SUM"   ? Aggregate::Kind::kSum
+                           : upper == "MIN" ? Aggregate::Kind::kMin
+                           : upper == "MAX" ? Aggregate::Kind::kMax
+                                            : Aggregate::Kind::kAvg;
+          if (Current().kind != TokenKind::kIdent) {
+            return Error("expected column in aggregate").status();
+          }
+          aggregate.input_column = Current().text;
+          Advance();
+        }
+        if (!AcceptSymbol(")")) return Error("expected )").status();
+        DYNO_RETURN_IF_ERROR(ExpectKeyword("AS"));
+        if (Current().kind != TokenKind::kIdent) {
+          return Error("expected name after AS").status();
+        }
+        aggregate.output_name = Current().text;
+        Advance();
+        aggregates_.push_back(std::move(aggregate));
+      } else {
+        select_columns_.push_back(name);
+        Advance();
+      }
+      if (!AcceptSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableList() {
+    for (;;) {
+      if (Current().kind != TokenKind::kIdent) {
+        return Error("expected table name").status();
+      }
+      TableRef ref;
+      ref.table = Current().text;
+      Advance();
+      // Optional alias: a bare identifier that is not a clause keyword.
+      if (Current().kind == TokenKind::kIdent) {
+        std::string upper = ToUpper(Current().text);
+        if (upper != "WHERE" && upper != "GROUP" && upper != "ORDER" &&
+            upper != "LIMIT") {
+          ref.alias = Current().text;
+          Advance();
+        }
+      }
+      if (ref.alias.empty()) ref.alias = ref.table;
+      aliases_.insert(ref.alias);
+      tables_.push_back(std::move(ref));
+      if (!AcceptSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    if (Current().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument(
+          StrFormat("expected alias.column at offset %zu",
+                    Current().position));
+    }
+    ColumnRef ref;
+    ref.alias = Current().text;
+    Advance();
+    if (!AcceptSymbol(".")) {
+      return Status::InvalidArgument(
+          StrFormat("WHERE references must be alias-qualified (offset %zu)",
+                    Current().position));
+    }
+    if (!aliases_.count(ref.alias)) {
+      return Status::InvalidArgument("unknown alias: " + ref.alias);
+    }
+    if (Current().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected column after '.'");
+    }
+    ref.column = Current().text;
+    ref.steps.push_back(PathStep::Field(ref.column));
+    Advance();
+    // Nested path: [index] and .field steps.
+    for (;;) {
+      if (AcceptSymbol("[")) {
+        if (Current().kind != TokenKind::kInt) {
+          return Status::InvalidArgument("expected index in []");
+        }
+        ref.steps.push_back(
+            PathStep::Index(static_cast<size_t>(Current().int_value)));
+        Advance();
+        if (!AcceptSymbol("]")) {
+          return Status::InvalidArgument("expected ]");
+        }
+      } else if (Current().kind == TokenKind::kSymbol &&
+                 Current().text == "." &&
+                 Peek().kind == TokenKind::kIdent) {
+        Advance();
+        ref.steps.push_back(PathStep::Field(Current().text));
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return ref;
+  }
+
+  Result<ExprPtr> ParseLiteral() {
+    const Token& token = Current();
+    switch (token.kind) {
+      case TokenKind::kInt:
+        Advance();
+        return LitInt(token.int_value);
+      case TokenKind::kDouble:
+        Advance();
+        return LitDouble(token.double_value);
+      case TokenKind::kString:
+        Advance();
+        return LitString(token.text);
+      default:
+        return Status::InvalidArgument(
+            StrFormat("expected literal at offset %zu", token.position));
+    }
+  }
+
+  Status ParseWhere() {
+    do {
+      DYNO_RETURN_IF_ERROR(ParseConjunct());
+    } while (AcceptKeyword("AND"));
+    return Status::OK();
+  }
+
+  Status ParseConjunct() {
+    // UDF call: ident '(' ... — an identifier that is not an alias ref.
+    if (Current().kind == TokenKind::kIdent &&
+        Peek().kind == TokenKind::kSymbol && Peek().text == "(") {
+      return ParseUdfCall();
+    }
+    DYNO_ASSIGN_OR_RETURN(ColumnRef left, ParseColumnRef());
+    if (Current().kind != TokenKind::kSymbol) {
+      return Error("expected comparison operator").status();
+    }
+    std::string op_text = Current().text;
+    Expr::CompareOp op;
+    if (op_text == "=") {
+      op = Expr::CompareOp::kEq;
+    } else if (op_text == "<>" || op_text == "!=") {
+      op = Expr::CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = Expr::CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = Expr::CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = Expr::CompareOp::kGt;
+    } else if (op_text == ">=") {
+      op = Expr::CompareOp::kGe;
+    } else {
+      return Error("unknown operator " + op_text).status();
+    }
+    Advance();
+
+    if (Current().kind == TokenKind::kIdent) {
+      // ref op ref.
+      DYNO_ASSIGN_OR_RETURN(ColumnRef right, ParseColumnRef());
+      if (left.alias != right.alias && op == Expr::CompareOp::kEq &&
+          left.IsSimple() && right.IsSimple()) {
+        edges_.push_back(
+            {left.alias, left.column, right.alias, right.column});
+        return Status::OK();
+      }
+      Predicate pred;
+      pred.expr = Compare(op, Path(left.steps), Path(right.steps));
+      std::set<std::string> alias_set = {left.alias, right.alias};
+      pred.aliases.assign(alias_set.begin(), alias_set.end());
+      predicates_.push_back(std::move(pred));
+      return Status::OK();
+    }
+    DYNO_ASSIGN_OR_RETURN(ExprPtr literal, ParseLiteral());
+    Predicate pred;
+    pred.expr = Compare(op, Path(left.steps), std::move(literal));
+    pred.aliases = {left.alias};
+    predicates_.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  Status ParseUdfCall() {
+    std::string name = Current().text;
+    auto it = udfs_.find(ToUpper(name));
+    if (it == udfs_.end()) it = udfs_.find(name);
+    if (it == udfs_.end()) {
+      return Error("unknown UDF: " + name).status();
+    }
+    Advance();  // name
+    Advance();  // '('
+    std::vector<std::string> columns;
+    std::set<std::string> alias_set;
+    for (;;) {
+      DYNO_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      columns.push_back(ref.column);
+      alias_set.insert(ref.alias);
+      if (!AcceptSymbol(",")) break;
+    }
+    if (!AcceptSymbol(")")) return Error("expected )").status();
+    ExprPtr expr = it->second(columns);
+    if (expr == nullptr) {
+      return Error("UDF factory returned null: " + name).status();
+    }
+    Predicate pred;
+    pred.expr = std::move(expr);
+    pred.aliases.assign(alias_set.begin(), alias_set.end());
+    predicates_.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  Status ParseGroupBy() {
+    for (;;) {
+      if (Current().kind != TokenKind::kIdent) {
+        return Error("expected column in GROUP BY").status();
+      }
+      group_keys_.push_back(Current().text);
+      Advance();
+      if (!AcceptSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseOrderBy() {
+    for (;;) {
+      if (Current().kind != TokenKind::kIdent) {
+        return Error("expected column in ORDER BY").status();
+      }
+      std::string column = Current().text;
+      Advance();
+      bool descending = false;
+      if (AcceptKeyword("DESC")) {
+        descending = true;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      order_keys_.emplace_back(std::move(column), descending);
+      if (!AcceptSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Result<Query> Finalize() {
+    if (!aggregates_.empty() && group_keys_.empty()) {
+      return Status::InvalidArgument("aggregates require GROUP BY");
+    }
+    Query query;
+    query.join_block.tables = std::move(tables_);
+    query.join_block.edges = std::move(edges_);
+    query.join_block.predicates = std::move(predicates_);
+    if (!group_keys_.empty()) {
+      // Project the join output down to what grouping consumes.
+      std::set<std::string> needed(group_keys_.begin(), group_keys_.end());
+      for (const Aggregate& aggregate : aggregates_) {
+        if (!aggregate.input_column.empty()) {
+          needed.insert(aggregate.input_column);
+        }
+      }
+      query.join_block.output_columns.assign(needed.begin(), needed.end());
+      GroupBySpec group_by;
+      group_by.keys = group_keys_;
+      group_by.aggregates = aggregates_;
+      query.group_by = std::move(group_by);
+    } else {
+      query.join_block.output_columns = select_columns_;
+    }
+    if (!order_keys_.empty() || limit_ >= 0) {
+      OrderBySpec order_by;
+      order_by.keys = order_keys_;
+      order_by.limit = limit_;
+      query.order_by = std::move(order_by);
+    }
+    DYNO_RETURN_IF_ERROR(ValidateJoinBlock(query.join_block));
+    return query;
+  }
+
+  std::vector<Token> tokens_;
+  const UdfRegistry& udfs_;
+  size_t index_ = 0;
+
+  std::vector<std::string> select_columns_;
+  std::vector<Aggregate> aggregates_;
+  std::vector<TableRef> tables_;
+  std::set<std::string> aliases_;
+  std::vector<JoinEdge> edges_;
+  std::vector<Predicate> predicates_;
+  std::vector<std::string> group_keys_;
+  std::vector<std::pair<std::string, bool>> order_keys_;
+  int64_t limit_ = -1;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& sql, const UdfRegistry& udfs) {
+  DYNO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), udfs);
+  return parser.Parse();
+}
+
+}  // namespace dyno

@@ -1,0 +1,46 @@
+#ifndef DYNO_LANG_PARSER_H_
+#define DYNO_LANG_PARSER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "lang/query.h"
+
+namespace dyno {
+
+/// Builds a UDF expression given the column references its SQL call named
+/// (e.g. `checkid(rv.rv_id, t.t_id)` passes ["rv_id", "t_id"]).
+using UdfFactory = std::function<ExprPtr(const std::vector<std::string>&)>;
+
+/// Name → factory for UDFs callable from SQL (case-insensitive names).
+using UdfRegistry = std::map<std::string, UdfFactory>;
+
+/// Parses a SQL-92-flavoured query into the engine's Query IR:
+///
+///   SELECT <cols | aggregates> FROM t1 a, t2 b, ...
+///   WHERE a.x = b.y AND a.z = 42 AND myudf(a.x) ...
+///   [GROUP BY col, ...] [ORDER BY col [DESC], ...] [LIMIT n]
+///
+/// Conventions (matching the engine's data model):
+///  * WHERE references must be alias-qualified (`a.col`); column names are
+///    globally unique across the query's tables, so SELECT/GROUP BY/ORDER
+///    BY use bare column names.
+///  * `a.col = b.col` between two aliases is an equi-join edge; any other
+///    predicate attaches to the aliases it references (one alias = local,
+///    pushed into the scan; several = applied on the covering join result).
+///  * Nested paths use bracket/dot syntax: `rs.rs_addr[0].zip = 94301`.
+///  * UDF calls (`sentanalysis(rv.rv_id)`) resolve through the registry;
+///    aggregates in SELECT (`COUNT(*) AS n`, `SUM(col) AS s`, MIN/MAX/AVG)
+///    require GROUP BY.
+///
+/// Returns InvalidArgument with a position-annotated message on bad input.
+Result<Query> ParseQuery(const std::string& sql,
+                         const UdfRegistry& udfs = {});
+
+}  // namespace dyno
+
+#endif  // DYNO_LANG_PARSER_H_

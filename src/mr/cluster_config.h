@@ -1,0 +1,61 @@
+#ifndef DYNO_MR_CLUSTER_CONFIG_H_
+#define DYNO_MR_CLUSTER_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+
+namespace dyno {
+
+/// Static description of the simulated Hadoop cluster. The defaults mirror
+/// the paper's testbed (15 nodes, 10 map + 6 reduce slots each => 140/84
+/// after excluding the master, 15-20 s job startup, 10 GbE) scaled to the
+/// simulator's byte units: one simulator byte stands for ~1 KiB of real
+/// data, so the rate constants below give the familiar "HDFS scan ~100 MB/s
+/// per slot, shuffle ~50 MB/s" feel.
+struct ClusterConfig {
+  /// Number of worker nodes; used by the distributed-cache variant of the
+  /// broadcast join, which loads the build side once per node instead of
+  /// once per task.
+  int num_nodes = 15;
+
+  /// Concurrent map / reduce task slots across the cluster.
+  int map_slots = 140;
+  int reduce_slots = 84;
+
+  /// Latency between job submission and first task launch (the paper: "as
+  /// high as 15-20 seconds"); paying it once per leaf relation is what makes
+  /// PILR_ST slow.
+  SimMillis job_startup_ms = 15000;
+
+  /// Phase rates, in bytes per simulated millisecond.
+  double map_read_bytes_per_ms = 100.0;
+  double map_write_bytes_per_ms = 80.0;
+  double shuffle_bytes_per_ms = 50.0;
+  double reduce_read_bytes_per_ms = 100.0;
+  double reduce_write_bytes_per_ms = 80.0;
+
+  /// Rate at which map tasks load broadcast side data. Faster than a cold
+  /// split scan: build files are small, read by every task on a node, and
+  /// sit in the OS page cache after the first wave.
+  double side_load_bytes_per_ms = 200.0;
+
+  /// Scalar-operation throughput (expression cost units per millisecond).
+  double cpu_units_per_ms = 1000.0;
+
+  /// Memory available to one task for broadcast-join build sides. A build
+  /// side whose hash table exceeds this aborts the job with OutOfMemory —
+  /// Jaql's broadcast join does not spill (paper §2.2.1).
+  uint64_t memory_per_task_bytes = 1 << 20;  // 1 MiB at simulator scale
+
+  /// Hash-table expansion over raw build-side bytes.
+  double broadcast_memory_factor = 1.5;
+
+  /// Default split-to-reduce-task ratio when a job does not pin the reducer
+  /// count: one reduce task per this many bytes of map output (Hive-like).
+  uint64_t bytes_per_reduce_task = 64 * 1024;
+};
+
+}  // namespace dyno
+
+#endif  // DYNO_MR_CLUSTER_CONFIG_H_

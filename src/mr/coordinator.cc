@@ -1,0 +1,34 @@
+#include "mr/coordinator.h"
+
+namespace dyno {
+
+int64_t Coordinator::Increment(const std::string& name, int64_t delta) {
+  return counters_[name] += delta;
+}
+
+int64_t Coordinator::GetCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Coordinator::ResetCounter(const std::string& name) {
+  counters_.erase(name);
+}
+
+void Coordinator::Publish(const std::string& channel, std::string payload) {
+  channels_[channel].push_back(std::move(payload));
+}
+
+const std::vector<std::string>& Coordinator::Fetch(
+    const std::string& channel) const {
+  static const std::vector<std::string>* kEmpty =
+      new std::vector<std::string>();
+  auto it = channels_.find(channel);
+  return it == channels_.end() ? *kEmpty : it->second;
+}
+
+void Coordinator::ClearChannel(const std::string& channel) {
+  channels_.erase(channel);
+}
+
+}  // namespace dyno

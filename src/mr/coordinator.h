@@ -1,0 +1,47 @@
+#ifndef DYNO_MR_COORDINATOR_H_
+#define DYNO_MR_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dyno {
+
+/// In-process stand-in for the ZooKeeper ensemble DYNO uses for cross-task
+/// coordination: (1) the global output-record counter that lets PILR_ST
+/// interrupt a sampling job once k records have been produced, and (2) the
+/// registry where finished tasks publish the URLs of their partial
+/// statistics files so the client can combine them without an extra MR job
+/// (paper §4.2, §5.4).
+class Coordinator {
+ public:
+  Coordinator() = default;
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Atomically adds `delta` to the named counter, returning the new value.
+  int64_t Increment(const std::string& name, int64_t delta);
+
+  /// Current value of the named counter (0 if never written).
+  int64_t GetCounter(const std::string& name) const;
+
+  void ResetCounter(const std::string& name);
+
+  /// Appends a payload to a named channel (a task publishing its partial
+  /// statistics file).
+  void Publish(const std::string& channel, std::string payload);
+
+  /// All payloads published to `channel`, in publication order.
+  const std::vector<std::string>& Fetch(const std::string& channel) const;
+
+  void ClearChannel(const std::string& channel);
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, std::vector<std::string>> channels_;
+};
+
+}  // namespace dyno
+
+#endif  // DYNO_MR_COORDINATOR_H_

@@ -1,0 +1,530 @@
+#include "mr/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dyno {
+
+void Counters::MergeFrom(const Counters& other) {
+  map_input_records += other.map_input_records;
+  map_input_bytes += other.map_input_bytes;
+  map_output_records += other.map_output_records;
+  map_output_bytes += other.map_output_bytes;
+  reduce_input_records += other.reduce_input_records;
+  output_records += other.output_records;
+  output_bytes += other.output_bytes;
+}
+
+namespace {
+
+/// A map task to run: which input and which split of it.
+struct MapTaskRef {
+  int input_index;
+  int split_index;
+};
+
+enum class JobPhase { kStartingUp, kMap, kShuffle, kReduce, kDone };
+
+/// Execution state for one concurrently running job.
+struct RunningJob {
+  const JobSpec* spec = nullptr;
+  int job_index = 0;
+  JobPhase phase = JobPhase::kStartingUp;
+  SimMillis ready_time = 0;  ///< submit + startup latency.
+
+  std::deque<MapTaskRef> pending_map;
+  int active_map_tasks = 0;
+  int map_seq = 0;  ///< Tasks launched so far (distributed-cache billing).
+
+  /// Shuffle buffer: all (key, value) emissions with their encoded size.
+  std::vector<std::pair<Value, Value>> emissions;
+  uint64_t emission_bytes = 0;
+
+  /// Reduce-side state.
+  int num_reduce_tasks = 0;
+  std::vector<std::vector<std::pair<Value, Value>>> partitions;
+  std::deque<int> pending_reduce;
+  int active_reduce_tasks = 0;
+
+  std::shared_ptr<DfsFile> output;
+  JobResult result;
+  double observer_cpu_units = 0.0;
+  bool failed = false;
+
+  bool Finished() const { return phase == JobPhase::kDone; }
+};
+
+enum class EventKind { kJobReady, kMapDone, kShuffleDone, kReduceDone };
+
+struct Event {
+  SimMillis time;
+  uint64_t seq;  ///< Tie-breaker for determinism.
+  EventKind kind;
+  int job_index;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// MapContext implementation that buffers into the running job's state.
+class TaskMapContext : public MapContext {
+ public:
+  TaskMapContext(RunningJob* job, Split* task_output, int task_index)
+      : job_(job), task_output_(task_output), task_index_(task_index) {}
+
+  void Emit(Value key, Value value) override {
+    size_t bytes = key.EncodedSize() + value.EncodedSize();
+    job_->emission_bytes += bytes;
+    job_->result.counters.map_output_records += 1;
+    job_->result.counters.map_output_bytes += bytes;
+    emitted_bytes_ += bytes;
+    job_->emissions.emplace_back(std::move(key), std::move(value));
+  }
+
+  void Output(Value record) override {
+    if (job_->spec->output_observer) {
+      job_->spec->output_observer(record);
+      extra_cpu_ += job_->spec->observer_cpu_per_record;
+      job_->observer_cpu_units += job_->spec->observer_cpu_per_record;
+    }
+    record.EncodeTo(&task_output_->data);
+    task_output_->num_records += 1;
+    job_->result.counters.output_records += 1;
+  }
+
+  void ChargeCpu(double units) override { extra_cpu_ += units; }
+
+  int task_index() const override { return task_index_; }
+
+  double extra_cpu() const { return extra_cpu_; }
+  uint64_t emitted_bytes() const { return emitted_bytes_; }
+
+ private:
+  RunningJob* job_;
+  Split* task_output_;
+  int task_index_;
+  double extra_cpu_ = 0.0;
+  uint64_t emitted_bytes_ = 0;
+};
+
+class TaskReduceContext : public ReduceContext {
+ public:
+  TaskReduceContext(RunningJob* job, Split* task_output)
+      : job_(job), task_output_(task_output) {}
+
+  void Output(Value record) override {
+    if (job_->spec->output_observer) {
+      job_->spec->output_observer(record);
+      extra_cpu_ += job_->spec->observer_cpu_per_record;
+      job_->observer_cpu_units += job_->spec->observer_cpu_per_record;
+    }
+    record.EncodeTo(&task_output_->data);
+    task_output_->num_records += 1;
+    job_->result.counters.output_records += 1;
+  }
+
+  void ChargeCpu(double units) override { extra_cpu_ += units; }
+
+  double extra_cpu() const { return extra_cpu_; }
+
+ private:
+  RunningJob* job_;
+  Split* task_output_;
+  double extra_cpu_ = 0.0;
+};
+
+SimMillis CeilDiv(double amount, double rate) {
+  if (amount <= 0.0) return 0;
+  return static_cast<SimMillis>(std::ceil(amount / rate));
+}
+
+}  // namespace
+
+MapReduceEngine::MapReduceEngine(Dfs* dfs, ClusterConfig config)
+    : dfs_(dfs), config_(config) {}
+
+Result<JobResult> MapReduceEngine::Submit(const JobSpec& spec) {
+  DYNO_ASSIGN_OR_RETURN(std::vector<JobResult> results, SubmitAll({spec}));
+  return results[0];
+}
+
+Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
+    const std::vector<JobSpec>& specs) {
+  // --- Validate and initialize job states. ---
+  std::vector<RunningJob> jobs(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const JobSpec& spec = specs[i];
+    if (spec.inputs.empty()) {
+      return Status::InvalidArgument("job has no inputs: " + spec.name);
+    }
+    if (spec.output_path.empty()) {
+      return Status::InvalidArgument("job has no output path: " + spec.name);
+    }
+    RunningJob& job = jobs[i];
+    job.spec = &spec;
+    job.job_index = static_cast<int>(i);
+    job.ready_time =
+        now_ + (spec.reuse_warm_containers ? 0 : config_.job_startup_ms);
+    job.result.submit_time_ms = now_;
+    for (size_t in = 0; in < spec.inputs.size(); ++in) {
+      const MapInput& input = spec.inputs[in];
+      if (input.file == nullptr) {
+        return Status::InvalidArgument("null input file in " + spec.name);
+      }
+      if (input.split_indexes.empty()) {
+        for (size_t s = 0; s < input.file->splits().size(); ++s) {
+          job.pending_map.push_back(
+              {static_cast<int>(in), static_cast<int>(s)});
+        }
+      } else {
+        for (int s : input.split_indexes) {
+          if (s < 0 || static_cast<size_t>(s) >= input.file->splits().size()) {
+            return Status::InvalidArgument(
+                StrFormat("split index %d out of range in %s", s,
+                          spec.name.c_str()));
+          }
+          job.pending_map.push_back({static_cast<int>(in), s});
+        }
+      }
+    }
+    auto output = dfs_->Create(spec.output_path);
+    if (!output.ok()) return output.status();
+    job.output = *output;
+  }
+
+  if (getenv("DYNO_DEBUG_JOBS") != nullptr) {
+    for (const RunningJob& job : jobs) {
+      uint64_t in_bytes = 0;
+      for (const MapInput& input : job.spec->inputs) {
+        in_bytes += input.file->num_bytes();
+      }
+      std::fprintf(stderr,
+                   "[job] %s inputs=%zu in_bytes=%llu side_mem=%llu %s\n",
+                   job.spec->name.c_str(), job.spec->inputs.size(),
+                   (unsigned long long)in_bytes,
+                   (unsigned long long)job.spec->side_memory_bytes,
+                   job.spec->reduce_fn ? "map-reduce" : "map-only");
+    }
+  }
+
+  // --- Discrete-event simulation. ---
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  uint64_t seq = 0;
+  for (RunningJob& job : jobs) {
+    events.push({job.ready_time, seq++, EventKind::kJobReady, job.job_index});
+  }
+
+  int free_map_slots = config_.map_slots;
+  int free_reduce_slots = config_.reduce_slots;
+  int unfinished = static_cast<int>(jobs.size());
+
+  auto fail_job = [&](RunningJob* job, Status status) {
+    job->failed = true;
+    job->result.status = std::move(status);
+    job->pending_map.clear();
+    job->pending_reduce.clear();
+    if (job->active_map_tasks == 0 && job->active_reduce_tasks == 0) {
+      job->phase = JobPhase::kDone;
+      job->result.finish_time_ms = now_;
+      dfs_->Delete(job->spec->output_path).ok();
+      job->output = nullptr;
+      --unfinished;
+    }
+    // Otherwise the job is torn down when its last active task drains.
+  };
+
+  auto finish_job = [&](RunningJob* job) {
+    job->phase = JobPhase::kDone;
+    job->result.finish_time_ms = now_;
+    job->result.observer_overhead_ms = static_cast<SimMillis>(
+        std::ceil(job->observer_cpu_units / config_.cpu_units_per_ms));
+    --unfinished;
+  };
+
+  // Charges for loading broadcast side data, honoring the distributed-cache
+  // mode (first `num_nodes` tasks pay; later waves find it cached locally).
+  auto side_load_ms = [&](RunningJob* job) -> SimMillis {
+    uint64_t bytes = job->spec->side_load_bytes;
+    if (bytes == 0) return 0;
+    if (job->spec->side_data_via_distributed_cache &&
+        job->map_seq >= config_.num_nodes) {
+      return 0;
+    }
+    return CeilDiv(static_cast<double>(bytes),
+                   config_.side_load_bytes_per_ms);
+  };
+
+  // Runs one map task's data flow; returns its simulated duration.
+  auto run_map_task = [&](RunningJob* job, MapTaskRef task,
+                          SimMillis* duration) -> Status {
+    const MapInput& input = job->spec->inputs[task.input_index];
+    const Split& split = input.file->splits()[task.split_index];
+    SimMillis setup = side_load_ms(job);
+    ++job->map_seq;
+
+    Split task_output;
+    TaskMapContext ctx(job, &task_output, job->map_seq - 1);
+    double cpu_units = 0.0;
+    SplitReader reader(&split);
+    while (!reader.AtEnd()) {
+      DYNO_ASSIGN_OR_RETURN(Value record, reader.Next());
+      job->result.counters.map_input_records += 1;
+      cpu_units += 1.0 + input.cpu_per_record;
+      DYNO_RETURN_IF_ERROR(input.map_fn(record, &ctx));
+    }
+    job->result.counters.map_input_bytes += split.num_bytes();
+    if (input.flush_fn) {
+      DYNO_RETURN_IF_ERROR(input.flush_fn(&ctx));
+    }
+    cpu_units += ctx.extra_cpu();
+
+    uint64_t written_bytes =
+        job->spec->reduce_fn ? ctx.emitted_bytes() : task_output.num_bytes();
+    *duration =
+        setup +
+        CeilDiv(static_cast<double>(split.num_bytes()),
+                config_.map_read_bytes_per_ms) +
+        CeilDiv(cpu_units, config_.cpu_units_per_ms) +
+        CeilDiv(static_cast<double>(written_bytes),
+                config_.map_write_bytes_per_ms);
+    if (!job->spec->reduce_fn && task_output.num_records > 0) {
+      job->result.counters.output_bytes += task_output.num_bytes();
+      job->output->AppendSplit(std::move(task_output));
+    }
+    ++job->result.map_tasks_run;
+    return Status::OK();
+  };
+
+  // Runs one reduce task's data flow; returns its simulated duration.
+  auto run_reduce_task = [&](RunningJob* job, int partition,
+                             SimMillis* duration) -> Status {
+    auto& bucket = job->partitions[partition];
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first.Compare(b.first) < 0;
+                     });
+    uint64_t in_bytes = 0;
+    for (const auto& [key, value] : bucket) {
+      in_bytes += key.EncodedSize() + value.EncodedSize();
+    }
+    job->result.counters.reduce_input_records += bucket.size();
+
+    Split task_output;
+    TaskReduceContext ctx(job, &task_output);
+    double cpu_units = static_cast<double>(bucket.size());
+    size_t i = 0;
+    while (i < bucket.size()) {
+      size_t j = i + 1;
+      while (j < bucket.size() &&
+             bucket[j].first.Compare(bucket[i].first) == 0) {
+        ++j;
+      }
+      std::vector<Value> values;
+      values.reserve(j - i);
+      for (size_t k = i; k < j; ++k) values.push_back(bucket[k].second);
+      DYNO_RETURN_IF_ERROR(
+          job->spec->reduce_fn(bucket[i].first, values, &ctx));
+      i = j;
+    }
+    cpu_units += ctx.extra_cpu();
+
+    // n log n sort charge for the merge-sort of this partition.
+    if (!bucket.empty()) {
+      cpu_units += static_cast<double>(bucket.size()) *
+                   std::log2(static_cast<double>(bucket.size()) + 1.0);
+    }
+
+    *duration = CeilDiv(static_cast<double>(in_bytes),
+                        config_.reduce_read_bytes_per_ms) +
+                CeilDiv(cpu_units, config_.cpu_units_per_ms) +
+                CeilDiv(static_cast<double>(task_output.num_bytes()),
+                        config_.reduce_write_bytes_per_ms);
+    if (task_output.num_records > 0) {
+      job->result.counters.output_bytes += task_output.num_bytes();
+      job->output->AppendSplit(std::move(task_output));
+    }
+    bucket.clear();
+    bucket.shrink_to_fit();
+    ++job->result.reduce_tasks_run;
+    return Status::OK();
+  };
+
+  // Transition after the map phase drains.
+  auto on_map_phase_complete = [&](RunningJob* job) {
+    if (!job->spec->reduce_fn) {
+      finish_job(job);
+      return;
+    }
+    job->phase = JobPhase::kShuffle;
+    int reducers = job->spec->num_reduce_tasks;
+    if (reducers <= 0) {
+      reducers = static_cast<int>(
+          job->emission_bytes / config_.bytes_per_reduce_task + 1);
+      reducers = std::clamp(reducers, 1, config_.reduce_slots);
+    }
+    job->num_reduce_tasks = reducers;
+    job->partitions.assign(reducers, {});
+    for (auto& [key, value] : job->emissions) {
+      size_t p = key.Hash() % static_cast<size_t>(reducers);
+      job->partitions[p].emplace_back(std::move(key), std::move(value));
+    }
+    job->emissions.clear();
+    job->emissions.shrink_to_fit();
+    // Shuffle is billed at the cluster's aggregate cross-network rate: the
+    // all-to-all transfer is bisection-bandwidth bound, not per-reducer
+    // parallel, which is what makes repartitioning a large relation so much
+    // more expensive than broadcasting a small one (paper §2.2.1).
+    SimMillis shuffle_ms = CeilDiv(static_cast<double>(job->emission_bytes),
+                                   config_.shuffle_bytes_per_ms);
+    events.push({now_ + shuffle_ms, seq++, EventKind::kShuffleDone,
+                 job->job_index});
+  };
+
+  // Assigns free slots to pending tasks, FIFO across jobs.
+  auto schedule = [&]() {
+    for (RunningJob& job : jobs) {
+      if (job.phase == JobPhase::kMap && now_ >= job.ready_time) {
+        while (free_map_slots > 0 && !job.pending_map.empty()) {
+          if (job.spec->stop_condition && job.spec->stop_condition()) {
+            job.result.map_tasks_skipped +=
+                static_cast<int>(job.pending_map.size());
+            job.pending_map.clear();
+            break;
+          }
+          MapTaskRef task = job.pending_map.front();
+          job.pending_map.pop_front();
+          SimMillis duration = 0;
+          Status st = run_map_task(&job, task, &duration);
+          if (!st.ok()) {
+            fail_job(&job, std::move(st));
+            break;
+          }
+          --free_map_slots;
+          ++job.active_map_tasks;
+          events.push(
+              {now_ + duration, seq++, EventKind::kMapDone, job.job_index});
+        }
+        if (!job.failed && job.pending_map.empty() &&
+            job.active_map_tasks == 0 && job.phase == JobPhase::kMap) {
+          on_map_phase_complete(&job);
+        }
+      }
+      if (job.phase == JobPhase::kReduce) {
+        while (free_reduce_slots > 0 && !job.pending_reduce.empty()) {
+          int partition = job.pending_reduce.front();
+          job.pending_reduce.pop_front();
+          SimMillis duration = 0;
+          Status st = run_reduce_task(&job, partition, &duration);
+          if (!st.ok()) {
+            fail_job(&job, std::move(st));
+            break;
+          }
+          --free_reduce_slots;
+          ++job.active_reduce_tasks;
+          events.push({now_ + duration, seq++, EventKind::kReduceDone,
+                       job.job_index});
+        }
+      }
+    }
+  };
+
+  while (unfinished > 0) {
+    schedule();
+    if (events.empty()) {
+      if (unfinished > 0) {
+        return Status::Internal("scheduler deadlock: jobs pending, no events");
+      }
+      break;
+    }
+    Event ev = events.top();
+    events.pop();
+    now_ = std::max(now_, ev.time);
+    RunningJob& job = jobs[ev.job_index];
+    switch (ev.kind) {
+      case EventKind::kJobReady:
+        if (!job.failed && job.phase == JobPhase::kStartingUp) {
+          // Check the broadcast memory budget at task-launch time: the build
+          // side is loaded by the first task wave, which is when Jaql's
+          // broadcast join discovers it does not fit and dies.
+          double need = static_cast<double>(job.spec->side_memory_bytes) *
+                        config_.broadcast_memory_factor;
+          if (need > static_cast<double>(config_.memory_per_task_bytes)) {
+            fail_job(&job,
+                     Status::OutOfMemory(StrFormat(
+                         "broadcast build side of %s needs %.0f bytes "
+                         "(task memory %llu)",
+                         job.spec->name.c_str(), need,
+                         static_cast<unsigned long long>(
+                             config_.memory_per_task_bytes))));
+          } else {
+            job.phase = JobPhase::kMap;
+          }
+        }
+        break;
+      case EventKind::kMapDone:
+        ++free_map_slots;
+        --job.active_map_tasks;
+        if (job.failed) {
+          if (job.active_map_tasks == 0 && job.active_reduce_tasks == 0 &&
+              job.phase != JobPhase::kDone) {
+            job.phase = JobPhase::kDone;
+            job.result.finish_time_ms = now_;
+            dfs_->Delete(job.spec->output_path).ok();
+            job.output = nullptr;
+            --unfinished;
+          }
+        } else if (job.pending_map.empty() && job.active_map_tasks == 0 &&
+                   job.phase == JobPhase::kMap) {
+          on_map_phase_complete(&job);
+        }
+        break;
+      case EventKind::kShuffleDone:
+        if (!job.failed) {
+          job.phase = JobPhase::kReduce;
+          for (int r = 0; r < job.num_reduce_tasks; ++r) {
+            job.pending_reduce.push_back(r);
+          }
+        }
+        break;
+      case EventKind::kReduceDone:
+        ++free_reduce_slots;
+        --job.active_reduce_tasks;
+        if (job.failed) {
+          if (job.active_map_tasks == 0 && job.active_reduce_tasks == 0 &&
+              job.phase != JobPhase::kDone) {
+            job.phase = JobPhase::kDone;
+            job.result.finish_time_ms = now_;
+            dfs_->Delete(job.spec->output_path).ok();
+            job.output = nullptr;
+            --unfinished;
+          }
+        } else if (job.pending_reduce.empty() &&
+                   job.active_reduce_tasks == 0 &&
+                   job.phase == JobPhase::kReduce) {
+          finish_job(&job);
+        }
+        break;
+    }
+  }
+
+  std::vector<JobResult> results;
+  results.reserve(jobs.size());
+  for (RunningJob& job : jobs) {
+    job.result.output = job.output;
+    results.push_back(std::move(job.result));
+  }
+  return results;
+}
+
+}  // namespace dyno

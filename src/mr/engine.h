@@ -1,0 +1,62 @@
+#ifndef DYNO_MR_ENGINE_H_
+#define DYNO_MR_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "mr/cluster_config.h"
+#include "mr/coordinator.h"
+#include "mr/job.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+
+/// The MapReduce cluster simulator. Jobs execute their *real* data flow
+/// (map functions run over decoded rows, emissions are partitioned, sorted
+/// and reduced, outputs are materialized to the DFS) while a discrete-event
+/// scheduler charges simulated time: map/reduce slots are shared FIFO
+/// across concurrently submitted jobs, every job pays a startup latency,
+/// and each phase is billed by the byte/CPU rates in ClusterConfig.
+///
+/// The cluster clock persists across submissions, so end-to-end query time
+/// is simply the clock delta around a sequence of Submit/SubmitAll calls.
+class MapReduceEngine {
+ public:
+  MapReduceEngine(Dfs* dfs, ClusterConfig config);
+
+  /// Runs one job to completion. The returned JobResult carries a non-OK
+  /// status if the job failed (e.g. a broadcast build side exceeded task
+  /// memory); a Status return means the spec itself was invalid.
+  Result<JobResult> Submit(const JobSpec& spec);
+
+  /// Runs several jobs concurrently, sharing cluster slots (the paper's
+  /// PILR_MT and the MO/two-at-a-time execution strategies). Results are in
+  /// spec order.
+  Result<std::vector<JobResult>> SubmitAll(const std::vector<JobSpec>& specs);
+
+  /// Current simulated cluster time.
+  SimMillis now() const { return now_; }
+
+  /// Advances the clock by `ms` (models client-side work between jobs, e.g.
+  /// optimizer calls).
+  void AdvanceClock(SimMillis ms) { now_ += ms; }
+
+  Dfs* dfs() const { return dfs_; }
+  Coordinator* coordinator() { return &coordinator_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Replaces the cluster configuration (used by benches that sweep rates).
+  void set_config(const ClusterConfig& config) { config_ = config; }
+
+ private:
+  Dfs* dfs_;
+  ClusterConfig config_;
+  Coordinator coordinator_;
+  SimMillis now_ = 0;
+};
+
+}  // namespace dyno
+
+#endif  // DYNO_MR_ENGINE_H_

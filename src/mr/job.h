@@ -1,0 +1,148 @@
+#ifndef DYNO_MR_JOB_H_
+#define DYNO_MR_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "json/value.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+
+/// Hadoop-style job counters, accumulated while a job runs. Pilot runs use
+/// them to derive table statistics (record counts and byte sizes, §4.3).
+struct Counters {
+  uint64_t map_input_records = 0;
+  uint64_t map_input_bytes = 0;
+  uint64_t map_output_records = 0;   ///< Emitted to shuffle.
+  uint64_t map_output_bytes = 0;
+  uint64_t reduce_input_records = 0;
+  uint64_t output_records = 0;       ///< Written to the job output file.
+  uint64_t output_bytes = 0;
+
+  void MergeFrom(const Counters& other);
+};
+
+/// Passed to map functions; the sink for their emissions.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+
+  /// Sends (key, value) to the shuffle (map-reduce jobs only).
+  virtual void Emit(Value key, Value value) = 0;
+
+  /// Writes a record directly to the job output (map-only jobs).
+  virtual void Output(Value record) = 0;
+
+  /// Charges additional per-record CPU (e.g. an expensive UDF that only
+  /// fires on some rows).
+  virtual void ChargeCpu(double units) = 0;
+
+  /// Index of the map task executing this record's split.
+  virtual int task_index() const = 0;
+};
+
+/// Passed to reduce functions.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  virtual void Output(Value record) = 0;
+  virtual void ChargeCpu(double units) = 0;
+};
+
+/// Map function: one input record in, zero or more emissions out.
+using MapFn = std::function<Status(const Value& record, MapContext* ctx)>;
+
+/// Reduce function: a key and all its values (sorted input order).
+using ReduceFn = std::function<Status(const Value& key,
+                                      const std::vector<Value>& values,
+                                      ReduceContext* ctx)>;
+
+/// Called once at the end of each map task — the hook map-side combiners
+/// use to flush their per-task partial aggregates.
+using MapFlushFn = std::function<Status(MapContext* ctx)>;
+
+/// One map input: a DFS file, the subset of its splits to scan (empty means
+/// all), and the map function to run over its records. Jobs with several
+/// inputs (the repartition join) give each input its own map function.
+struct MapInput {
+  std::shared_ptr<DfsFile> file;
+  std::vector<int> split_indexes;  ///< Empty = every split.
+  MapFn map_fn;
+  /// Declared per-record expression cost, charged to the task clock.
+  double cpu_per_record = 1.0;
+  /// Optional end-of-task hook (combiner flush). May Emit/Output.
+  MapFlushFn flush_fn;
+};
+
+/// Full specification of one MapReduce job.
+struct JobSpec {
+  std::string name;
+  std::vector<MapInput> inputs;
+
+  /// Absent for map-only jobs.
+  ReduceFn reduce_fn;
+  /// 0 = derive from map output volume (Hive-like default).
+  int num_reduce_tasks = 0;
+
+  /// DFS path for the output file. Must not exist yet.
+  std::string output_path;
+
+  /// Bytes each map task reads to load its broadcast side data (hash-join
+  /// build side) before scanning — the *full* build file, since local
+  /// predicates are applied while building the hash table.
+  uint64_t side_load_bytes = 0;
+
+  /// Bytes of side data actually retained in memory (post-filter hash
+  /// table). Checked against the task memory budget: exceeding it fails the
+  /// job with OutOfMemory, as in Jaql.
+  uint64_t side_memory_bytes = 0;
+
+  /// Hive-mode broadcast: load side data once per node (DistributedCache)
+  /// instead of once per task.
+  bool side_data_via_distributed_cache = false;
+
+  /// Skip the job startup latency: the job reuses already-running task
+  /// containers. Models the situation-aware mappers of [38] that pilot
+  /// runs use to add sample splits on demand without relaunching (§4.2).
+  bool reuse_warm_containers = false;
+
+  /// Checked before each new map task starts; true stops scheduling further
+  /// tasks (running tasks complete their whole split — this is how pilot
+  /// runs avoid the inspection paradox, §4.2). Optional.
+  std::function<bool()> stop_condition;
+
+  /// Observes every record written to the job output — the online
+  /// statistics collection hook (§5.4). Optional.
+  std::function<void(const Value& record)> output_observer;
+  /// Per-record cost charged for the observer; reported separately so the
+  /// overhead experiment (Fig. 4) can isolate statistics-collection cost.
+  double observer_cpu_per_record = 0.0;
+};
+
+/// Everything known about a finished (or failed) job.
+struct JobResult {
+  Status status;
+  std::shared_ptr<DfsFile> output;  ///< Null if the job failed.
+  SimMillis submit_time_ms = 0;
+  SimMillis finish_time_ms = 0;
+  Counters counters;
+  int map_tasks_run = 0;
+  int map_tasks_skipped = 0;  ///< Cancelled by the stop condition.
+  int reduce_tasks_run = 0;
+  /// Simulated time attributable to the output observer (stats collection).
+  SimMillis observer_overhead_ms = 0;
+
+  SimMillis Elapsed() const { return finish_time_ms - submit_time_ms; }
+};
+
+}  // namespace dyno
+
+#endif  // DYNO_MR_JOB_H_

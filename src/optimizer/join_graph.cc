@@ -1,0 +1,57 @@
+#include "optimizer/join_graph.h"
+
+#include <set>
+
+namespace dyno {
+
+int OptJoinGraph::IndexOf(const std::string& id) const {
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (relations[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status ValidateJoinGraph(const OptJoinGraph& graph) {
+  if (graph.relations.empty()) {
+    return Status::InvalidArgument("join graph has no relations");
+  }
+  if (graph.relations.size() > 20) {
+    return Status::InvalidArgument("join graph too large (max 20 relations)");
+  }
+  std::set<std::string> ids;
+  for (const OptRelation& rel : graph.relations) {
+    if (!ids.insert(rel.id).second) {
+      return Status::InvalidArgument("duplicate relation id: " + rel.id);
+    }
+  }
+  for (const OptEdge& edge : graph.edges) {
+    if (!ids.count(edge.left_id)) {
+      return Status::InvalidArgument("unknown relation in edge: " +
+                                     edge.left_id);
+    }
+    if (!ids.count(edge.right_id)) {
+      return Status::InvalidArgument("unknown relation in edge: " +
+                                     edge.right_id);
+    }
+    if (edge.left_id == edge.right_id) {
+      return Status::InvalidArgument("self edge on " + edge.left_id);
+    }
+  }
+  for (const OptNonLocalPred& pred : graph.non_local_preds) {
+    if (pred.expr == nullptr) {
+      return Status::InvalidArgument("null non-local predicate");
+    }
+    if (pred.relation_ids.size() < 2) {
+      return Status::InvalidArgument(
+          "non-local predicate covers fewer than 2 relations");
+    }
+    for (const std::string& id : pred.relation_ids) {
+      if (!ids.count(id)) {
+        return Status::InvalidArgument("unknown relation in predicate: " + id);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dyno

@@ -1,0 +1,57 @@
+#ifndef DYNO_OPTIMIZER_JOIN_GRAPH_H_
+#define DYNO_OPTIMIZER_JOIN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "stats/table_stats.h"
+
+namespace dyno {
+
+/// One relation presented to the join enumerator. The optimizer never sees
+/// local predicates: each relation arrives with statistics that already
+/// reflect them, "as if they are base tables" (paper contribution #2) —
+/// measured either by pilot runs or by a previous execution step.
+struct OptRelation {
+  std::string id;  ///< Alias of a leaf expression or a virtual relation.
+  TableStats stats;
+};
+
+/// An equi-join edge between two relations.
+struct OptEdge {
+  std::string left_id;
+  std::string left_column;
+  std::string right_id;
+  std::string right_column;
+};
+
+/// A predicate (typically a UDF) that applies to the join result of several
+/// relations and thus cannot be pushed into any leaf (Q8's UDF(o, c)). Its
+/// selectivity is unknown to the optimizer; `assumed_selectivity` is the
+/// planning default (1.0 = conservative no-op, DBMS-X style).
+struct OptNonLocalPred {
+  ExprPtr expr;
+  std::vector<std::string> relation_ids;
+  double assumed_selectivity = 1.0;
+};
+
+/// The join-enumeration problem: relations (with statistics), edges, and
+/// non-local predicates.
+struct OptJoinGraph {
+  std::vector<OptRelation> relations;
+  std::vector<OptEdge> edges;
+  std::vector<OptNonLocalPred> non_local_preds;
+
+  /// Index of relation `id`, or -1.
+  int IndexOf(const std::string& id) const;
+};
+
+/// Validates ids and sizes (at most 20 relations — the memo is bitmask
+/// based).
+Status ValidateJoinGraph(const OptJoinGraph& graph);
+
+}  // namespace dyno
+
+#endif  // DYNO_OPTIMIZER_JOIN_GRAPH_H_

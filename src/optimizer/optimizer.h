@@ -1,0 +1,68 @@
+#ifndef DYNO_OPTIMIZER_OPTIMIZER_H_
+#define DYNO_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "lang/plan.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/join_graph.h"
+
+namespace dyno {
+
+/// Instrumentation from one optimizer call, also driving the simulated
+/// optimizer latency (the paper's Columbia runs on the client; its 8-way
+/// initial call dominates total re-optimization time, Fig. 4).
+struct OptimizerReport {
+  int groups_explored = 0;        ///< Memo groups (connected subsets).
+  int expressions_costed = 0;     ///< (split, method) alternatives costed.
+  double best_cost = 0.0;
+  SimMillis simulated_ms = 0;     ///< Modeled client-side latency.
+};
+
+/// Result of join enumeration: the minimum-cost physical join tree, with
+/// per-node cardinality/size/cost estimates and broadcast chains marked.
+struct OptimizeResult {
+  std::unique_ptr<PlanNode> plan;
+  OptimizerReport report;
+};
+
+/// Cost-based join enumerator in the spirit of Columbia/Cascades restricted
+/// to join reordering (paper §5.2): logical operators are Scan and Join
+/// only; physical operators are the repartition and broadcast joins;
+/// transformation rules generate the bushy join space (commutativity +
+/// associativity), realized here as a memoized top-down search over
+/// connected relation subsets with branch-and-bound pruning. Join result
+/// cardinalities use the textbook formula |R||S| / max(ndv(a), ndv(b)),
+/// computed over the *accurate* input statistics supplied by pilot runs or
+/// prior steps. Cartesian products are never enumerated.
+class JoinOptimizer {
+ public:
+  explicit JoinOptimizer(CostModelParams params) : params_(params) {}
+
+  /// Returns the minimum-cost plan for `graph`. Fails on disconnected join
+  /// graphs (cartesian products) or invalid input.
+  Result<OptimizeResult> Optimize(const OptJoinGraph& graph) const;
+
+  const CostModelParams& params() const { return params_; }
+
+ private:
+  CostModelParams params_;
+};
+
+/// Bottom-up pass that marks maximal runs of consecutive broadcast joins
+/// whose build sides *simultaneously* fit in memory as chains executing in
+/// one map-only job, then recomputes cumulative node costs with the chain
+/// formula (paper §5.2's chaining rule). Exposed separately for tests and
+/// ablations; Optimize() applies it when enable_broadcast_chains is set.
+void ApplyBroadcastChaining(PlanNode* root, const CostModelParams& params);
+
+/// Recomputes every node's cumulative est_cost (respecting chain flags).
+/// `chained_by_parent` must be false for the root.
+double RecostPlan(PlanNode* node, const CostModelParams& params,
+                  bool chained_by_parent);
+
+}  // namespace dyno
+
+#endif  // DYNO_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,349 @@
+#include "pilot/pilot_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace dyno {
+
+const PilotLeafResult* PilotRunReport::Find(const std::string& alias) const {
+  for (const PilotLeafResult& leaf : leaves) {
+    if (leaf.alias == alias) return &leaf;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Evaluates a boolean filter; non-bool/null results count as false.
+Result<bool> EvalFilter(const ExprPtr& filter, const Value& row) {
+  if (filter == nullptr) return true;
+  DYNO_ASSIGN_OR_RETURN(Value v, filter->Eval(row));
+  return v.type() == Value::Type::kBool && v.bool_value();
+}
+
+/// A pilot job plus the per-task statistics its map tasks accumulate.
+struct PilotJob {
+  JobSpec spec;
+  /// task index -> collector; tasks publish these after the job.
+  std::shared_ptr<std::map<int, StatsCollector>> per_task;
+};
+
+/// Builds the map-only pilot job for one leaf: scan + local predicates,
+/// per-task statistics collection, and global output counting through the
+/// Coordinator (the ZooKeeper counter of §4.2).
+PilotJob MakePilotJob(const LeafExpr& leaf, std::shared_ptr<DfsFile> file,
+                      std::vector<int> split_indexes, int kmv_k,
+                      Coordinator* coordinator,
+                      const std::string& counter_key, int k_target,
+                      const std::string& output_path) {
+  PilotJob job;
+  job.spec.name = "pilr:" + leaf.alias;
+  job.spec.output_path = output_path;
+  job.per_task = std::make_shared<std::map<int, StatsCollector>>();
+
+  std::vector<std::string> columns = leaf.join_columns;
+  ExprPtr filter = leaf.filter;
+  double observe_cpu = 2.0 + 3.0 * static_cast<double>(columns.size());
+
+  MapInput input;
+  input.file = std::move(file);
+  input.split_indexes = std::move(split_indexes);
+  input.cpu_per_record = 1.0 + (filter ? filter->CpuCost() : 0.0);
+  auto per_task = job.per_task;
+  input.map_fn = [filter, per_task, columns, kmv_k, coordinator, counter_key,
+                  observe_cpu](const Value& record, MapContext* ctx) -> Status {
+    DYNO_ASSIGN_OR_RETURN(bool keep, EvalFilter(filter, record));
+    if (!keep) return Status::OK();
+    auto [it, inserted] =
+        per_task->try_emplace(ctx->task_index(), columns, kmv_k);
+    it->second.Observe(record);
+    ctx->ChargeCpu(observe_cpu);
+    coordinator->Increment(counter_key, 1);
+    ctx->Output(record);
+    return Status::OK();
+  };
+  job.spec.inputs = {std::move(input)};
+
+  // Interrupt the job once k records exist cluster-wide; already-running
+  // tasks finish their whole split, avoiding the inspection-paradox bias
+  // described in the paper (tasks with small outputs finish faster and
+  // would otherwise skew the sample).
+  job.spec.stop_condition = [coordinator, counter_key, k_target]() {
+    return coordinator->GetCounter(counter_key) >= k_target;
+  };
+  return job;
+}
+
+/// After a pilot job finishes, each task publishes its partial statistics
+/// file to the Coordinator channel; the client fetches and merges them —
+/// no extra MR job, exactly the §4.3 flow.
+Result<StatsCollector> PublishAndMerge(Coordinator* coordinator,
+                                       const std::string& channel,
+                                       const PilotJob& job,
+                                       const std::vector<std::string>& columns,
+                                       int kmv_k) {
+  for (const auto& [task_index, collector] : *job.per_task) {
+    coordinator->Publish(channel, collector.Serialize());
+  }
+  StatsCollector merged(columns, kmv_k);
+  for (const std::string& payload : coordinator->Fetch(channel)) {
+    DYNO_ASSIGN_OR_RETURN(StatsCollector partial,
+                          StatsCollector::Deserialize(payload));
+    merged.MergeFrom(partial);
+  }
+  coordinator->ClearChannel(channel);
+  return merged;
+}
+
+}  // namespace
+
+/// Per-leaf bookkeeping shared by both modes.
+struct PilotRunner::LeafJobState {
+  const LeafExpr* leaf = nullptr;
+  std::string signature;
+  std::shared_ptr<DfsFile> table_file;
+  /// Random permutation of the relation's split indexes; `next_split` marks
+  /// how many have been consumed by batches so far.
+  std::vector<int> split_order;
+  size_t next_split = 0;
+  /// Accumulated over batches.
+  StatsCollector accumulated{{}, KmvSynopsis::kDefaultK};
+  uint64_t scanned_bytes = 0;
+  uint64_t output_records = 0;
+  std::vector<std::shared_ptr<DfsFile>> batch_outputs;
+  bool done = false;
+  std::string counter_key;
+};
+
+namespace {
+// Process-wide counter so concurrent PilotRunner instances never collide on
+// DFS output paths or Coordinator keys.
+std::atomic<int> g_pilot_run_counter{0};
+}  // namespace
+
+PilotRunner::PilotRunner(MapReduceEngine* engine, Catalog* catalog,
+                         StatsStore* store, PilotRunOptions options)
+    : engine_(engine), catalog_(catalog), store_(store), options_(options) {}
+
+Result<PilotRunReport> PilotRunner::Run(const std::vector<LeafExpr>& leaves) {
+  return options_.mode == PilotRunOptions::Mode::kSerial
+             ? RunSerial(leaves)
+             : RunParallel(leaves);
+}
+
+Result<PilotRunReport> PilotRunner::RunSerial(
+    const std::vector<LeafExpr>& leaves) {
+  PilotRunReport report;
+  SimMillis start = engine_->now();
+  run_counter_ = ++g_pilot_run_counter;
+  for (const LeafExpr& leaf : leaves) {
+    std::string signature = LeafSignature(leaf);
+    if (options_.reuse_stats) {
+      auto cached = store_->Get(signature);
+      if (cached.has_value()) {
+        PilotLeafResult result;
+        result.alias = leaf.alias;
+        result.signature = signature;
+        result.stats = *cached;
+        result.reused_cached_stats = true;
+        report.leaves.push_back(std::move(result));
+        ++report.runs_skipped_cached;
+        continue;
+      }
+    }
+    DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file,
+                          catalog_->OpenTable(leaf.table));
+    std::string counter_key =
+        StrFormat("pilr:%d:%s", run_counter_, leaf.alias.c_str());
+    engine_->coordinator()->ResetCounter(counter_key);
+    std::string output_path = StrFormat("/tmp/pilr/st_%d_%s", run_counter_,
+                                        leaf.alias.c_str());
+    // PILR_ST runs the leaf job alone over all splits (in order); the
+    // global counter interrupts it once k records exist.
+    PilotJob pilot =
+        MakePilotJob(leaf, file, /*split_indexes=*/{}, options_.kmv_k,
+                     engine_->coordinator(), counter_key, options_.k,
+                     output_path);
+    DYNO_ASSIGN_OR_RETURN(JobResult job, engine_->Submit(pilot.spec));
+    if (!job.status.ok()) return job.status;
+    DYNO_ASSIGN_OR_RETURN(
+        StatsCollector merged,
+        PublishAndMerge(engine_->coordinator(), counter_key + ":stats",
+                        pilot, leaf.join_columns, options_.kmv_k));
+
+    PilotLeafResult result;
+    result.alias = leaf.alias;
+    result.signature = signature;
+    double fraction =
+        file->num_bytes() == 0
+            ? 1.0
+            : static_cast<double>(job.counters.map_input_bytes) /
+                  static_cast<double>(file->num_bytes());
+    fraction = std::clamp(fraction, 1e-9, 1.0);
+    bool scanned_everything = job.map_tasks_skipped == 0;
+    result.stats = merged.Finalize(scanned_everything ? 1.0 : fraction);
+    if (scanned_everything) result.full_output = job.output;
+    store_->Put(signature, result.stats);
+    report.leaves.push_back(std::move(result));
+    ++report.runs_executed;
+  }
+  report.elapsed_ms = engine_->now() - start;
+  return report;
+}
+
+Result<PilotRunReport> PilotRunner::RunParallel(
+    const std::vector<LeafExpr>& leaves) {
+  PilotRunReport report;
+  SimMillis start = engine_->now();
+  run_counter_ = ++g_pilot_run_counter;
+  Rng rng(options_.seed + static_cast<uint64_t>(run_counter_));
+
+  std::vector<LeafJobState> states;
+  for (const LeafExpr& leaf : leaves) {
+    std::string signature = LeafSignature(leaf);
+    if (options_.reuse_stats) {
+      auto cached = store_->Get(signature);
+      if (cached.has_value()) {
+        PilotLeafResult result;
+        result.alias = leaf.alias;
+        result.signature = signature;
+        result.stats = *cached;
+        result.reused_cached_stats = true;
+        report.leaves.push_back(std::move(result));
+        ++report.runs_skipped_cached;
+        continue;
+      }
+    }
+    LeafJobState state;
+    state.leaf = &leaf;
+    state.signature = signature;
+    DYNO_ASSIGN_OR_RETURN(state.table_file, catalog_->OpenTable(leaf.table));
+    size_t num_splits = state.table_file->splits().size();
+    std::vector<uint64_t> order =
+        rng.SampleWithoutReplacement(num_splits, num_splits);
+    state.split_order.assign(order.begin(), order.end());
+    state.accumulated = StatsCollector(leaf.join_columns, options_.kmv_k);
+    state.counter_key =
+        StrFormat("pilr:%d:%s", run_counter_, leaf.alias.c_str());
+    engine_->coordinator()->ResetCounter(state.counter_key);
+    states.push_back(std::move(state));
+  }
+
+  // Each relation initially gets m/|R| random splits, all leaf jobs are
+  // submitted together (paying the job startup latency once, not |R|
+  // times), and rounds repeat — adding splits on demand, cf. [38] — until
+  // every leaf reached k records or ran out of data. A leaf still short of
+  // k after a round (a selective predicate) gets an exponentially larger
+  // allocation next round, sized to the slots freed by finished leaves, so
+  // the cluster stays utilized instead of trickling 1/|R|-sized rounds.
+  size_t per_leaf = std::max<size_t>(
+      1, static_cast<size_t>(engine_->config().map_slots) /
+             std::max<size_t>(1, states.size()));
+  int batch = 0;
+  std::map<const LeafJobState*, size_t> allocation;
+  while (true) {
+    std::vector<JobSpec> specs;
+    std::vector<LeafJobState*> active;
+    std::vector<PilotJob> jobs;
+    size_t still_running = 0;
+    for (const LeafJobState& state : states) {
+      if (!state.done) ++still_running;
+    }
+    size_t fair_share = std::max<size_t>(
+        per_leaf, static_cast<size_t>(engine_->config().map_slots) /
+                      std::max<size_t>(1, still_running));
+    for (LeafJobState& state : states) {
+      if (state.done) continue;
+      if (state.output_records >= static_cast<uint64_t>(options_.k) ||
+          state.next_split >= state.split_order.size()) {
+        state.done = true;
+        continue;
+      }
+      size_t want = batch == 0 ? per_leaf
+                               : std::max(fair_share, 2 * allocation[&state]);
+      allocation[&state] = want;
+      size_t take = std::min(want,
+                             state.split_order.size() - state.next_split);
+      std::vector<int> split_indexes(
+          state.split_order.begin() + state.next_split,
+          state.split_order.begin() + state.next_split + take);
+      state.next_split += take;
+      std::string output_path =
+          StrFormat("/tmp/pilr/mt_%d_%s_b%d", run_counter_,
+                    state.leaf->alias.c_str(), batch);
+      PilotJob pilot = MakePilotJob(
+          *state.leaf, state.table_file, std::move(split_indexes),
+          options_.kmv_k, engine_->coordinator(), state.counter_key,
+          options_.k, output_path);
+      // Follow-up batches extend the already-running sampling job with
+      // fresh splits (situation-aware mappers, [38]) — no startup latency.
+      pilot.spec.reuse_warm_containers = batch > 0;
+      specs.push_back(pilot.spec);
+      jobs.push_back(std::move(pilot));
+      active.push_back(&state);
+    }
+    if (specs.empty()) break;
+    DYNO_ASSIGN_OR_RETURN(std::vector<JobResult> results,
+                          engine_->SubmitAll(specs));
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].status.ok()) return results[i].status;
+      LeafJobState& state = *active[i];
+      DYNO_ASSIGN_OR_RETURN(
+          StatsCollector merged,
+          PublishAndMerge(engine_->coordinator(),
+                          state.counter_key + StrFormat(":b%d", batch),
+                          jobs[i], state.leaf->join_columns,
+                          options_.kmv_k));
+      state.accumulated.MergeFrom(merged);
+      state.scanned_bytes += results[i].counters.map_input_bytes;
+      state.output_records += results[i].counters.output_records;
+      state.batch_outputs.push_back(results[i].output);
+    }
+    ++batch;
+  }
+
+  for (LeafJobState& state : states) {
+    PilotLeafResult result;
+    result.alias = state.leaf->alias;
+    result.signature = state.signature;
+    bool scanned_everything =
+        state.next_split >= state.split_order.size() &&
+        state.scanned_bytes >= state.table_file->num_bytes();
+    double fraction =
+        state.table_file->num_bytes() == 0
+            ? 1.0
+            : static_cast<double>(state.scanned_bytes) /
+                  static_cast<double>(state.table_file->num_bytes());
+    fraction = std::clamp(fraction, 1e-9, 1.0);
+    result.stats =
+        state.accumulated.Finalize(scanned_everything ? 1.0 : fraction);
+    if (scanned_everything) {
+      // Concatenate the batch outputs into one reusable materialization
+      // (a client-side metadata move, like an HDFS rename).
+      std::string path = StrFormat("/tmp/pilr/full_%d_%s", run_counter_,
+                                   state.leaf->alias.c_str());
+      auto combined = engine_->dfs()->Create(path);
+      if (combined.ok()) {
+        for (const auto& out : state.batch_outputs) {
+          if (out == nullptr) continue;
+          for (const Split& split : out->splits()) {
+            (*combined)->AppendSplit(split);
+          }
+        }
+        result.full_output = *combined;
+      }
+    }
+    store_->Put(state.signature, result.stats);
+    report.leaves.push_back(std::move(result));
+    ++report.runs_executed;
+  }
+  report.elapsed_ms = engine_->now() - start;
+  return report;
+}
+
+}  // namespace dyno

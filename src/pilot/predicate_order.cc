@@ -1,0 +1,85 @@
+#include "pilot/predicate_order.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+
+Result<std::vector<PredicateMeasurement>> MeasurePredicates(
+    Catalog* catalog, const std::string& table,
+    const std::vector<ExprPtr>& conjuncts,
+    const PredicateOrderOptions& options) {
+  DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file,
+                        catalog->OpenTable(table));
+
+  // Reservoir-sample rows.
+  std::vector<Value> sample;
+  sample.reserve(options.sample_rows);
+  Rng rng(options.seed);
+  uint64_t seen = 0;
+  for (const Split& split : file->splits()) {
+    SplitReader reader(&split);
+    while (!reader.AtEnd()) {
+      DYNO_ASSIGN_OR_RETURN(Value row, reader.Next());
+      ++seen;
+      if (sample.size() < static_cast<size_t>(options.sample_rows)) {
+        sample.push_back(std::move(row));
+      } else {
+        uint64_t j = rng.Uniform(seen);
+        if (j < sample.size()) sample[j] = std::move(row);
+      }
+    }
+  }
+
+  std::vector<PredicateMeasurement> measurements;
+  measurements.reserve(conjuncts.size());
+  for (const ExprPtr& conjunct : conjuncts) {
+    if (conjunct == nullptr) {
+      return Status::InvalidArgument("null conjunct");
+    }
+    PredicateMeasurement m;
+    m.predicate = conjunct;
+    m.cost = std::max(conjunct->CpuCost(), 1e-6);
+    uint64_t kept = 0;
+    for (const Value& row : sample) {
+      auto v = conjunct->Eval(row);
+      if (v.ok() && v->type() == Value::Type::kBool && v->bool_value()) {
+        ++kept;
+      }
+    }
+    m.selectivity = sample.empty()
+                        ? 1.0
+                        : static_cast<double>(kept) /
+                              static_cast<double>(sample.size());
+    m.rank = (m.selectivity - 1.0) / m.cost;
+    measurements.push_back(std::move(m));
+  }
+  std::stable_sort(measurements.begin(), measurements.end(),
+                   [](const PredicateMeasurement& a,
+                      const PredicateMeasurement& b) {
+                     return a.rank < b.rank;
+                   });
+  return measurements;
+}
+
+Result<ExprPtr> ReorderConjunction(Catalog* catalog, const std::string& table,
+                                   const ExprPtr& filter,
+                                   const PredicateOrderOptions& options) {
+  if (filter == nullptr) return ExprPtr(nullptr);
+  std::vector<ExprPtr> conjuncts;
+  DecomposeConjunction(filter, &conjuncts);
+  if (conjuncts.size() < 2) return filter;
+  DYNO_ASSIGN_OR_RETURN(
+      std::vector<PredicateMeasurement> measurements,
+      MeasurePredicates(catalog, table, conjuncts, options));
+  std::vector<ExprPtr> ordered;
+  ordered.reserve(measurements.size());
+  for (const PredicateMeasurement& m : measurements) {
+    ordered.push_back(m.predicate);
+  }
+  return Conjoin(ordered);
+}
+
+}  // namespace dyno

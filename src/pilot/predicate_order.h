@@ -1,0 +1,48 @@
+#ifndef DYNO_PILOT_PREDICATE_ORDER_H_
+#define DYNO_PILOT_PREDICATE_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "storage/catalog.h"
+
+namespace dyno {
+
+/// One conjunct with its measured behaviour.
+struct PredicateMeasurement {
+  ExprPtr predicate;
+  double selectivity = 1.0;  ///< Fraction of sampled rows kept.
+  double cost = 1.0;         ///< Declared per-row CPU cost.
+  /// Hellerstein's rank = (selectivity − 1) / cost; evaluating conjuncts in
+  /// ascending rank order minimizes expected per-row work — the placement
+  /// algorithm the paper points to ([24], [11]) once pilot measurements
+  /// supply the selectivities it assumes as given (§4.4).
+  double rank = 0.0;
+};
+
+struct PredicateOrderOptions {
+  int sample_rows = 1024;
+  uint64_t seed = 99;
+};
+
+/// Measures each conjunct of `conjuncts` independently over a row sample of
+/// `table` and returns them sorted by ascending rank (cheap, selective
+/// predicates first). Fails if the table is missing; conjuncts that error
+/// on some rows treat those rows as non-matching.
+Result<std::vector<PredicateMeasurement>> MeasurePredicates(
+    Catalog* catalog, const std::string& table,
+    const std::vector<ExprPtr>& conjuncts,
+    const PredicateOrderOptions& options);
+
+/// Convenience: decomposes `filter` into conjuncts, measures, and rebuilds
+/// the conjunction in optimal (ascending-rank) order. A null filter or a
+/// single conjunct is returned unchanged.
+Result<ExprPtr> ReorderConjunction(Catalog* catalog, const std::string& table,
+                                   const ExprPtr& filter,
+                                   const PredicateOrderOptions& options);
+
+}  // namespace dyno
+
+#endif  // DYNO_PILOT_PREDICATE_ORDER_H_

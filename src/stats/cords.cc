@@ -1,0 +1,147 @@
+#include "stats/cords.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "json/value.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+
+namespace {
+
+/// Hash of one column value within a row (missing/null gets a sentinel).
+uint64_t ColumnHash(const Value& row, const std::string& column) {
+  const Value* v = row.FindField(column);
+  return v == nullptr || v->is_null() ? 0x6e756c6cULL : v->Hash();
+}
+
+}  // namespace
+
+Result<std::vector<ColumnPairCorrelation>> DetectCorrelations(
+    Catalog* catalog, const std::string& table,
+    const std::vector<std::string>& columns, const CordsOptions& options) {
+  if (columns.size() < 2) {
+    return Status::InvalidArgument("need at least two columns");
+  }
+  DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file,
+                        catalog->OpenTable(table));
+
+  // Reservoir-sample rows.
+  std::vector<Value> sample;
+  sample.reserve(options.sample_rows);
+  Rng rng(options.seed);
+  uint64_t seen = 0;
+  for (const Split& split : file->splits()) {
+    SplitReader reader(&split);
+    while (!reader.AtEnd()) {
+      DYNO_ASSIGN_OR_RETURN(Value row, reader.Next());
+      ++seen;
+      if (sample.size() < static_cast<size_t>(options.sample_rows)) {
+        sample.push_back(std::move(row));
+      } else {
+        uint64_t j = rng.Uniform(seen);
+        if (j < sample.size()) sample[j] = std::move(row);
+      }
+    }
+  }
+  if (sample.empty()) return std::vector<ColumnPairCorrelation>{};
+
+  // Per-column and per-pair distinct counts over the sample.
+  std::vector<double> ndv(columns.size());
+  std::vector<std::vector<uint64_t>> hashes(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::unordered_set<uint64_t> distinct;
+    hashes[c].reserve(sample.size());
+    for (const Value& row : sample) {
+      uint64_t h = ColumnHash(row, columns[c]);
+      hashes[c].push_back(h);
+      distinct.insert(h);
+    }
+    ndv[c] = static_cast<double>(distinct.size());
+  }
+
+  std::vector<ColumnPairCorrelation> findings;
+  double rows = static_cast<double>(sample.size());
+  // Chi-squared needs a contingency table; only feasible for categorical
+  // columns (CORDS samples and tests low-cardinality pairs the same way).
+  constexpr size_t kMaxCategories = 256;
+  for (size_t a = 0; a < columns.size(); ++a) {
+    for (size_t b = a + 1; b < columns.size(); ++b) {
+      std::unordered_set<uint64_t> pair_distinct;
+      for (size_t i = 0; i < sample.size(); ++i) {
+        pair_distinct.insert(HashCombine(hashes[a][i], Mix64(hashes[b][i])));
+      }
+      ColumnPairCorrelation f;
+      f.column_a = columns[a];
+      f.column_b = columns[b];
+      f.ndv_a = ndv[a];
+      f.ndv_b = ndv[b];
+      f.ndv_pair = static_cast<double>(pair_distinct.size());
+
+      if (f.ndv_a <= kMaxCategories && f.ndv_b <= kMaxCategories &&
+          f.ndv_a > 1 && f.ndv_b > 1) {
+        // Cramér's V from the chi-squared statistic over the contingency
+        // table — robust to the "every rare combination occurs at least
+        // once" effect that defeats pure pair-NDV comparisons.
+        std::map<uint64_t, int> index_a;
+        std::map<uint64_t, int> index_b;
+        for (size_t i = 0; i < sample.size(); ++i) {
+          index_a.emplace(hashes[a][i], static_cast<int>(index_a.size()));
+          index_b.emplace(hashes[b][i], static_cast<int>(index_b.size()));
+        }
+        size_t r = index_a.size();
+        size_t c = index_b.size();
+        std::vector<double> counts(r * c, 0.0);
+        std::vector<double> row_totals(r, 0.0);
+        std::vector<double> col_totals(c, 0.0);
+        for (size_t i = 0; i < sample.size(); ++i) {
+          int ia = index_a[hashes[a][i]];
+          int ib = index_b[hashes[b][i]];
+          counts[ia * c + ib] += 1.0;
+          row_totals[ia] += 1.0;
+          col_totals[ib] += 1.0;
+        }
+        double chi2 = 0.0;
+        for (size_t ia = 0; ia < r; ++ia) {
+          for (size_t ib = 0; ib < c; ++ib) {
+            double expected = row_totals[ia] * col_totals[ib] / rows;
+            if (expected <= 0.0) continue;
+            double diff = counts[ia * c + ib] - expected;
+            chi2 += diff * diff / expected;
+          }
+        }
+        double dof = static_cast<double>(std::min(r, c)) - 1.0;
+        f.strength =
+            dof <= 0.0 ? 0.0 : std::sqrt(chi2 / (rows * dof));
+        f.strength = std::clamp(f.strength, 0.0, 1.0);
+      } else {
+        // High-cardinality fallback: compare the pair NDV against the
+        // independence prediction min(ndv_a·ndv_b, rows).
+        double independent = std::min(f.ndv_a * f.ndv_b, rows);
+        double correlated = std::max(f.ndv_a, f.ndv_b);
+        double span = independent - correlated;
+        f.strength = span <= 0.0
+                         ? 0.0
+                         : std::clamp((independent - f.ndv_pair) / span,
+                                      0.0, 1.0);
+      }
+      f.fd_a_to_b = f.ndv_pair <= f.ndv_a * options.fd_tolerance;
+      f.fd_b_to_a = f.ndv_pair <= f.ndv_b * options.fd_tolerance;
+      if (f.strength >= options.min_strength) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const ColumnPairCorrelation& x, const ColumnPairCorrelation& y) {
+              return x.strength > y.strength;
+            });
+  return findings;
+}
+
+}  // namespace dyno

@@ -1,0 +1,53 @@
+#ifndef DYNO_STATS_CORDS_H_
+#define DYNO_STATS_CORDS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace dyno {
+
+/// A detected relationship between two columns of one table.
+struct ColumnPairCorrelation {
+  std::string column_a;
+  std::string column_b;
+  double ndv_a = 0.0;     ///< Distinct values of a in the sample.
+  double ndv_b = 0.0;
+  double ndv_pair = 0.0;  ///< Distinct (a, b) pairs in the sample.
+  /// Correlation strength in [0, 1]: 0 = the pair NDV matches the
+  /// independence prediction min(ndv_a·ndv_b, rows); 1 = fully determined.
+  double strength = 0.0;
+  /// Soft functional dependencies: a→b holds when knowing a (almost)
+  /// determines b, i.e. ndv_pair ≈ ndv_a.
+  bool fd_a_to_b = false;
+  bool fd_b_to_a = false;
+};
+
+/// Sampling-based correlation discovery options.
+struct CordsOptions {
+  int sample_rows = 2000;
+  uint64_t seed = 1234;
+  /// ndv_pair may exceed ndv_a by this factor and still count as a soft FD
+  /// (CORDS' notion of *soft* functional dependency).
+  double fd_tolerance = 1.1;
+  /// Pairs with strength below this are not reported.
+  double min_strength = 0.2;
+};
+
+/// CORDS-lite (Ilyas et al., the paper's [26]): discovers correlations and
+/// soft functional dependencies between column pairs of `table` by
+/// comparing sampled pair-NDVs against the independence prediction. The
+/// paper ran CORDS to find the correlated predicate pair it injected into
+/// Q8'; this detector finds such pairs (e.g. o_channel → o_clerk_group in
+/// the bundled TPC-H generator, or zip → state in the restaurant data) so
+/// an operator knows which predicates a traditional optimizer will
+/// mis-estimate. Results are sorted by descending strength.
+Result<std::vector<ColumnPairCorrelation>> DetectCorrelations(
+    Catalog* catalog, const std::string& table,
+    const std::vector<std::string>& columns, const CordsOptions& options);
+
+}  // namespace dyno
+
+#endif  // DYNO_STATS_CORDS_H_

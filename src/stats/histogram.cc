@@ -1,0 +1,129 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+namespace dyno {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<Value> values,
+                                             int num_buckets) {
+  EquiDepthHistogram h;
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](const Value& v) { return v.is_null(); }),
+               values.end());
+  if (values.empty()) return h;
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  h.total_count_ = values.size();
+
+  size_t n = values.size();
+  size_t buckets = std::min<size_t>(num_buckets, n);
+  size_t per_bucket = (n + buckets - 1) / buckets;
+  for (size_t start = 0; start < n; start += per_bucket) {
+    size_t end = std::min(n, start + per_bucket);
+    h.bucket_lowers_.push_back(values[start]);
+    h.bucket_uppers_.push_back(values[end - 1]);
+    h.counts_.push_back(end - start);
+    // Distinct values *present* in the bucket (a value spanning the
+    // boundary legitimately appears in both buckets' local counts; the
+    // global estimate below counts it once).
+    double ndv = 1.0;
+    for (size_t i = start + 1; i < end; ++i) {
+      if (values[i].Compare(values[i - 1]) != 0) ndv += 1.0;
+    }
+    h.bucket_ndv_.push_back(ndv);
+  }
+  // Global distinct count: transitions over the full sorted array — exact.
+  double distinct = 1.0;
+  for (size_t i = 1; i < n; ++i) {
+    if (values[i].Compare(values[i - 1]) != 0) distinct += 1.0;
+  }
+  h.distinct_estimate_ = distinct;
+  return h;
+}
+
+double EquiDepthHistogram::EstimateSelectivity(Expr::CompareOp op,
+                                               const Value& literal) const {
+  if (total_count_ == 0) return 1.0;
+  double selected = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const Value& lo = bucket_lowers_[b];
+    const Value& hi = bucket_uppers_[b];
+    double count = static_cast<double>(counts_[b]);
+    int cmp_lo = literal.Compare(lo);
+    int cmp_hi = literal.Compare(hi);
+    switch (op) {
+      case Expr::CompareOp::kEq:
+        if (cmp_lo >= 0 && cmp_hi <= 0) selected += count / bucket_ndv_[b];
+        break;
+      case Expr::CompareOp::kNe:
+        if (cmp_lo >= 0 && cmp_hi <= 0) {
+          selected += count * (1.0 - 1.0 / bucket_ndv_[b]);
+        } else {
+          selected += count;
+        }
+        break;
+      case Expr::CompareOp::kLt:
+      case Expr::CompareOp::kLe: {
+        // Fraction of the bucket strictly below (or at) the literal.
+        if (cmp_lo <= 0) {
+          // literal <= lo: nothing (for <), possibly equal part for <=.
+          if (op == Expr::CompareOp::kLe && cmp_lo == 0) {
+            selected += count / bucket_ndv_[b];
+          }
+        } else if (cmp_hi >= 0) {
+          selected += count;  // whole bucket below the literal
+          if (op == Expr::CompareOp::kLt && cmp_hi == 0) {
+            selected -= count / bucket_ndv_[b];
+          }
+        } else {
+          // Literal inside the bucket: interpolate numerically when
+          // possible, otherwise assume half.
+          double frac = 0.5;
+          bool numeric = (lo.type() == Value::Type::kInt ||
+                          lo.type() == Value::Type::kDouble) &&
+                         (hi.type() == Value::Type::kInt ||
+                          hi.type() == Value::Type::kDouble) &&
+                         (literal.type() == Value::Type::kInt ||
+                          literal.type() == Value::Type::kDouble);
+          if (numeric) {
+            double span = hi.AsDouble() - lo.AsDouble();
+            if (span > 0) frac = (literal.AsDouble() - lo.AsDouble()) / span;
+          }
+          selected += count * frac;
+        }
+        break;
+      }
+      case Expr::CompareOp::kGt:
+      case Expr::CompareOp::kGe: {
+        if (cmp_hi >= 0) {
+          if (op == Expr::CompareOp::kGe && cmp_hi == 0) {
+            selected += count / bucket_ndv_[b];
+          }
+        } else if (cmp_lo <= 0) {
+          selected += count;
+          if (op == Expr::CompareOp::kGt && cmp_lo == 0) {
+            selected -= count / bucket_ndv_[b];
+          }
+        } else {
+          double frac = 0.5;
+          bool numeric = (lo.type() == Value::Type::kInt ||
+                          lo.type() == Value::Type::kDouble) &&
+                         (hi.type() == Value::Type::kInt ||
+                          hi.type() == Value::Type::kDouble) &&
+                         (literal.type() == Value::Type::kInt ||
+                          literal.type() == Value::Type::kDouble);
+          if (numeric) {
+            double span = hi.AsDouble() - lo.AsDouble();
+            if (span > 0) frac = (hi.AsDouble() - literal.AsDouble()) / span;
+          }
+          selected += count * frac;
+        }
+        break;
+      }
+    }
+  }
+  double sel = selected / static_cast<double>(total_count_);
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+}  // namespace dyno

@@ -1,0 +1,76 @@
+#include "stats/kmv.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dyno {
+
+KmvSynopsis::KmvSynopsis(int k) : k_(k) { hashes_.reserve(2 * k); }
+
+void KmvSynopsis::Add(const Value& v) { AddHash(v.Hash()); }
+
+void KmvSynopsis::AddHash(uint64_t h) {
+  hashes_.push_back(h);
+  compacted_ = false;
+  if (hashes_.size() >= static_cast<size_t>(2 * k_)) Compact();
+}
+
+void KmvSynopsis::Compact() {
+  std::sort(hashes_.begin(), hashes_.end());
+  hashes_.erase(std::unique(hashes_.begin(), hashes_.end()), hashes_.end());
+  if (hashes_.size() > static_cast<size_t>(k_)) {
+    hashes_.resize(k_);
+  }
+  compacted_ = true;
+}
+
+void KmvSynopsis::Merge(const KmvSynopsis& other) {
+  hashes_.insert(hashes_.end(), other.hashes_.begin(), other.hashes_.end());
+  Compact();
+}
+
+double KmvSynopsis::Estimate() const {
+  // Work on a compacted view without mutating state.
+  std::vector<uint64_t> sorted = hashes_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.size() > static_cast<size_t>(k_)) sorted.resize(k_);
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() < static_cast<size_t>(k_)) {
+    // Fewer than k distincts observed: the synopsis is exact.
+    return static_cast<double>(sorted.size());
+  }
+  double hk = static_cast<double>(sorted.back());
+  if (hk <= 0.0) return static_cast<double>(sorted.size());
+  // M = 2^64; (k-1) * M / h_k.
+  constexpr double kDomain = 18446744073709551616.0;  // 2^64
+  return (static_cast<double>(k_) - 1.0) * kDomain / hk;
+}
+
+std::string KmvSynopsis::Serialize() const {
+  std::vector<uint64_t> sorted = hashes_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.size() > static_cast<size_t>(k_)) sorted.resize(k_);
+  std::string out;
+  out.resize(8 + 8 * sorted.size());
+  uint64_t k64 = static_cast<uint64_t>(k_);
+  std::memcpy(out.data(), &k64, 8);
+  if (!sorted.empty()) {
+    std::memcpy(out.data() + 8, sorted.data(), 8 * sorted.size());
+  }
+  return out;
+}
+
+KmvSynopsis KmvSynopsis::Deserialize(const std::string& data) {
+  uint64_t k64 = KmvSynopsis::kDefaultK;
+  if (data.size() >= 8) std::memcpy(&k64, data.data(), 8);
+  KmvSynopsis out(static_cast<int>(k64));
+  size_t n = data.size() >= 8 ? (data.size() - 8) / 8 : 0;
+  out.hashes_.resize(n);
+  if (n > 0) std::memcpy(out.hashes_.data(), data.data() + 8, 8 * n);
+  out.compacted_ = true;
+  return out;
+}
+
+}  // namespace dyno

@@ -1,0 +1,29 @@
+#include "stats/stats_store.h"
+
+namespace dyno {
+
+void StatsStore::Put(const std::string& signature, TableStats stats) {
+  entries_[signature] = std::move(stats);
+}
+
+std::optional<TableStats> StatsStore::Get(const std::string& signature) const {
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+bool StatsStore::Contains(const std::string& signature) const {
+  return entries_.count(signature) > 0;
+}
+
+void StatsStore::Erase(const std::string& signature) {
+  entries_.erase(signature);
+}
+
+void StatsStore::Clear() { entries_.clear(); }
+
+}  // namespace dyno

@@ -1,0 +1,47 @@
+#ifndef DYNO_STATS_STATS_STORE_H_
+#define DYNO_STATS_STATS_STORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "stats/table_stats.h"
+
+namespace dyno {
+
+/// The statistics metastore (paper §4.1). Entries are keyed by an
+/// *expression signature* — a deterministic rendering of a leaf expression
+/// (table + pushed-down predicates/UDFs) or of an executed sub-plan — so
+/// statistics can be reused across pilot runs, across re-optimization
+/// steps, and across recurring queries.
+class StatsStore {
+ public:
+  StatsStore() = default;
+
+  /// Inserts or replaces the statistics for `signature`.
+  void Put(const std::string& signature, TableStats stats);
+
+  /// Statistics for `signature`, if present.
+  std::optional<TableStats> Get(const std::string& signature) const;
+
+  bool Contains(const std::string& signature) const;
+
+  void Erase(const std::string& signature);
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+
+  /// Number of Get calls that found an entry / missed — instrumentation for
+  /// the statistics-reuse ablation.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::map<std::string, TableStats> entries_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace dyno
+
+#endif  // DYNO_STATS_STATS_STORE_H_

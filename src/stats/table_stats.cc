@@ -1,0 +1,205 @@
+#include "stats/table_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dyno {
+
+void ColumnStats::UpdateMinMax(const Value& v) {
+  if (v.is_null()) return;
+  if (!min_value || v.Compare(*min_value) < 0) min_value = v;
+  if (!max_value || v.Compare(*max_value) > 0) max_value = v;
+}
+
+double TableStats::ColumnNdv(const std::string& column) const {
+  auto it = columns.find(column);
+  if (it == columns.end() || it->second.ndv <= 0.0) return cardinality;
+  return std::min(it->second.ndv, std::max(cardinality, 1.0));
+}
+
+StatsCollector::StatsCollector(std::vector<std::string> tracked_columns,
+                               int kmv_k)
+    : tracked_columns_(std::move(tracked_columns)), kmv_k_(kmv_k) {
+  column_states_.reserve(tracked_columns_.size());
+  for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+    column_states_.emplace_back(kmv_k_);
+  }
+}
+
+void StatsCollector::Observe(const Value& record) {
+  ++num_records_;
+  num_bytes_ += record.EncodedSize();
+  for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+    const Value* v = record.FindField(tracked_columns_[i]);
+    if (v == nullptr || v->is_null()) continue;
+    ColumnState& state = column_states_[i];
+    state.minmax.UpdateMinMax(*v);
+    uint64_t h = v->Hash();
+    state.synopsis.AddHash(h);
+    if (state.freq_valid) {
+      ++state.frequencies[h];
+      if (state.frequencies.size() > kMaxTrackedFrequencies) {
+        state.frequencies.clear();
+        state.freq_valid = false;
+      }
+    }
+  }
+}
+
+void StatsCollector::MergeFrom(const StatsCollector& other) {
+  num_records_ += other.num_records_;
+  num_bytes_ += other.num_bytes_;
+  for (size_t i = 0;
+       i < column_states_.size() && i < other.column_states_.size(); ++i) {
+    const ColumnState& theirs = other.column_states_[i];
+    ColumnState& mine = column_states_[i];
+    if (theirs.minmax.min_value) {
+      mine.minmax.UpdateMinMax(*theirs.minmax.min_value);
+    }
+    if (theirs.minmax.max_value) {
+      mine.minmax.UpdateMinMax(*theirs.minmax.max_value);
+    }
+    mine.synopsis.Merge(theirs.synopsis);
+    if (mine.freq_valid && theirs.freq_valid) {
+      for (const auto& [hash, count] : theirs.frequencies) {
+        mine.frequencies[hash] += count;
+      }
+      if (mine.frequencies.size() > kMaxTrackedFrequencies) {
+        mine.frequencies.clear();
+        mine.freq_valid = false;
+      }
+    } else {
+      mine.frequencies.clear();
+      mine.freq_valid = false;
+    }
+  }
+}
+
+TableStats StatsCollector::Finalize(double scanned_fraction) const {
+  TableStats out;
+  double scale = 1.0;
+  if (scanned_fraction > 0.0 && scanned_fraction < 1.0) {
+    scale = 1.0 / scanned_fraction;
+    out.from_sample = true;
+  }
+  out.cardinality = static_cast<double>(num_records_) * scale;
+  out.avg_record_size =
+      num_records_ == 0
+          ? 0.0
+          : static_cast<double>(num_bytes_) / static_cast<double>(num_records_);
+  for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+    const ColumnState& state = column_states_[i];
+    ColumnStats cs = state.minmax;
+    double sample_ndv = state.synopsis.Estimate();
+    double ndv;
+    if (scale <= 1.0) {
+      ndv = sample_ndv;  // Full pass: the synopsis is (near-)exact.
+    } else if (state.freq_valid && !state.frequencies.empty()) {
+      // GEE: sqrt(1/q)·f1 + (d − f1). Saturated domains (few singletons)
+      // barely extrapolate; near-key columns (mostly singletons) scale by
+      // sqrt(1/q) — the provably best guarantee for sampling-based
+      // distinct counting.
+      double d = static_cast<double>(state.frequencies.size());
+      double f1 = 0.0;
+      for (const auto& [hash, count] : state.frequencies) {
+        if (count == 1) f1 += 1.0;
+      }
+      ndv = std::sqrt(scale) * f1 + (d - f1);
+      ndv = std::max(ndv, d);
+    } else {
+      // Fallback: the paper's linear rule DV_R = (|R|/|Rs|)·DV_Rs.
+      ndv = sample_ndv * scale;
+    }
+    cs.ndv = std::min(ndv, std::max(out.cardinality, 1.0));
+    out.columns[tracked_columns_[i]] = std::move(cs);
+  }
+  return out;
+}
+
+std::string StatsCollector::Serialize() const {
+  // Layout: one struct Value holding scalars + per-column entries; KMV blobs
+  // ride along as strings.
+  StructFields fields;
+  fields.emplace_back("num_records",
+                      Value::Int(static_cast<int64_t>(num_records_)));
+  fields.emplace_back("num_bytes",
+                      Value::Int(static_cast<int64_t>(num_bytes_)));
+  fields.emplace_back("kmv_k", Value::Int(kmv_k_));
+  ArrayElements cols;
+  for (size_t i = 0; i < tracked_columns_.size(); ++i) {
+    StructFields col;
+    col.emplace_back("name", Value::String(tracked_columns_[i]));
+    const ColumnStats& cs = column_states_[i].minmax;
+    col.emplace_back("min", cs.min_value ? *cs.min_value : Value::Null());
+    col.emplace_back("max", cs.max_value ? *cs.max_value : Value::Null());
+    col.emplace_back("kmv",
+                     Value::String(column_states_[i].synopsis.Serialize()));
+    col.emplace_back("freq_valid",
+                     Value::Bool(column_states_[i].freq_valid));
+    ArrayElements freq;
+    freq.reserve(column_states_[i].frequencies.size() * 2);
+    for (const auto& [hash, count] : column_states_[i].frequencies) {
+      freq.push_back(Value::Int(static_cast<int64_t>(hash)));
+      freq.push_back(Value::Int(count));
+    }
+    col.emplace_back("freq", Value::Array(std::move(freq)));
+    cols.push_back(Value::Struct(std::move(col)));
+  }
+  fields.emplace_back("columns", Value::Array(std::move(cols)));
+  std::string out;
+  Value::Struct(std::move(fields)).EncodeTo(&out);
+  return out;
+}
+
+Result<StatsCollector> StatsCollector::Deserialize(const std::string& data) {
+  size_t offset = 0;
+  DYNO_ASSIGN_OR_RETURN(Value v, Value::Decode(data, &offset));
+  const Value* num_records = v.FindField("num_records");
+  const Value* num_bytes = v.FindField("num_bytes");
+  const Value* kmv_k = v.FindField("kmv_k");
+  const Value* columns = v.FindField("columns");
+  if (!num_records || !num_bytes || !kmv_k || !columns) {
+    return Status::Internal("malformed stats collector blob");
+  }
+  std::vector<std::string> names;
+  for (const Value& col : columns->array()) {
+    const Value* name = col.FindField("name");
+    if (!name) return Status::Internal("column without name");
+    names.push_back(name->string_value());
+  }
+  StatsCollector out(std::move(names),
+                     static_cast<int>(kmv_k->int_value()));
+  out.num_records_ = static_cast<uint64_t>(num_records->int_value());
+  out.num_bytes_ = static_cast<uint64_t>(num_bytes->int_value());
+  const auto& cols = columns->array();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Value* min_v = cols[i].FindField("min");
+    const Value* max_v = cols[i].FindField("max");
+    const Value* kmv = cols[i].FindField("kmv");
+    if (min_v && !min_v->is_null()) {
+      out.column_states_[i].minmax.min_value = *min_v;
+    }
+    if (max_v && !max_v->is_null()) {
+      out.column_states_[i].minmax.max_value = *max_v;
+    }
+    if (kmv) {
+      out.column_states_[i].synopsis =
+          KmvSynopsis::Deserialize(kmv->string_value());
+    }
+    const Value* freq_valid = cols[i].FindField("freq_valid");
+    const Value* freq = cols[i].FindField("freq");
+    out.column_states_[i].freq_valid =
+        freq_valid != nullptr && freq_valid->bool_value();
+    if (out.column_states_[i].freq_valid && freq != nullptr) {
+      const auto& elems = freq->array();
+      for (size_t e = 0; e + 1 < elems.size(); e += 2) {
+        out.column_states_[i]
+            .frequencies[static_cast<uint64_t>(elems[e].int_value())] =
+            static_cast<uint32_t>(elems[e + 1].int_value());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dyno

@@ -1,0 +1,44 @@
+#include "storage/catalog.h"
+
+namespace dyno {
+
+Status Catalog::RegisterTable(const std::string& name,
+                              const std::string& dfs_path) {
+  if (!dfs_->Exists(dfs_path)) {
+    return Status::NotFound("no dfs file at " + dfs_path);
+  }
+  auto [it, inserted] = tables_.emplace(name, TableEntry{name, dfs_path});
+  if (!inserted) return Status::AlreadyExists("table exists: " + name);
+  return Status::OK();
+}
+
+Status Catalog::CreateTable(const std::string& name,
+                            const std::vector<Value>& rows) {
+  std::string path = "/tables/" + name;
+  auto file = WriteRows(dfs_, path, rows);
+  if (!file.ok()) return file.status();
+  return RegisterTable(name, path);
+}
+
+Result<TableEntry> Catalog::Lookup(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<DfsFile>> Catalog::OpenTable(
+    const std::string& name) const {
+  DYNO_ASSIGN_OR_RETURN(TableEntry entry, Lookup(name));
+  return dfs_->Open(entry.dfs_path);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dyno

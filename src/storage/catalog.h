@@ -1,0 +1,51 @@
+#ifndef DYNO_STORAGE_CATALOG_H_
+#define DYNO_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+
+/// Metadata for one registered table: where its rows live on the DFS.
+/// Schemas are dynamic (the data model is self-describing JSON), so the
+/// catalog only tracks names and file locations.
+struct TableEntry {
+  std::string name;
+  std::string dfs_path;
+};
+
+/// Maps table names to DFS files — the Hive-metastore stand-in.
+class Catalog {
+ public:
+  explicit Catalog(Dfs* dfs) : dfs_(dfs) {}
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers `name` -> `dfs_path`. The file must already exist.
+  Status RegisterTable(const std::string& name, const std::string& dfs_path);
+
+  /// Creates a DFS file from `rows` and registers it under `name`.
+  Status CreateTable(const std::string& name, const std::vector<Value>& rows);
+
+  Result<TableEntry> Lookup(const std::string& name) const;
+
+  /// Opens the DFS file backing `name`.
+  Result<std::shared_ptr<DfsFile>> OpenTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  Dfs* dfs() const { return dfs_; }
+
+ private:
+  Dfs* dfs_;
+  std::map<std::string, TableEntry> tables_;
+};
+
+}  // namespace dyno
+
+#endif  // DYNO_STORAGE_CATALOG_H_

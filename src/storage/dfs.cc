@@ -1,0 +1,112 @@
+#include "storage/dfs.h"
+
+#include <utility>
+
+namespace dyno {
+
+void DfsFile::AppendSplit(Split split) {
+  num_records_ += split.num_records;
+  num_bytes_ += split.num_bytes();
+  splits_.push_back(std::move(split));
+}
+
+Result<std::shared_ptr<DfsFile>> Dfs::Create(const std::string& path) {
+  auto [it, inserted] =
+      files_.emplace(path, std::make_shared<DfsFile>(path));
+  if (!inserted) {
+    return Status::AlreadyExists("dfs file exists: " + path);
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<DfsFile>> Dfs::Open(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  return it->second;
+}
+
+bool Dfs::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status Dfs::Delete(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  return Status::OK();
+}
+
+int Dfs::DeleteWithPrefix(const std::string& prefix) {
+  int n = 0;
+  for (auto it = files_.lower_bound(prefix); it != files_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = files_.erase(it);
+    ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> Dfs::List() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, file] : files_) out.push_back(path);
+  return out;
+}
+
+uint64_t Dfs::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [path, file] : files_) total += file->num_bytes();
+  return total;
+}
+
+TableWriter::TableWriter(std::shared_ptr<DfsFile> file,
+                         uint64_t target_split_bytes)
+    : file_(std::move(file)), target_split_bytes_(target_split_bytes) {}
+
+void TableWriter::Append(const Value& row) {
+  row.EncodeTo(&pending_.data);
+  ++pending_.num_records;
+  if (pending_.num_bytes() >= target_split_bytes_) {
+    file_->AppendSplit(std::move(pending_));
+    pending_ = Split{};
+  }
+}
+
+void TableWriter::Close() {
+  if (pending_.num_records > 0) {
+    file_->AppendSplit(std::move(pending_));
+    pending_ = Split{};
+  }
+}
+
+Result<Value> SplitReader::Next() {
+  if (AtEnd()) return Status::NotFound("end of split");
+  return Value::Decode(split_->data, &offset_);
+}
+
+Result<std::vector<Value>> ReadAllRows(const DfsFile& file) {
+  std::vector<Value> rows;
+  rows.reserve(file.num_records());
+  for (const Split& split : file.splits()) {
+    SplitReader reader(&split);
+    while (!reader.AtEnd()) {
+      DYNO_ASSIGN_OR_RETURN(Value row, reader.Next());
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+Result<std::shared_ptr<DfsFile>> WriteRows(Dfs* dfs, const std::string& path,
+                                           const std::vector<Value>& rows,
+                                           uint64_t target_split_bytes) {
+  DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file, dfs->Create(path));
+  TableWriter writer(file, target_split_bytes);
+  for (const Value& row : rows) writer.Append(row);
+  writer.Close();
+  return file;
+}
+
+}  // namespace dyno

@@ -1,0 +1,133 @@
+#ifndef DYNO_STORAGE_DFS_H_
+#define DYNO_STORAGE_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "json/value.h"
+
+namespace dyno {
+
+/// One HDFS-style block: a run of binary-encoded rows. Splits are the unit
+/// of map-task assignment and of pilot-run sampling.
+struct Split {
+  std::string data;       ///< Concatenated Value encodings.
+  uint64_t num_records = 0;
+
+  uint64_t num_bytes() const { return data.size(); }
+};
+
+/// A file in the simulated DFS: an ordered list of splits. Files are
+/// immutable once sealed (MapReduce semantics — jobs write whole files).
+class DfsFile {
+ public:
+  explicit DfsFile(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+  const std::vector<Split>& splits() const { return splits_; }
+  uint64_t num_records() const { return num_records_; }
+  uint64_t num_bytes() const { return num_bytes_; }
+
+  /// Average encoded record size in bytes (0 for an empty file). This is
+  /// the `rec_size_avg` statistic of the paper (§4.3).
+  double avg_record_size() const {
+    return num_records_ == 0
+               ? 0.0
+               : static_cast<double>(num_bytes_) /
+                     static_cast<double>(num_records_);
+  }
+
+  /// Appends a raw split (used by writers and by job output committers).
+  void AppendSplit(Split split);
+
+ private:
+  std::string path_;
+  std::vector<Split> splits_;
+  uint64_t num_records_ = 0;
+  uint64_t num_bytes_ = 0;
+};
+
+/// The simulated distributed filesystem: a flat namespace of immutable
+/// files. A single process-wide instance plays the role of the HDFS cluster.
+class Dfs {
+ public:
+  Dfs() = default;
+  Dfs(const Dfs&) = delete;
+  Dfs& operator=(const Dfs&) = delete;
+
+  /// Creates an empty file. Fails with AlreadyExists on path collision.
+  Result<std::shared_ptr<DfsFile>> Create(const std::string& path);
+
+  /// Opens an existing file.
+  Result<std::shared_ptr<DfsFile>> Open(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+
+  Status Delete(const std::string& path);
+
+  /// Removes every file whose path starts with `prefix`; returns the count.
+  int DeleteWithPrefix(const std::string& prefix);
+
+  /// All paths in lexicographic order.
+  std::vector<std::string> List() const;
+
+  /// Total bytes stored across all files.
+  uint64_t TotalBytes() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<DfsFile>> files_;
+};
+
+/// Buffers rows and seals them into splits of roughly `target_split_bytes`.
+/// The default mirrors an HDFS block: at simulator scale we use 64 KiB so a
+/// few-MB table still spans enough splits for sampling to be meaningful.
+class TableWriter {
+ public:
+  static constexpr uint64_t kDefaultSplitBytes = 64 * 1024;
+
+  explicit TableWriter(std::shared_ptr<DfsFile> file,
+                       uint64_t target_split_bytes = kDefaultSplitBytes);
+
+  /// Encodes and buffers one row; seals a split when the target is reached.
+  void Append(const Value& row);
+
+  /// Flushes any buffered rows into a final split.
+  void Close();
+
+ private:
+  std::shared_ptr<DfsFile> file_;
+  uint64_t target_split_bytes_;
+  Split pending_;
+};
+
+/// Decodes the rows of one split, in order.
+class SplitReader {
+ public:
+  explicit SplitReader(const Split* split) : split_(split) {}
+
+  /// Returns the next row, or NotFound at end of split.
+  Result<Value> Next();
+
+  bool AtEnd() const { return offset_ >= split_->data.size(); }
+
+ private:
+  const Split* split_;
+  size_t offset_ = 0;
+};
+
+/// Reads an entire file into a row vector (test/debug helper; real scans go
+/// through map tasks).
+Result<std::vector<Value>> ReadAllRows(const DfsFile& file);
+
+/// Writes `rows` as a new file on `dfs`.
+Result<std::shared_ptr<DfsFile>> WriteRows(
+    Dfs* dfs, const std::string& path, const std::vector<Value>& rows,
+    uint64_t target_split_bytes = TableWriter::kDefaultSplitBytes);
+
+}  // namespace dyno
+
+#endif  // DYNO_STORAGE_DFS_H_

@@ -1,0 +1,36 @@
+#ifndef DYNO_TPCH_RESTAURANT_H_
+#define DYNO_TPCH_RESTAURANT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "lang/query.h"
+#include "storage/catalog.h"
+
+namespace dyno {
+
+/// The running example of the paper's §4.1 (query Q1): restaurants with
+/// nested address arrays, reviews scored by a sentiment-analysis UDF, and
+/// tweets checked by an identity UDF. Zip code 94301 implies state CA — the
+/// correlated-predicate pair that defeats the independence assumption.
+struct RestaurantConfig {
+  uint64_t num_restaurants = 2000;
+  uint64_t num_reviews = 10000;
+  uint64_t num_tweets = 20000;
+  uint64_t seed = 777;
+  uint64_t split_bytes = 16 * 1024;
+};
+
+/// Generates and registers tables `restaurant`, `review`, `tweet`.
+Status GenerateRestaurantData(Catalog* catalog,
+                              const RestaurantConfig& config);
+
+/// Q1: SELECT rs_name FROM restaurant rs, review rv, tweet t
+///     WHERE rs_id = rv_rsid AND rv_tid = t_id
+///       AND rs_addr[0].zip = 94301 AND rs_addr[0].state = 'CA'
+///       AND sentanalysis(rv) = positive AND checkid(rv, t)
+Query MakeRestaurantQuery();
+
+}  // namespace dyno
+
+#endif  // DYNO_TPCH_RESTAURANT_H_

@@ -1,0 +1,117 @@
+#include "storage/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace dyno {
+namespace {
+
+Value Row(int64_t id) {
+  return MakeRow({{"id", Value::Int(id)},
+                  {"payload", Value::String(std::string(20, 'x'))}});
+}
+
+TEST(DfsTest, CreateOpenDelete) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.Create("/a").ok());
+  EXPECT_TRUE(dfs.Exists("/a"));
+  EXPECT_TRUE(dfs.Open("/a").ok());
+  EXPECT_FALSE(dfs.Create("/a").ok()) << "duplicate create must fail";
+  EXPECT_TRUE(dfs.Delete("/a").ok());
+  EXPECT_FALSE(dfs.Exists("/a"));
+  EXPECT_FALSE(dfs.Open("/a").ok());
+  EXPECT_FALSE(dfs.Delete("/a").ok());
+}
+
+TEST(DfsTest, DeleteWithPrefix) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.Create("/tmp/x1").ok());
+  ASSERT_TRUE(dfs.Create("/tmp/x2").ok());
+  ASSERT_TRUE(dfs.Create("/tables/t").ok());
+  EXPECT_EQ(dfs.DeleteWithPrefix("/tmp/"), 2);
+  EXPECT_TRUE(dfs.Exists("/tables/t"));
+}
+
+TEST(DfsTest, WriterSplitsAtTargetSize) {
+  Dfs dfs;
+  std::vector<Value> rows;
+  for (int i = 0; i < 200; ++i) rows.push_back(Row(i));
+  auto file = WriteRows(&dfs, "/t", rows, /*target_split_bytes=*/256);
+  ASSERT_TRUE(file.ok());
+  EXPECT_GT((*file)->splits().size(), 5u);
+  EXPECT_EQ((*file)->num_records(), 200u);
+  uint64_t total = 0;
+  for (const Split& split : (*file)->splits()) total += split.num_records;
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(DfsTest, ReadAllRowsRoundTrip) {
+  Dfs dfs;
+  std::vector<Value> rows;
+  for (int i = 0; i < 50; ++i) rows.push_back(Row(i));
+  auto file = WriteRows(&dfs, "/t", rows);
+  ASSERT_TRUE(file.ok());
+  auto read = ReadAllRows(**file);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*read)[i].Compare(rows[i]), 0);
+  }
+}
+
+TEST(DfsTest, AvgRecordSize) {
+  Dfs dfs;
+  std::vector<Value> rows = {Row(1), Row(2), Row(3), Row(4)};
+  auto file = WriteRows(&dfs, "/t", rows);
+  ASSERT_TRUE(file.ok());
+  EXPECT_NEAR((*file)->avg_record_size(),
+              static_cast<double>((*file)->num_bytes()) / 4.0, 1e-9);
+}
+
+TEST(DfsTest, EmptyFileBehaves) {
+  Dfs dfs;
+  auto file = WriteRows(&dfs, "/empty", {});
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->num_records(), 0u);
+  EXPECT_EQ((*file)->splits().size(), 0u);
+  EXPECT_DOUBLE_EQ((*file)->avg_record_size(), 0.0);
+}
+
+TEST(DfsTest, SplitReaderIteratesOneSplit) {
+  Dfs dfs;
+  std::vector<Value> rows = {Row(1), Row(2)};
+  auto file = WriteRows(&dfs, "/t", rows);
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ((*file)->splits().size(), 1u);
+  SplitReader reader(&(*file)->splits()[0]);
+  EXPECT_FALSE(reader.AtEnd());
+  EXPECT_TRUE(reader.Next().ok());
+  EXPECT_TRUE(reader.Next().ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  ASSERT_TRUE(catalog.CreateTable("t", {Row(1), Row(2)}).ok());
+  auto entry = catalog.Lookup("t");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->dfs_path, "/tables/t");
+  auto file = catalog.OpenTable("t");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->num_records(), 2u);
+  EXPECT_FALSE(catalog.Lookup("missing").ok());
+  EXPECT_FALSE(catalog.CreateTable("t", {}).ok()) << "duplicate table";
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"t"});
+}
+
+TEST(CatalogTest, RegisterRequiresExistingFile) {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  EXPECT_FALSE(catalog.RegisterTable("t", "/nope").ok());
+}
+
+}  // namespace
+}  // namespace dyno

@@ -1,0 +1,219 @@
+// Property tests on the cluster simulator's *timing* model: billed time
+// must move in the physically sensible direction as data volume, slot
+// counts, rates, side-data modes and container reuse change. (Functional
+// correctness of the data flow is covered in mr_engine_test.cc.)
+
+#include <gtest/gtest.h>
+
+#include "mr/engine.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+namespace {
+
+std::shared_ptr<DfsFile> MakeInput(Dfs* dfs, const std::string& path,
+                                   int rows, uint64_t split_bytes = 512) {
+  std::vector<Value> data;
+  for (int i = 0; i < rows; ++i) {
+    data.push_back(MakeRow({{"id", Value::Int(i)},
+                            {"g", Value::Int(i % 7)},
+                            {"pad", Value::String(std::string(40, 'x'))}}));
+  }
+  auto file = WriteRows(dfs, path, data, split_bytes);
+  EXPECT_TRUE(file.ok());
+  return *file;
+}
+
+MapFn CopyFn() {
+  return [](const Value& record, MapContext* ctx) -> Status {
+    ctx->Output(record);
+    return Status::OK();
+  };
+}
+
+JobSpec CopyJob(std::shared_ptr<DfsFile> input, const std::string& out) {
+  JobSpec spec;
+  spec.name = "copy";
+  spec.output_path = out;
+  spec.inputs = {{std::move(input), {}, CopyFn(), 1.0, {}}};
+  return spec;
+}
+
+SimMillis RunAndTime(MapReduceEngine* engine, const JobSpec& spec) {
+  auto result = engine->Submit(spec);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  return result->Elapsed();
+}
+
+TEST(EngineTimingTest, MoreDataTakesLonger) {
+  Dfs dfs;
+  ClusterConfig config;
+  config.map_slots = 8;
+  MapReduceEngine engine(&dfs, config);
+  auto small = MakeInput(&dfs, "/small", 200);
+  auto large = MakeInput(&dfs, "/large", 4000);
+  SimMillis t_small = RunAndTime(&engine, CopyJob(small, "/o1"));
+  SimMillis t_large = RunAndTime(&engine, CopyJob(large, "/o2"));
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST(EngineTimingTest, MoreSlotsNeverSlower) {
+  Dfs dfs;
+  auto input = MakeInput(&dfs, "/in", 4000);
+  ClusterConfig few;
+  few.map_slots = 2;
+  ClusterConfig many = few;
+  many.map_slots = 64;
+  MapReduceEngine engine_few(&dfs, few);
+  MapReduceEngine engine_many(&dfs, many);
+  SimMillis t_few = RunAndTime(&engine_few, CopyJob(input, "/o1"));
+  SimMillis t_many = RunAndTime(&engine_many, CopyJob(input, "/o2"));
+  EXPECT_LE(t_many, t_few);
+  EXPECT_LT(t_many, t_few) << "64x slots over many splits must help";
+}
+
+TEST(EngineTimingTest, SlowerReadRateCostsMore) {
+  Dfs dfs;
+  auto input = MakeInput(&dfs, "/in", 2000);
+  ClusterConfig fast;
+  fast.map_read_bytes_per_ms = 100.0;
+  ClusterConfig slow = fast;
+  slow.map_read_bytes_per_ms = 5.0;
+  MapReduceEngine engine_fast(&dfs, fast);
+  MapReduceEngine engine_slow(&dfs, slow);
+  EXPECT_LT(RunAndTime(&engine_fast, CopyJob(input, "/o1")),
+            RunAndTime(&engine_slow, CopyJob(input, "/o2")));
+}
+
+TEST(EngineTimingTest, WarmContainersSkipStartup) {
+  Dfs dfs;
+  ClusterConfig config;
+  config.job_startup_ms = 20000;
+  MapReduceEngine engine(&dfs, config);
+  auto input = MakeInput(&dfs, "/in", 100);
+  JobSpec cold = CopyJob(input, "/o_cold");
+  SimMillis t_cold = RunAndTime(&engine, cold);
+  JobSpec warm = CopyJob(input, "/o_warm");
+  warm.reuse_warm_containers = true;
+  SimMillis t_warm = RunAndTime(&engine, warm);
+  EXPECT_GE(t_cold - t_warm, 20000 - 1000)
+      << "warm submission must save (almost) the whole startup latency";
+}
+
+TEST(EngineTimingTest, SideDataBilledPerWaveInJaqlMode) {
+  // Same job, bigger side data => slower, proportionally to waves.
+  Dfs dfs;
+  ClusterConfig config;
+  config.map_slots = 4;  // many waves
+  config.memory_per_task_bytes = 1 << 30;
+  config.side_load_bytes_per_ms = 10.0;
+  MapReduceEngine engine(&dfs, config);
+  auto input = MakeInput(&dfs, "/in", 2000);
+
+  JobSpec no_side = CopyJob(input, "/o0");
+  SimMillis t0 = RunAndTime(&engine, no_side);
+  JobSpec side = CopyJob(input, "/o1");
+  side.side_load_bytes = 50 * 1024;
+  side.side_memory_bytes = 50 * 1024;
+  SimMillis t1 = RunAndTime(&engine, side);
+  EXPECT_GT(t1, t0);
+
+  // Hive mode (distributed cache): only the first wave per node pays.
+  JobSpec hive = CopyJob(input, "/o2");
+  hive.side_load_bytes = 50 * 1024;
+  hive.side_memory_bytes = 50 * 1024;
+  hive.side_data_via_distributed_cache = true;
+  SimMillis t2 = RunAndTime(&engine, hive);
+  EXPECT_LT(t2, t1) << "DistributedCache must amortize the build loads";
+  EXPECT_GT(t2, t0);
+}
+
+TEST(EngineTimingTest, ShuffleBilledAtAggregateRate) {
+  // A map-reduce job shipping N bytes through the shuffle must take at
+  // least N / shuffle_rate longer than its map-only counterpart.
+  Dfs dfs;
+  ClusterConfig config;
+  config.shuffle_bytes_per_ms = 10.0;
+  MapReduceEngine engine(&dfs, config);
+  auto input = MakeInput(&dfs, "/in", 3000);
+
+  SimMillis t_map_only = RunAndTime(&engine, CopyJob(input, "/o1"));
+
+  JobSpec shuffle_job;
+  shuffle_job.name = "shuffle";
+  shuffle_job.output_path = "/o2";
+  shuffle_job.inputs = {{input, {}, [](const Value& r, MapContext* ctx) {
+                           ctx->Emit(*r.FindField("g"), r);
+                           return Status::OK();
+                         }, 1.0, {}}};
+  shuffle_job.reduce_fn = [](const Value&, const std::vector<Value>& values,
+                             ReduceContext* ctx) -> Status {
+    for (const Value& v : values) ctx->Output(v);
+    return Status::OK();
+  };
+  auto result = engine.Submit(shuffle_job);
+  ASSERT_TRUE(result.ok());
+  SimMillis shuffle_floor = static_cast<SimMillis>(
+      result->counters.map_output_bytes / 10.0);
+  EXPECT_GT(result->Elapsed(), t_map_only + shuffle_floor / 2)
+      << "shuffle bytes must dominate the gap";
+}
+
+TEST(EngineTimingTest, ClockAdvancesMonotonically) {
+  Dfs dfs;
+  MapReduceEngine engine(&dfs, ClusterConfig());
+  auto input = MakeInput(&dfs, "/in", 50);
+  SimMillis t0 = engine.now();
+  RunAndTime(&engine, CopyJob(input, "/o1"));
+  SimMillis t1 = engine.now();
+  EXPECT_GT(t1, t0);
+  engine.AdvanceClock(1234);
+  EXPECT_EQ(engine.now(), t1 + 1234);
+  RunAndTime(&engine, CopyJob(input, "/o2"));
+  EXPECT_GT(engine.now(), t1 + 1234);
+}
+
+TEST(EngineTimingTest, ObserverCostScalesWithDeclaredCpu) {
+  Dfs dfs;
+  ClusterConfig config;
+  config.cpu_units_per_ms = 10.0;
+  MapReduceEngine engine(&dfs, config);
+  auto input = MakeInput(&dfs, "/in", 1000);
+  JobSpec cheap = CopyJob(input, "/o1");
+  cheap.output_observer = [](const Value&) {};
+  cheap.observer_cpu_per_record = 1.0;
+  JobSpec pricey = CopyJob(input, "/o2");
+  pricey.output_observer = [](const Value&) {};
+  pricey.observer_cpu_per_record = 100.0;
+  auto r1 = engine.Submit(cheap);
+  auto r2 = engine.Submit(pricey);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->observer_overhead_ms, 10 * r1->observer_overhead_ms);
+}
+
+class ScaleSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaleSweepTest, ElapsedScalesSubLinearlyWithFreeSlots) {
+  // With ample slots, doubling rows should not much more than double the
+  // elapsed time (waves grow linearly; startup is constant).
+  int rows = GetParam();
+  Dfs dfs;
+  ClusterConfig config;
+  config.map_slots = 16;
+  config.job_startup_ms = 1000;
+  MapReduceEngine engine(&dfs, config);
+  auto in1 = MakeInput(&dfs, "/a", rows);
+  auto in2 = MakeInput(&dfs, "/b", 2 * rows);
+  SimMillis t1 = RunAndTime(&engine, CopyJob(in1, "/o1"));
+  SimMillis t2 = RunAndTime(&engine, CopyJob(in2, "/o2"));
+  EXPECT_LE(t2, 3 * t1);
+  EXPECT_GE(t2, t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, ScaleSweepTest,
+                         ::testing::Values(500, 2000, 8000));
+
+}  // namespace
+}  // namespace dyno

@@ -1,0 +1,203 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace dyno {
+namespace {
+
+Value TestRow() {
+  return MakeRow({
+      {"id", Value::Int(7)},
+      {"price", Value::Double(19.5)},
+      {"name", Value::String("acme")},
+      {"addr", Value::Array({Value::Struct({{"zip", Value::Int(94301)},
+                                            {"state", Value::String("CA")}}),
+                             Value::Struct({{"zip", Value::Int(10001)},
+                                            {"state", Value::String("NY")}})})},
+  });
+}
+
+bool EvalBool(const ExprPtr& e, const Value& row) {
+  auto v = e->Eval(row);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->type(), Value::Type::kBool);
+  return v->bool_value();
+}
+
+TEST(ExprTest, ColumnReference) {
+  auto v = Col("id")->Eval(TestRow());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), 7);
+}
+
+TEST(ExprTest, MissingColumnIsNull) {
+  auto v = Col("nope")->Eval(TestRow());
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ExprTest, NestedPathAccess) {
+  ExprPtr zip = Path({PathStep::Field("addr"), PathStep::Index(0),
+                      PathStep::Field("zip")});
+  auto v = zip->Eval(TestRow());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), 94301);
+  EXPECT_EQ(zip->ToString(), "addr[0].zip");
+}
+
+TEST(ExprTest, OutOfRangePathIsNull) {
+  ExprPtr p = Path({PathStep::Field("addr"), PathStep::Index(9),
+                    PathStep::Field("zip")});
+  auto v = p->Eval(TestRow());
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ExprTest, Comparisons) {
+  Value row = TestRow();
+  EXPECT_TRUE(EvalBool(Eq(Col("id"), LitInt(7)), row));
+  EXPECT_FALSE(EvalBool(Eq(Col("id"), LitInt(8)), row));
+  EXPECT_TRUE(EvalBool(Ne(Col("id"), LitInt(8)), row));
+  EXPECT_TRUE(EvalBool(Lt(Col("id"), LitInt(8)), row));
+  EXPECT_TRUE(EvalBool(Le(Col("id"), LitInt(7)), row));
+  EXPECT_TRUE(EvalBool(Gt(Col("price"), LitDouble(19.0)), row));
+  EXPECT_TRUE(EvalBool(Ge(Col("price"), LitDouble(19.5)), row));
+  EXPECT_TRUE(EvalBool(Eq(Col("name"), LitString("acme")), row));
+}
+
+TEST(ExprTest, ComparisonWithNullIsFalse) {
+  EXPECT_FALSE(EvalBool(Eq(Col("missing"), LitInt(1)), TestRow()));
+  EXPECT_FALSE(EvalBool(Ne(Col("missing"), LitInt(1)), TestRow()));
+}
+
+TEST(ExprTest, LogicalOperators) {
+  Value row = TestRow();
+  ExprPtr t = Eq(Col("id"), LitInt(7));
+  ExprPtr f = Eq(Col("id"), LitInt(0));
+  EXPECT_TRUE(EvalBool(And(t, t), row));
+  EXPECT_FALSE(EvalBool(And(t, f), row));
+  EXPECT_TRUE(EvalBool(Or(f, t), row));
+  EXPECT_FALSE(EvalBool(Or(f, f), row));
+  EXPECT_TRUE(EvalBool(Not(f), row));
+  EXPECT_FALSE(EvalBool(Not(t), row));
+}
+
+TEST(ExprTest, ShortCircuitAndSkipsRhs) {
+  int calls = 0;
+  ExprPtr counting = MakeUdf("count", 1.0, [&calls](const Value&) {
+    ++calls;
+    return Value::Bool(true);
+  });
+  ExprPtr f = Eq(Col("id"), LitInt(0));
+  EXPECT_FALSE(EvalBool(And(f, counting), TestRow()));
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ExprTest, Arithmetic) {
+  Value row = TestRow();
+  auto v = Arith(Expr::ArithOp::kAdd, Col("id"), LitInt(3))->Eval(row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), 10);
+  v = Arith(Expr::ArithOp::kMul, Col("price"), LitDouble(2.0))->Eval(row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->double_value(), 39.0);
+  v = Arith(Expr::ArithOp::kDiv, LitInt(10), LitInt(4))->Eval(row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->double_value(), 2.5);
+}
+
+TEST(ExprTest, DivisionByZeroIsNull) {
+  auto v = Arith(Expr::ArithOp::kDiv, LitInt(1), LitInt(0))->Eval(TestRow());
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ExprTest, ArithmeticOnStringFails) {
+  auto v = Arith(Expr::ArithOp::kAdd, Col("name"), LitInt(1))->Eval(TestRow());
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(ExprTest, UdfEvaluationAndOpacity) {
+  ExprPtr udf = MakeUdf("double_id", 25.0, [](const Value& row) {
+    return Value::Int(row.FindField("id")->int_value() * 2);
+  });
+  auto v = udf->Eval(TestRow());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int_value(), 14);
+  EXPECT_TRUE(udf->ContainsUdf());
+  EXPECT_DOUBLE_EQ(udf->CpuCost(), 25.0);
+  std::vector<std::string> cols;
+  udf->CollectColumns(&cols);
+  EXPECT_TRUE(cols.empty()) << "UDFs must not leak column info";
+  EXPECT_EQ(udf->ToString(), "double_id(*)");
+}
+
+TEST(ExprTest, ContainsUdfPropagates) {
+  ExprPtr udf = MakeUdf("u", 1.0, [](const Value&) { return Value::Bool(true); });
+  EXPECT_TRUE(And(Eq(Col("id"), LitInt(1)), udf)->ContainsUdf());
+  EXPECT_FALSE(Eq(Col("id"), LitInt(1))->ContainsUdf());
+}
+
+TEST(ExprTest, CollectColumns) {
+  ExprPtr e = And(Eq(Col("a"), LitInt(1)), Gt(Col("b"), Col("c")));
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ExprTest, ToStringIsDeterministicSignatureMaterial) {
+  ExprPtr a = And(Eq(Col("x"), LitInt(5)), Lt(Col("y"), LitDouble(2.5)));
+  ExprPtr b = And(Eq(Col("x"), LitInt(5)), Lt(Col("y"), LitDouble(2.5)));
+  EXPECT_EQ(a->ToString(), b->ToString());
+  EXPECT_EQ(a->ToString(), "((x = 5) AND (y < 2.5))");
+}
+
+TEST(ExprTest, AsSimpleComparisonRecognizesColOpLiteral) {
+  std::string col;
+  Expr::CompareOp op;
+  Value lit;
+  EXPECT_TRUE(Eq(Col("x"), LitInt(5))->AsSimpleComparison(&col, &op, &lit));
+  EXPECT_EQ(col, "x");
+  EXPECT_EQ(op, Expr::CompareOp::kEq);
+  EXPECT_EQ(lit.int_value(), 5);
+}
+
+TEST(ExprTest, AsSimpleComparisonMirrorsLiteralFirst) {
+  std::string col;
+  Expr::CompareOp op;
+  Value lit;
+  EXPECT_TRUE(Lt(LitInt(5), Col("x"))->AsSimpleComparison(&col, &op, &lit));
+  EXPECT_EQ(col, "x");
+  EXPECT_EQ(op, Expr::CompareOp::kGt) << "5 < x  ==  x > 5";
+}
+
+TEST(ExprTest, AsSimpleComparisonRejectsComplexShapes) {
+  std::string col;
+  Expr::CompareOp op;
+  Value lit;
+  // Nested path, column-to-column, and UDF shapes are all opaque.
+  ExprPtr nested = Eq(Path({PathStep::Field("addr"), PathStep::Index(0),
+                            PathStep::Field("zip")}),
+                      LitInt(94301));
+  EXPECT_FALSE(nested->AsSimpleComparison(&col, &op, &lit));
+  EXPECT_FALSE(Eq(Col("a"), Col("b"))->AsSimpleComparison(&col, &op, &lit));
+}
+
+TEST(ExprTest, ConjoinAndDecompose) {
+  std::vector<ExprPtr> preds = {Eq(Col("a"), LitInt(1)),
+                                Eq(Col("b"), LitInt(2)),
+                                Eq(Col("c"), LitInt(3))};
+  ExprPtr joined = Conjoin(preds);
+  std::vector<ExprPtr> factors;
+  DecomposeConjunction(joined, &factors);
+  ASSERT_EQ(factors.size(), 3u);
+  EXPECT_EQ(factors[0]->ToString(), "(a = 1)");
+  EXPECT_EQ(factors[2]->ToString(), "(c = 3)");
+  EXPECT_EQ(Conjoin({}), nullptr);
+  factors.clear();
+  DecomposeConjunction(nullptr, &factors);
+  EXPECT_TRUE(factors.empty());
+}
+
+}  // namespace
+}  // namespace dyno

@@ -1,0 +1,220 @@
+// Additional MapReduce-engine edge cases: multi-input jobs, pinned reducer
+// counts, empty inputs, output-path collisions, reduce errors, and the
+// counters' bookkeeping contracts.
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "mr/engine.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+namespace {
+
+Value Row(int64_t id, int64_t group) {
+  return MakeRow({{"id", Value::Int(id)}, {"g", Value::Int(group)}});
+}
+
+class MrExtraTest : public ::testing::Test {
+ protected:
+  MrExtraTest() : engine_(&dfs_, MakeConfig()) {}
+
+  static ClusterConfig MakeConfig() {
+    ClusterConfig config;
+    config.job_startup_ms = 100;
+    config.map_slots = 4;
+    config.reduce_slots = 3;
+    return config;
+  }
+
+  std::shared_ptr<DfsFile> MakeInput(int rows, const std::string& path,
+                                     int64_t id_offset = 0) {
+    std::vector<Value> data;
+    for (int i = 0; i < rows; ++i) data.push_back(Row(i + id_offset, i % 4));
+    auto file = WriteRows(&dfs_, path, data, 256);
+    EXPECT_TRUE(file.ok());
+    return *file;
+  }
+
+  Dfs dfs_;
+  MapReduceEngine engine_;
+};
+
+TEST_F(MrExtraTest, MultiInputJobTagsBothSides) {
+  auto left = MakeInput(30, "/left");
+  auto right = MakeInput(20, "/right", 1000);
+  JobSpec spec;
+  spec.name = "two-inputs";
+  spec.output_path = "/out";
+  auto tag = [](int64_t t) -> MapFn {
+    return [t](const Value& record, MapContext* ctx) -> Status {
+      ctx->Emit(*record.FindField("g"),
+                MakeRow({{"t", Value::Int(t)}, {"r", record}}));
+      return Status::OK();
+    };
+  };
+  spec.inputs = {{left, {}, tag(0), 1.0}, {right, {}, tag(1), 1.0, {}}};
+  spec.reduce_fn = [](const Value& key, const std::vector<Value>& values,
+                      ReduceContext* ctx) -> Status {
+    int64_t lefts = 0;
+    int64_t rights = 0;
+    for (const Value& v : values) {
+      (v.FindField("t")->int_value() == 0 ? lefts : rights) += 1;
+    }
+    ctx->Output(MakeRow({{"g", key},
+                         {"l", Value::Int(lefts)},
+                         {"r", Value::Int(rights)}}));
+    return Status::OK();
+  };
+  auto result = engine_.Submit(spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok());
+  auto rows = ReadAllRows(*result->output);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  int64_t total_left = 0;
+  int64_t total_right = 0;
+  for (const Value& row : *rows) {
+    total_left += row.FindField("l")->int_value();
+    total_right += row.FindField("r")->int_value();
+  }
+  EXPECT_EQ(total_left, 30);
+  EXPECT_EQ(total_right, 20);
+}
+
+TEST_F(MrExtraTest, PinnedReducerCountHonored) {
+  auto input = MakeInput(100, "/in");
+  JobSpec spec;
+  spec.name = "pinned";
+  spec.output_path = "/out";
+  spec.num_reduce_tasks = 5;
+  spec.inputs = {{input, {}, [](const Value& r, MapContext* ctx) {
+                    ctx->Emit(*r.FindField("id"), r);
+                    return Status::OK();
+                  }, 1.0, {}}};
+  spec.reduce_fn = [](const Value&, const std::vector<Value>& values,
+                      ReduceContext* ctx) -> Status {
+    for (const Value& v : values) ctx->Output(v);
+    return Status::OK();
+  };
+  auto result = engine_.Submit(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reduce_tasks_run, 5);
+  EXPECT_EQ(result->counters.output_records, 100u);
+}
+
+TEST_F(MrExtraTest, EmptyInputYieldsEmptyOutput) {
+  auto empty = WriteRows(&dfs_, "/empty", {});
+  ASSERT_TRUE(empty.ok());
+  JobSpec spec;
+  spec.name = "empty";
+  spec.output_path = "/out";
+  spec.inputs = {{*empty, {}, [](const Value& r, MapContext* ctx) {
+                    ctx->Output(r);
+                    return Status::OK();
+                  }, 1.0, {}}};
+  auto result = engine_.Submit(spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(result->output->num_records(), 0u);
+  EXPECT_EQ(result->map_tasks_run, 0);
+}
+
+TEST_F(MrExtraTest, OutputPathCollisionRejected) {
+  auto input = MakeInput(10, "/in");
+  JobSpec spec;
+  spec.name = "dup";
+  spec.output_path = "/in";  // already exists
+  spec.inputs = {{input, {}, [](const Value& r, MapContext* ctx) {
+                    ctx->Output(r);
+                    return Status::OK();
+                  }, 1.0, {}}};
+  EXPECT_FALSE(engine_.Submit(spec).ok());
+}
+
+TEST_F(MrExtraTest, ReduceErrorFailsJobAndCleansOutput) {
+  auto input = MakeInput(50, "/in");
+  JobSpec spec;
+  spec.name = "bad-reduce";
+  spec.output_path = "/out";
+  spec.inputs = {{input, {}, [](const Value& r, MapContext* ctx) {
+                    ctx->Emit(*r.FindField("g"), r);
+                    return Status::OK();
+                  }, 1.0, {}}};
+  spec.reduce_fn = [](const Value&, const std::vector<Value>&,
+                      ReduceContext*) -> Status {
+    return Status::Internal("reduce boom");
+  };
+  auto result = engine_.Submit(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_FALSE(dfs_.Exists("/out"));
+}
+
+TEST_F(MrExtraTest, CountersAddUpForMapReduceJob) {
+  auto input = MakeInput(80, "/in");
+  JobSpec spec;
+  spec.name = "counters";
+  spec.output_path = "/out";
+  spec.inputs = {{input, {}, [](const Value& r, MapContext* ctx) {
+                    // Drop odd ids at map side.
+                    if (r.FindField("id")->int_value() % 2 == 0) {
+                      ctx->Emit(*r.FindField("g"), r);
+                    }
+                    return Status::OK();
+                  }, 1.0, {}}};
+  spec.reduce_fn = [](const Value&, const std::vector<Value>& values,
+                      ReduceContext* ctx) -> Status {
+    for (const Value& v : values) ctx->Output(v);
+    return Status::OK();
+  };
+  auto result = engine_.Submit(spec);
+  ASSERT_TRUE(result.ok());
+  const Counters& counters = result->counters;
+  EXPECT_EQ(counters.map_input_records, 80u);
+  EXPECT_EQ(counters.map_output_records, 40u);
+  EXPECT_EQ(counters.reduce_input_records, 40u);
+  EXPECT_EQ(counters.output_records, 40u);
+  EXPECT_GT(counters.map_input_bytes, 0u);
+  EXPECT_GT(counters.map_output_bytes, 0u);
+  EXPECT_GT(counters.output_bytes, 0u);
+  EXPECT_EQ(counters.output_bytes, result->output->num_bytes());
+}
+
+TEST_F(MrExtraTest, CountersMergeFromAccumulates) {
+  Counters a;
+  a.map_input_records = 5;
+  a.output_bytes = 100;
+  Counters b;
+  b.map_input_records = 7;
+  b.output_bytes = 11;
+  b.reduce_input_records = 3;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.map_input_records, 12u);
+  EXPECT_EQ(a.output_bytes, 111u);
+  EXPECT_EQ(a.reduce_input_records, 3u);
+}
+
+TEST_F(MrExtraTest, ManyConcurrentJobsAllComplete) {
+  std::vector<JobSpec> specs;
+  for (int j = 0; j < 12; ++j) {
+    auto input = MakeInput(40, StrFormat("/in%d", j));
+    JobSpec spec;
+    spec.name = StrFormat("job%d", j);
+    spec.output_path = StrFormat("/out%d", j);
+    spec.inputs = {{input, {}, [](const Value& r, MapContext* ctx) {
+                      ctx->Output(r);
+                      return Status::OK();
+                    }, 1.0, {}}};
+    specs.push_back(std::move(spec));
+  }
+  auto results = engine_.SubmitAll(specs);
+  ASSERT_TRUE(results.ok());
+  for (const JobResult& result : *results) {
+    EXPECT_TRUE(result.status.ok());
+    EXPECT_EQ(result.counters.output_records, 40u);
+  }
+}
+
+}  // namespace
+}  // namespace dyno

@@ -1,0 +1,270 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/histogram.h"
+#include "stats/kmv.h"
+#include "stats/stats_store.h"
+#include "stats/table_stats.h"
+
+namespace dyno {
+namespace {
+
+// --- KMV synopsis ---
+
+TEST(KmvTest, ExactBelowK) {
+  KmvSynopsis kmv(64);
+  for (int i = 0; i < 40; ++i) kmv.Add(Value::Int(i % 20));
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 20.0);
+}
+
+TEST(KmvTest, EmptyIsZero) {
+  KmvSynopsis kmv;
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 0.0);
+}
+
+class KmvAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KmvAccuracyTest, EstimateWithinExpectedError) {
+  int true_ndv = GetParam();
+  KmvSynopsis kmv(1024);
+  Rng rng(99);
+  for (int i = 0; i < 3 * true_ndv; ++i) {
+    kmv.Add(Value::Int(static_cast<int64_t>(rng.Uniform(true_ndv))));
+  }
+  // Not every domain value necessarily appears; compare against the
+  // coupon-collector expectation loosely: with 3x draws ~95% coverage.
+  double est = kmv.Estimate();
+  EXPECT_GT(est, 0.80 * true_ndv);
+  EXPECT_LT(est, 1.25 * true_ndv);
+}
+
+INSTANTIATE_TEST_SUITE_P(NdvSweep, KmvAccuracyTest,
+                         ::testing::Values(2000, 10000, 50000, 200000));
+
+TEST(KmvTest, MergeEqualsUnion) {
+  KmvSynopsis a(256);
+  KmvSynopsis b(256);
+  KmvSynopsis whole(256);
+  for (int i = 0; i < 5000; ++i) {
+    Value v = Value::Int(i);
+    (i % 2 == 0 ? a : b).Add(v);
+    whole.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), whole.Estimate(), 1e-9)
+      << "merge of partitions must equal the single-pass synopsis";
+}
+
+TEST(KmvTest, SerializeRoundTrip) {
+  KmvSynopsis kmv(128);
+  for (int i = 0; i < 10000; ++i) kmv.Add(Value::Int(i % 3777));
+  KmvSynopsis back = KmvSynopsis::Deserialize(kmv.Serialize());
+  EXPECT_EQ(back.k(), 128);
+  EXPECT_NEAR(back.Estimate(), kmv.Estimate(), 1e-9);
+}
+
+// --- StatsCollector ---
+
+TEST(StatsCollectorTest, TracksCountBytesMinMax) {
+  StatsCollector collector({"k"});
+  for (int i = 10; i <= 30; ++i) {
+    collector.Observe(MakeRow({{"k", Value::Int(i)}}));
+  }
+  EXPECT_EQ(collector.num_records(), 21u);
+  TableStats stats = collector.Finalize(1.0);
+  EXPECT_DOUBLE_EQ(stats.cardinality, 21.0);
+  EXPECT_FALSE(stats.from_sample);
+  const ColumnStats& k = stats.columns.at("k");
+  EXPECT_EQ(k.min_value->int_value(), 10);
+  EXPECT_EQ(k.max_value->int_value(), 30);
+  EXPECT_NEAR(k.ndv, 21.0, 0.01);
+  EXPECT_GT(stats.avg_record_size, 0.0);
+}
+
+TEST(StatsCollectorTest, SampleExtrapolationCardinality) {
+  StatsCollector collector({"k"});
+  for (int i = 0; i < 100; ++i) {
+    collector.Observe(MakeRow({{"k", Value::Int(i)}}));
+  }
+  // We scanned 10% of the relation: cardinality scales by 10x.
+  TableStats stats = collector.Finalize(0.1);
+  EXPECT_TRUE(stats.from_sample);
+  EXPECT_DOUBLE_EQ(stats.cardinality, 1000.0);
+}
+
+TEST(StatsCollectorTest, GeeExtrapolationKeyColumn) {
+  // All sampled values distinct (a key column): GEE extrapolates by
+  // sqrt(1/q) — the provable best guarantee, deliberately below linear.
+  StatsCollector collector({"k"});
+  for (int i = 0; i < 100; ++i) {
+    collector.Observe(MakeRow({{"k", Value::Int(i)}}));
+  }
+  TableStats stats = collector.Finalize(0.01);
+  // d = 100, f1 = 100, q = 0.01 -> ndv = 10 * 100 = 1000.
+  EXPECT_NEAR(stats.columns.at("k").ndv, 1000.0, 1.0);
+}
+
+TEST(StatsCollectorTest, GeeExtrapolationSaturatedDomain) {
+  // A small domain fully covered by the sample (every value repeats): GEE
+  // must NOT extrapolate — this is the case where the paper's linear rule
+  // overestimates by 1/q and wrecks join cardinalities.
+  StatsCollector collector({"k"});
+  for (int i = 0; i < 1000; ++i) {
+    collector.Observe(MakeRow({{"k", Value::Int(i % 20)}}));
+  }
+  TableStats stats = collector.Finalize(0.05);
+  EXPECT_NEAR(stats.columns.at("k").ndv, 20.0, 1.0)
+      << "saturated domain: no singleton values, no extrapolation";
+}
+
+TEST(StatsCollectorTest, NdvCappedByCardinality) {
+  StatsCollector collector({"k"});
+  for (int i = 0; i < 50; ++i) {
+    collector.Observe(MakeRow({{"k", Value::Int(i % 5)}}));
+  }
+  TableStats stats = collector.Finalize(0.01);
+  EXPECT_LE(stats.columns.at("k").ndv, stats.cardinality);
+}
+
+TEST(StatsCollectorTest, SerializeMergeRoundTrip) {
+  StatsCollector a({"x", "y"});
+  StatsCollector b({"x", "y"});
+  for (int i = 0; i < 100; ++i) {
+    a.Observe(MakeRow({{"x", Value::Int(i)}, {"y", Value::String("a")}}));
+    b.Observe(MakeRow({{"x", Value::Int(i + 100)}, {"y", Value::String("b")}}));
+  }
+  auto restored = StatsCollector::Deserialize(b.Serialize());
+  ASSERT_TRUE(restored.ok());
+  a.MergeFrom(*restored);
+  EXPECT_EQ(a.num_records(), 200u);
+  TableStats stats = a.Finalize(1.0);
+  EXPECT_NEAR(stats.columns.at("x").ndv, 200.0, 1.0);
+  EXPECT_EQ(stats.columns.at("y").min_value->string_value(), "a");
+  EXPECT_EQ(stats.columns.at("y").max_value->string_value(), "b");
+}
+
+TEST(StatsCollectorTest, MissingColumnsIgnored) {
+  StatsCollector collector({"absent"});
+  collector.Observe(MakeRow({{"k", Value::Int(1)}}));
+  TableStats stats = collector.Finalize(1.0);
+  EXPECT_FALSE(stats.columns.at("absent").min_value.has_value());
+  EXPECT_DOUBLE_EQ(stats.cardinality, 1.0);
+}
+
+TEST(TableStatsTest, ColumnNdvDefaultsToCardinality) {
+  TableStats stats;
+  stats.cardinality = 500;
+  EXPECT_DOUBLE_EQ(stats.ColumnNdv("unknown"), 500.0);
+  ColumnStats cs;
+  cs.ndv = 50;
+  stats.columns["k"] = cs;
+  EXPECT_DOUBLE_EQ(stats.ColumnNdv("k"), 50.0);
+}
+
+// --- Equi-depth histogram ---
+
+TEST(HistogramTest, UniformEqualitySelectivity) {
+  std::vector<Value> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(Value::Int(i % 100));
+  auto hist = EquiDepthHistogram::Build(values);
+  double sel = hist.EstimateSelectivity(Expr::CompareOp::kEq, Value::Int(42));
+  EXPECT_NEAR(sel, 0.01, 0.004);
+}
+
+TEST(HistogramTest, RangeSelectivity) {
+  std::vector<Value> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(Value::Int(i));
+  auto hist = EquiDepthHistogram::Build(values);
+  double sel = hist.EstimateSelectivity(Expr::CompareOp::kLt,
+                                        Value::Int(2500));
+  EXPECT_NEAR(sel, 0.25, 0.02);
+  sel = hist.EstimateSelectivity(Expr::CompareOp::kGe, Value::Int(9000));
+  EXPECT_NEAR(sel, 0.10, 0.02);
+}
+
+TEST(HistogramTest, OutOfRangeLiterals) {
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(Value::Int(i));
+  auto hist = EquiDepthHistogram::Build(values);
+  EXPECT_NEAR(hist.EstimateSelectivity(Expr::CompareOp::kEq,
+                                       Value::Int(99999)),
+              0.0, 1e-9);
+  EXPECT_NEAR(hist.EstimateSelectivity(Expr::CompareOp::kLt,
+                                       Value::Int(99999)),
+              1.0, 1e-9);
+  EXPECT_NEAR(hist.EstimateSelectivity(Expr::CompareOp::kGt,
+                                       Value::Int(-5)),
+              1.0, 1e-9);
+}
+
+TEST(HistogramTest, StringEquality) {
+  std::vector<Value> values;
+  const char* names[4] = {"a", "b", "c", "d"};
+  for (int i = 0; i < 4000; ++i) values.push_back(Value::String(names[i % 4]));
+  auto hist = EquiDepthHistogram::Build(values);
+  double sel = hist.EstimateSelectivity(Expr::CompareOp::kEq,
+                                        Value::String("b"));
+  EXPECT_NEAR(sel, 0.25, 0.1);
+}
+
+TEST(HistogramTest, EmptyInput) {
+  auto hist = EquiDepthHistogram::Build({});
+  EXPECT_EQ(hist.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(
+      hist.EstimateSelectivity(Expr::CompareOp::kEq, Value::Int(1)), 1.0);
+}
+
+TEST(HistogramTest, SkewedDataEquality) {
+  // 90% of values are 0; equality on the heavy hitter should be near 0.9 /
+  // (per-bucket ndv), i.e. much larger than on a rare value.
+  std::vector<Value> values;
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(Value::Int(rng.Bernoulli(0.9) ? 0 : rng.UniformInt(1, 100)));
+  }
+  auto hist = EquiDepthHistogram::Build(values);
+  double heavy =
+      hist.EstimateSelectivity(Expr::CompareOp::kEq, Value::Int(0));
+  double light =
+      hist.EstimateSelectivity(Expr::CompareOp::kEq, Value::Int(57));
+  EXPECT_GT(heavy, 10 * light);
+}
+
+// --- StatsStore ---
+
+TEST(StatsStoreTest, PutGetEraseAndCounters) {
+  StatsStore store;
+  EXPECT_FALSE(store.Get("sig").has_value());
+  EXPECT_EQ(store.misses(), 1u);
+  TableStats stats;
+  stats.cardinality = 42;
+  store.Put("sig", stats);
+  EXPECT_TRUE(store.Contains("sig"));
+  auto got = store.Get("sig");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->cardinality, 42.0);
+  EXPECT_EQ(store.hits(), 1u);
+  store.Erase("sig");
+  EXPECT_FALSE(store.Contains("sig"));
+  store.Put("a", stats);
+  store.Put("b", stats);
+  EXPECT_EQ(store.size(), 2u);
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(StatsStoreTest, PutOverwrites) {
+  StatsStore store;
+  TableStats s1;
+  s1.cardinality = 1;
+  TableStats s2;
+  s2.cardinality = 2;
+  store.Put("k", s1);
+  store.Put("k", s2);
+  EXPECT_DOUBLE_EQ(store.Get("k")->cardinality, 2.0);
+}
+
+}  // namespace
+}  // namespace dyno

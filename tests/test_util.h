@@ -1,0 +1,34 @@
+#ifndef DYNO_TESTS_TEST_UTIL_H_
+#define DYNO_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/row_ops.h"
+#include "lang/query.h"
+#include "storage/catalog.h"
+
+namespace dyno {
+
+/// Brute-force oracle: evaluates a join block by nested-loop joins over
+/// fully materialized tables. Only usable at test scale; results are
+/// returned in no particular order.
+Result<std::vector<Value>> NaiveEvaluateJoinBlock(Catalog* catalog,
+                                                  const JoinBlock& block);
+
+/// Recursively sorts struct fields by name: different join orders merge
+/// the same logical row with different field orders, and struct comparison
+/// is order-sensitive.
+Value CanonicalizeFieldOrder(const Value& v);
+
+/// Canonicalizes field order then sorts rows so result multisets compare.
+void SortRowsForComparison(std::vector<Value>* rows);
+
+/// Reads every row of a DFS file (fails the calling test on error).
+std::vector<Value> MustReadAll(const DfsFile& file);
+
+}  // namespace dyno
+
+#endif  // DYNO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,203 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/restaurant.h"
+
+namespace dyno {
+namespace {
+
+class TpchGenTest : public ::testing::Test {
+ protected:
+  TpchGenTest() : catalog_(&dfs_) {
+    TpchConfig config;
+    config.scale = 0.001;
+    EXPECT_TRUE(GenerateTpch(&catalog_, config).ok());
+  }
+
+  std::vector<Value> Rows(const std::string& table) {
+    auto file = catalog_.OpenTable(table);
+    EXPECT_TRUE(file.ok());
+    return MustReadAll(**file);
+  }
+
+  Dfs dfs_;
+  Catalog catalog_;
+};
+
+TEST_F(TpchGenTest, AllTablesRegistered) {
+  for (const char* table :
+       {"region", "nation", "nation1", "nation2", "supplier", "customer",
+        "part", "partsupp", "orders", "lineitem"}) {
+    EXPECT_TRUE(catalog_.Lookup(table).ok()) << table;
+  }
+}
+
+TEST_F(TpchGenTest, SizesMatchScale) {
+  TpchSizes sizes = ComputeTpchSizes(0.001);
+  EXPECT_EQ(Rows("region").size(), sizes.region);
+  EXPECT_EQ(Rows("nation").size(), sizes.nation);
+  EXPECT_EQ(Rows("supplier").size(), sizes.supplier);
+  EXPECT_EQ(Rows("customer").size(), sizes.customer);
+  EXPECT_EQ(Rows("part").size(), sizes.part);
+  EXPECT_EQ(Rows("partsupp").size(), sizes.partsupp);
+  EXPECT_EQ(Rows("orders").size(), sizes.orders);
+  // lineitem is 1..7 lines per order, expectation 4x.
+  size_t lineitem = Rows("lineitem").size();
+  EXPECT_GT(lineitem, 2 * sizes.orders);
+  EXPECT_LT(lineitem, 7 * sizes.orders);
+}
+
+TEST_F(TpchGenTest, ForeignKeysResolve) {
+  std::set<int64_t> nations;
+  for (const Value& row : Rows("nation")) {
+    nations.insert(row.FindField("n_nationkey")->int_value());
+  }
+  for (const Value& row : Rows("supplier")) {
+    EXPECT_TRUE(nations.count(row.FindField("s_nationkey")->int_value()));
+  }
+  std::set<int64_t> customers;
+  for (const Value& row : Rows("customer")) {
+    customers.insert(row.FindField("c_custkey")->int_value());
+  }
+  for (const Value& row : Rows("orders")) {
+    EXPECT_TRUE(customers.count(row.FindField("o_custkey")->int_value()));
+  }
+  std::set<int64_t> orders;
+  for (const Value& row : Rows("orders")) {
+    orders.insert(row.FindField("o_orderkey")->int_value());
+  }
+  for (const Value& row : Rows("lineitem")) {
+    ASSERT_TRUE(orders.count(row.FindField("l_orderkey")->int_value()));
+  }
+}
+
+TEST_F(TpchGenTest, LineitemSupplierConsistentWithPartsupp) {
+  // Every (l_partkey, l_suppkey) pair must exist in partsupp, otherwise
+  // Q9's ps⋈l join drops rows silently.
+  std::set<std::pair<int64_t, int64_t>> ps;
+  for (const Value& row : Rows("partsupp")) {
+    ps.emplace(row.FindField("ps_partkey")->int_value(),
+               row.FindField("ps_suppkey")->int_value());
+  }
+  for (const Value& row : Rows("lineitem")) {
+    std::pair<int64_t, int64_t> key = {
+        row.FindField("l_partkey")->int_value(),
+        row.FindField("l_suppkey")->int_value()};
+    ASSERT_TRUE(ps.count(key)) << key.first << "," << key.second;
+  }
+}
+
+TEST_F(TpchGenTest, ChannelClerkGroupCorrelated) {
+  int match = 0;
+  int total = 0;
+  std::map<std::string, int64_t> channel_index;
+  for (int i = 0; i < kNumChannels; ++i) channel_index[kChannelNames[i]] = i;
+  for (const Value& row : Rows("orders")) {
+    ++total;
+    if (channel_index[row.FindField("o_channel")->string_value()] ==
+        row.FindField("o_clerk_group")->int_value()) {
+      ++match;
+    }
+  }
+  double fidelity = static_cast<double>(match) / total;
+  EXPECT_GT(fidelity, 0.90) << "soft functional dependency expected";
+  EXPECT_LT(fidelity, 1.0) << "dependency should be soft, not exact";
+}
+
+TEST_F(TpchGenTest, NestedAddressesPresent) {
+  std::vector<Value> customers = Rows("customer");
+  const Value& row = customers[0];
+  const Value* addr = row.FindField("c_addr");
+  ASSERT_NE(addr, nullptr);
+  ASSERT_EQ(addr->type(), Value::Type::kArray);
+  ASSERT_GE(addr->array().size(), 1u);
+  EXPECT_NE(addr->array()[0].FindField("zip"), nullptr);
+}
+
+TEST_F(TpchGenTest, DeterministicForSameSeed) {
+  Dfs dfs2;
+  Catalog catalog2(&dfs2);
+  TpchConfig config;
+  config.scale = 0.001;
+  ASSERT_TRUE(GenerateTpch(&catalog2, config).ok());
+  auto a = catalog_.OpenTable("orders");
+  auto b = catalog2.OpenTable("orders");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto rows_a = ReadAllRows(**a);
+  auto rows_b = ReadAllRows(**b);
+  ASSERT_TRUE(rows_a.ok());
+  ASSERT_TRUE(rows_b.ok());
+  ASSERT_EQ(rows_a->size(), rows_b->size());
+  for (size_t i = 0; i < rows_a->size(); ++i) {
+    ASSERT_EQ((*rows_a)[i].Compare((*rows_b)[i]), 0);
+  }
+}
+
+TEST_F(TpchGenTest, QueriesValidateAgainstSchema) {
+  for (const NamedQuery& nq : MakeAllPaperQueries()) {
+    EXPECT_TRUE(ValidateJoinBlock(nq.query.join_block).ok()) << nq.name;
+    EXPECT_TRUE(IsJoinGraphConnected(nq.query.join_block)) << nq.name;
+    // Every referenced table must exist.
+    for (const TableRef& ref : nq.query.join_block.tables) {
+      EXPECT_TRUE(catalog_.Lookup(ref.table).ok())
+          << nq.name << ": " << ref.table;
+    }
+  }
+}
+
+TEST(HashFilterUdfTest, SelectivityApproximatelyHonored) {
+  ExprPtr udf = MakeHashFilterUdf("test_udf", {"id"}, 0.25, 10.0);
+  int kept = 0;
+  for (int i = 0; i < 20000; ++i) {
+    Value row = MakeRow({{"id", Value::Int(i)}});
+    auto v = udf->Eval(row);
+    ASSERT_TRUE(v.ok());
+    if (v->bool_value()) ++kept;
+  }
+  EXPECT_NEAR(kept / 20000.0, 0.25, 0.02);
+}
+
+TEST(HashFilterUdfTest, DeterministicAndSaltedByName) {
+  ExprPtr a1 = MakeHashFilterUdf("alpha", {"id"}, 0.5, 1.0);
+  ExprPtr a2 = MakeHashFilterUdf("alpha", {"id"}, 0.5, 1.0);
+  ExprPtr b = MakeHashFilterUdf("beta", {"id"}, 0.5, 1.0);
+  int differs = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Value row = MakeRow({{"id", Value::Int(i)}});
+    EXPECT_EQ(a1->Eval(row)->bool_value(), a2->Eval(row)->bool_value());
+    if (a1->Eval(row)->bool_value() != b->Eval(row)->bool_value()) ++differs;
+  }
+  EXPECT_GT(differs, 100) << "different names must filter differently";
+}
+
+TEST(RestaurantTest, CorrelationZipImpliesState) {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  RestaurantConfig config;
+  config.num_restaurants = 1000;
+  config.num_reviews = 100;
+  config.num_tweets = 100;
+  ASSERT_TRUE(GenerateRestaurantData(&catalog, config).ok());
+  auto file = catalog.OpenTable("restaurant");
+  ASSERT_TRUE(file.ok());
+  auto rows = ReadAllRows(**file);
+  ASSERT_TRUE(rows.ok());
+  int palo_alto = 0;
+  for (const Value& row : *rows) {
+    const Value& primary = row.FindField("rs_addr")->array()[0];
+    if (primary.FindField("zip")->int_value() == 94301) {
+      ++palo_alto;
+      EXPECT_EQ(primary.FindField("state")->string_value(), "CA")
+          << "zip 94301 must imply CA";
+    }
+  }
+  EXPECT_GT(palo_alto, 30);
+}
+
+}  // namespace
+}  // namespace dyno
