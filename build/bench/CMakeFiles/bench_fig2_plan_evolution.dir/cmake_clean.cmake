@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_plan_evolution.dir/bench_fig2_plan_evolution.cc.o"
+  "CMakeFiles/bench_fig2_plan_evolution.dir/bench_fig2_plan_evolution.cc.o.d"
+  "bench_fig2_plan_evolution"
+  "bench_fig2_plan_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_plan_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_star_plans.dir/bench_fig3_star_plans.cc.o"
+  "CMakeFiles/bench_fig3_star_plans.dir/bench_fig3_star_plans.cc.o.d"
+  "bench_fig3_star_plans"
+  "bench_fig3_star_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_star_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

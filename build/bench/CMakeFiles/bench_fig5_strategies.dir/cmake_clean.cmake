@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_strategies.dir/bench_fig5_strategies.cc.o"
+  "CMakeFiles/bench_fig5_strategies.dir/bench_fig5_strategies.cc.o.d"
+  "bench_fig5_strategies"
+  "bench_fig5_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_udf_selectivity.dir/bench_fig6_udf_selectivity.cc.o"
+  "CMakeFiles/bench_fig6_udf_selectivity.dir/bench_fig6_udf_selectivity.cc.o.d"
+  "bench_fig6_udf_selectivity"
+  "bench_fig6_udf_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_udf_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hive.dir/bench_fig8_hive.cc.o"
+  "CMakeFiles/bench_fig8_hive.dir/bench_fig8_hive.cc.o.d"
+  "bench_fig8_hive"
+  "bench_fig8_hive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

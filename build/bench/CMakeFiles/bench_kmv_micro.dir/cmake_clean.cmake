@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kmv_micro.dir/bench_kmv_micro.cc.o"
+  "CMakeFiles/bench_kmv_micro.dir/bench_kmv_micro.cc.o.d"
+  "bench_kmv_micro"
+  "bench_kmv_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kmv_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_micro.dir/bench_optimizer_micro.cc.o"
+  "CMakeFiles/bench_optimizer_micro.dir/bench_optimizer_micro.cc.o.d"
+  "bench_optimizer_micro"
+  "bench_optimizer_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pilr.dir/bench_table1_pilr.cc.o"
+  "CMakeFiles/bench_table1_pilr.dir/bench_table1_pilr.cc.o.d"
+  "bench_table1_pilr"
+  "bench_table1_pilr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pilr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

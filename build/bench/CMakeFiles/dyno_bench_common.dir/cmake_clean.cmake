@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/dyno_bench_common.dir/bench_common.cc.o.d"
+  "libdyno_bench_common.a"
+  "libdyno_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

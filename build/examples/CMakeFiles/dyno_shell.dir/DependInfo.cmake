@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dyno_shell.cpp" "examples/CMakeFiles/dyno_shell.dir/dyno_shell.cpp.o" "gcc" "examples/CMakeFiles/dyno_shell.dir/dyno_shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/dyno_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dyno/CMakeFiles/dyno_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/dyno_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pilot/CMakeFiles/dyno_pilot.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/dyno_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dyno_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dyno_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/dyno_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dyno_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dyno_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dyno_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dyno_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyno_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_shell.dir/dyno_shell.cpp.o"
+  "CMakeFiles/dyno_shell.dir/dyno_shell.cpp.o.d"
+  "dyno_shell"
+  "dyno_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_block.dir/multi_block.cpp.o"
+  "CMakeFiles/multi_block.dir/multi_block.cpp.o.d"
+  "multi_block"
+  "multi_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

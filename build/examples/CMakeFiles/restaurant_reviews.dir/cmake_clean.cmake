@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_reviews.dir/restaurant_reviews.cpp.o"
+  "CMakeFiles/restaurant_reviews.dir/restaurant_reviews.cpp.o.d"
+  "restaurant_reviews"
+  "restaurant_reviews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_reviews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

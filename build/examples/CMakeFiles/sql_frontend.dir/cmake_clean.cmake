@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_frontend.dir/sql_frontend.cpp.o"
+  "CMakeFiles/sql_frontend.dir/sql_frontend.cpp.o.d"
+  "sql_frontend"
+  "sql_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema_udf.dir/star_schema_udf.cpp.o"
+  "CMakeFiles/star_schema_udf.dir/star_schema_udf.cpp.o.d"
+  "star_schema_udf"
+  "star_schema_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for star_schema_udf.
+# This may be replaced when dependencies are built.

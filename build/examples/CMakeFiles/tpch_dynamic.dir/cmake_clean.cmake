@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_dynamic.dir/tpch_dynamic.cpp.o"
+  "CMakeFiles/tpch_dynamic.dir/tpch_dynamic.cpp.o.d"
+  "tpch_dynamic"
+  "tpch_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("storage")
+subdirs("mr")
+subdirs("expr")
+subdirs("stats")
+subdirs("lang")
+subdirs("exec")
+subdirs("optimizer")
+subdirs("pilot")
+subdirs("dyno")
+subdirs("baselines")
+subdirs("tpch")

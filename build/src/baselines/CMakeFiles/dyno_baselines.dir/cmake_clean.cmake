@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_baselines.dir/best_static.cc.o"
+  "CMakeFiles/dyno_baselines.dir/best_static.cc.o.d"
+  "CMakeFiles/dyno_baselines.dir/exact_stats.cc.o"
+  "CMakeFiles/dyno_baselines.dir/exact_stats.cc.o.d"
+  "CMakeFiles/dyno_baselines.dir/relopt.cc.o"
+  "CMakeFiles/dyno_baselines.dir/relopt.cc.o.d"
+  "libdyno_baselines.a"
+  "libdyno_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

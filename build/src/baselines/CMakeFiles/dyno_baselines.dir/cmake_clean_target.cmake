@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdyno_baselines.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_common.dir/random.cc.o"
+  "CMakeFiles/dyno_common.dir/random.cc.o.d"
+  "CMakeFiles/dyno_common.dir/sim_time.cc.o"
+  "CMakeFiles/dyno_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/dyno_common.dir/status.cc.o"
+  "CMakeFiles/dyno_common.dir/status.cc.o.d"
+  "CMakeFiles/dyno_common.dir/string_util.cc.o"
+  "CMakeFiles/dyno_common.dir/string_util.cc.o.d"
+  "libdyno_common.a"
+  "libdyno_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_core.dir/driver.cc.o"
+  "CMakeFiles/dyno_core.dir/driver.cc.o.d"
+  "CMakeFiles/dyno_core.dir/strategy.cc.o"
+  "CMakeFiles/dyno_core.dir/strategy.cc.o.d"
+  "libdyno_core.a"
+  "libdyno_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_exec.dir/aggregates.cc.o"
+  "CMakeFiles/dyno_exec.dir/aggregates.cc.o.d"
+  "CMakeFiles/dyno_exec.dir/broadcast.cc.o"
+  "CMakeFiles/dyno_exec.dir/broadcast.cc.o.d"
+  "CMakeFiles/dyno_exec.dir/plan_executor.cc.o"
+  "CMakeFiles/dyno_exec.dir/plan_executor.cc.o.d"
+  "CMakeFiles/dyno_exec.dir/row_ops.cc.o"
+  "CMakeFiles/dyno_exec.dir/row_ops.cc.o.d"
+  "libdyno_exec.a"
+  "libdyno_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_expr.dir/expr.cc.o"
+  "CMakeFiles/dyno_expr.dir/expr.cc.o.d"
+  "libdyno_expr.a"
+  "libdyno_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

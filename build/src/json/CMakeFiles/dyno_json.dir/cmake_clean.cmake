@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_json.dir/value.cc.o"
+  "CMakeFiles/dyno_json.dir/value.cc.o.d"
+  "libdyno_json.a"
+  "libdyno_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

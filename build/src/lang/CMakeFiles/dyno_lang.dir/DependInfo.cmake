@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/dyno_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/dyno_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/plan.cc" "src/lang/CMakeFiles/dyno_lang.dir/plan.cc.o" "gcc" "src/lang/CMakeFiles/dyno_lang.dir/plan.cc.o.d"
+  "/root/repo/src/lang/query.cc" "src/lang/CMakeFiles/dyno_lang.dir/query.cc.o" "gcc" "src/lang/CMakeFiles/dyno_lang.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/dyno_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dyno_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyno_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_lang.dir/parser.cc.o"
+  "CMakeFiles/dyno_lang.dir/parser.cc.o.d"
+  "CMakeFiles/dyno_lang.dir/plan.cc.o"
+  "CMakeFiles/dyno_lang.dir/plan.cc.o.d"
+  "CMakeFiles/dyno_lang.dir/query.cc.o"
+  "CMakeFiles/dyno_lang.dir/query.cc.o.d"
+  "libdyno_lang.a"
+  "libdyno_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/coordinator.cc" "src/mr/CMakeFiles/dyno_mr.dir/coordinator.cc.o" "gcc" "src/mr/CMakeFiles/dyno_mr.dir/coordinator.cc.o.d"
+  "/root/repo/src/mr/engine.cc" "src/mr/CMakeFiles/dyno_mr.dir/engine.cc.o" "gcc" "src/mr/CMakeFiles/dyno_mr.dir/engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/dyno_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dyno_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyno_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

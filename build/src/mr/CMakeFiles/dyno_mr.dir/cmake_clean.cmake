@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_mr.dir/coordinator.cc.o"
+  "CMakeFiles/dyno_mr.dir/coordinator.cc.o.d"
+  "CMakeFiles/dyno_mr.dir/engine.cc.o"
+  "CMakeFiles/dyno_mr.dir/engine.cc.o.d"
+  "libdyno_mr.a"
+  "libdyno_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_optimizer.dir/join_graph.cc.o"
+  "CMakeFiles/dyno_optimizer.dir/join_graph.cc.o.d"
+  "CMakeFiles/dyno_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/dyno_optimizer.dir/optimizer.cc.o.d"
+  "libdyno_optimizer.a"
+  "libdyno_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_pilot.dir/pilot_runner.cc.o"
+  "CMakeFiles/dyno_pilot.dir/pilot_runner.cc.o.d"
+  "CMakeFiles/dyno_pilot.dir/predicate_order.cc.o"
+  "CMakeFiles/dyno_pilot.dir/predicate_order.cc.o.d"
+  "libdyno_pilot.a"
+  "libdyno_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cords.cc" "src/stats/CMakeFiles/dyno_stats.dir/cords.cc.o" "gcc" "src/stats/CMakeFiles/dyno_stats.dir/cords.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/dyno_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/dyno_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/kmv.cc" "src/stats/CMakeFiles/dyno_stats.dir/kmv.cc.o" "gcc" "src/stats/CMakeFiles/dyno_stats.dir/kmv.cc.o.d"
+  "/root/repo/src/stats/stats_store.cc" "src/stats/CMakeFiles/dyno_stats.dir/stats_store.cc.o" "gcc" "src/stats/CMakeFiles/dyno_stats.dir/stats_store.cc.o.d"
+  "/root/repo/src/stats/table_stats.cc" "src/stats/CMakeFiles/dyno_stats.dir/table_stats.cc.o" "gcc" "src/stats/CMakeFiles/dyno_stats.dir/table_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/dyno_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dyno_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dyno_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyno_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_stats.dir/cords.cc.o"
+  "CMakeFiles/dyno_stats.dir/cords.cc.o.d"
+  "CMakeFiles/dyno_stats.dir/histogram.cc.o"
+  "CMakeFiles/dyno_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dyno_stats.dir/kmv.cc.o"
+  "CMakeFiles/dyno_stats.dir/kmv.cc.o.d"
+  "CMakeFiles/dyno_stats.dir/stats_store.cc.o"
+  "CMakeFiles/dyno_stats.dir/stats_store.cc.o.d"
+  "CMakeFiles/dyno_stats.dir/table_stats.cc.o"
+  "CMakeFiles/dyno_stats.dir/table_stats.cc.o.d"
+  "libdyno_stats.a"
+  "libdyno_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

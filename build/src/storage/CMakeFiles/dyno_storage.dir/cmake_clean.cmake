@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_storage.dir/catalog.cc.o"
+  "CMakeFiles/dyno_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/dyno_storage.dir/dfs.cc.o"
+  "CMakeFiles/dyno_storage.dir/dfs.cc.o.d"
+  "libdyno_storage.a"
+  "libdyno_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/dbgen.cc" "src/tpch/CMakeFiles/dyno_tpch.dir/dbgen.cc.o" "gcc" "src/tpch/CMakeFiles/dyno_tpch.dir/dbgen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/tpch/CMakeFiles/dyno_tpch.dir/queries.cc.o" "gcc" "src/tpch/CMakeFiles/dyno_tpch.dir/queries.cc.o.d"
+  "/root/repo/src/tpch/restaurant.cc" "src/tpch/CMakeFiles/dyno_tpch.dir/restaurant.cc.o" "gcc" "src/tpch/CMakeFiles/dyno_tpch.dir/restaurant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/dyno_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dyno_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dyno_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dyno_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dyno_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

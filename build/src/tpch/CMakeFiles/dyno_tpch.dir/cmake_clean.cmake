@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/dyno_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/dyno_tpch.dir/queries.cc.o"
+  "CMakeFiles/dyno_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/dyno_tpch.dir/restaurant.cc.o"
+  "CMakeFiles/dyno_tpch.dir/restaurant.cc.o.d"
+  "libdyno_tpch.a"
+  "libdyno_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

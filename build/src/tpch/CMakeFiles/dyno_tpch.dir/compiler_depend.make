@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dyno_tpch.
+# This may be replaced when dependencies are built.

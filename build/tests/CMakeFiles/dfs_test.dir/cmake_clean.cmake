@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_test.dir/dfs_test.cc.o"
+  "CMakeFiles/dfs_test.dir/dfs_test.cc.o.d"
+  "dfs_test"
+  "dfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

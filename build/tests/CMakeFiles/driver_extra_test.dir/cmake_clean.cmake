@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_extra_test.dir/driver_extra_test.cc.o"
+  "CMakeFiles/driver_extra_test.dir/driver_extra_test.cc.o.d"
+  "driver_extra_test"
+  "driver_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

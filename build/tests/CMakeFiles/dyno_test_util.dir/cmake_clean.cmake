@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyno_test_util.dir/test_util.cc.o"
+  "CMakeFiles/dyno_test_util.dir/test_util.cc.o.d"
+  "libdyno_test_util.a"
+  "libdyno_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyno_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdyno_test_util.a"
+)

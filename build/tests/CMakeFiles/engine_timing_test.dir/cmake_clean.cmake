@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_timing_test.dir/engine_timing_test.cc.o"
+  "CMakeFiles/engine_timing_test.dir/engine_timing_test.cc.o.d"
+  "engine_timing_test"
+  "engine_timing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_extra_test.dir/exec_extra_test.cc.o"
+  "CMakeFiles/exec_extra_test.dir/exec_extra_test.cc.o.d"
+  "exec_extra_test"
+  "exec_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_fuzz_test.dir/json_fuzz_test.cc.o"
+  "CMakeFiles/json_fuzz_test.dir/json_fuzz_test.cc.o.d"
+  "json_fuzz_test"
+  "json_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_test.dir/lang_test.cc.o"
+  "CMakeFiles/lang_test.dir/lang_test.cc.o.d"
+  "lang_test"
+  "lang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

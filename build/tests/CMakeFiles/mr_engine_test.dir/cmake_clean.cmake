@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_engine_test.dir/mr_engine_test.cc.o"
+  "CMakeFiles/mr_engine_test.dir/mr_engine_test.cc.o.d"
+  "mr_engine_test"
+  "mr_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_extra_test.dir/mr_extra_test.cc.o"
+  "CMakeFiles/mr_extra_test.dir/mr_extra_test.cc.o.d"
+  "mr_extra_test"
+  "mr_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilot_test.dir/pilot_test.cc.o"
+  "CMakeFiles/pilot_test.dir/pilot_test.cc.o.d"
+  "pilot_test"
+  "pilot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
