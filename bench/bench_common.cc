@@ -1,8 +1,27 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 namespace dyno::bench {
+
+namespace {
+
+/// Worker threads for task execution: DYNO_EXECUTION_THREADS when set,
+/// otherwise every hardware thread. Simulated results are identical either
+/// way; only bench wall-clock changes.
+int ExecutionThreads() {
+  const char* env = std::getenv("DYNO_EXECUTION_THREADS");
+  if (env != nullptr) {
+    int parsed = std::atoi(env);
+    return parsed >= 1 ? parsed : 1;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
 
 double ScaleFor(const std::string& sf_name) {
   if (sf_name == "SF100") return 0.002;
@@ -36,6 +55,7 @@ std::unique_ptr<Scenario> MakeScenario(const std::string& sf_name,
   scenario->cluster.reduce_write_bytes_per_ms = 4.0;
   scenario->cluster.side_load_bytes_per_ms = 100.0;
   scenario->cluster.cpu_units_per_ms = 500.0;
+  scenario->cluster.execution_threads = ExecutionThreads();
   scenario->engine =
       std::make_unique<MapReduceEngine>(&scenario->dfs, scenario->cluster);
   scenario->catalog = std::make_unique<Catalog>(&scenario->dfs);

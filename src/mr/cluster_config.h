@@ -54,6 +54,15 @@ struct ClusterConfig {
   /// Default split-to-reduce-task ratio when a job does not pin the reducer
   /// count: one reduce task per this many bytes of map output (Hive-like).
   uint64_t bytes_per_reduce_task = 64 * 1024;
+
+  /// Number of OS worker threads the engine uses to execute task data flows
+  /// (map/reduce functions over real records). Purely a wall-clock knob:
+  /// tasks are dispatched when the event loop launches them and their
+  /// results are committed back in deterministic launch order, so simulated
+  /// timestamps, counters and DFS outputs are bit-identical for every value
+  /// of this setting. <= 1 runs task data flows inline on the caller's
+  /// thread (no pool).
+  int execution_threads = 1;
 };
 
 }  // namespace dyno

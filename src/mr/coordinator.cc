@@ -3,31 +3,34 @@
 namespace dyno {
 
 int64_t Coordinator::Increment(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   return counters_[name] += delta;
 }
 
 int64_t Coordinator::GetCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void Coordinator::ResetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.erase(name);
 }
 
 void Coordinator::Publish(const std::string& channel, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   channels_[channel].push_back(std::move(payload));
 }
 
-const std::vector<std::string>& Coordinator::Fetch(
-    const std::string& channel) const {
-  static const std::vector<std::string>* kEmpty =
-      new std::vector<std::string>();
+std::vector<std::string> Coordinator::Fetch(const std::string& channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = channels_.find(channel);
-  return it == channels_.end() ? *kEmpty : it->second;
+  return it == channels_.end() ? std::vector<std::string>() : it->second;
 }
 
 void Coordinator::ClearChannel(const std::string& channel) {
+  std::lock_guard<std::mutex> lock(mu_);
   channels_.erase(channel);
 }
 

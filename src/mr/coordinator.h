@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,13 @@ namespace dyno {
 /// registry where finished tasks publish the URLs of their partial
 /// statistics files so the client can combine them without an extra MR job
 /// (paper §4.2, §5.4).
+///
+/// Thread-safety: all operations are internally synchronized, because map
+/// tasks running on the engine's worker threads increment counters
+/// concurrently (just like tasks hitting a real ZooKeeper ensemble).
+/// Counter totals are commutative, so the values observed at the engine's
+/// deterministic read points (no tasks in flight) are thread-count
+/// independent. `Fetch` returns a snapshot copy for the same reason.
 class Coordinator {
  public:
   Coordinator() = default;
@@ -33,11 +41,12 @@ class Coordinator {
   void Publish(const std::string& channel, std::string payload);
 
   /// All payloads published to `channel`, in publication order.
-  const std::vector<std::string>& Fetch(const std::string& channel) const;
+  std::vector<std::string> Fetch(const std::string& channel) const;
 
   void ClearChannel(const std::string& channel);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, std::vector<std::string>> channels_;
 };

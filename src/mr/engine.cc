@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "mr/worker_pool.h"
 
 namespace dyno {
 
@@ -44,6 +45,8 @@ struct RunningJob {
   int map_seq = 0;  ///< Tasks launched so far (distributed-cache billing).
 
   /// Shuffle buffer: all (key, value) emissions with their encoded size.
+  /// Only touched on the scheduler thread — worker-side emissions are
+  /// buffered per task and merged here in launch order.
   std::vector<std::pair<Value, Value>> emissions;
   uint64_t emission_bytes = 0;
 
@@ -77,30 +80,50 @@ struct EventLater {
   }
 };
 
-/// MapContext implementation that buffers into the running job's state.
+/// Everything one task's data flow produces. Filled on a worker thread,
+/// then merged into the RunningJob on the scheduler thread in deterministic
+/// launch order — the worker never touches shared job state.
+struct TaskOutcome {
+  Status status;
+  Split output;  ///< Records written via ctx->Output().
+  std::vector<std::pair<Value, Value>> emissions;
+  uint64_t emitted_bytes = 0;
+  uint64_t input_records = 0;
+  uint64_t input_bytes = 0;          ///< Map only; 0 when the task errored.
+  uint64_t reduce_input_records = 0;
+  uint64_t reduce_input_bytes = 0;
+  double cpu_units = 0.0;  ///< Excludes observer charges (added at commit).
+};
+
+/// One launched task: the inputs decided by the scheduler plus the outcome
+/// produced by the worker.
+struct TaskLaunch {
+  RunningJob* job = nullptr;
+  bool is_map = true;
+  MapTaskRef map_ref{0, 0};
+  const Split* split = nullptr;  ///< Input split (map tasks).
+  int partition = -1;            ///< Reduce tasks.
+  int task_index = 0;
+  SimMillis setup_ms = 0;  ///< Side-data load charge, decided at launch.
+  std::vector<std::pair<Value, Value>> bucket;  ///< Reduce input, moved in.
+  TaskOutcome outcome;
+};
+
+/// MapContext implementation that buffers into the task's own outcome.
 class TaskMapContext : public MapContext {
  public:
-  TaskMapContext(RunningJob* job, Split* task_output, int task_index)
-      : job_(job), task_output_(task_output), task_index_(task_index) {}
+  TaskMapContext(TaskOutcome* out, int task_index)
+      : out_(out), task_index_(task_index) {}
 
   void Emit(Value key, Value value) override {
     size_t bytes = key.EncodedSize() + value.EncodedSize();
-    job_->emission_bytes += bytes;
-    job_->result.counters.map_output_records += 1;
-    job_->result.counters.map_output_bytes += bytes;
-    emitted_bytes_ += bytes;
-    job_->emissions.emplace_back(std::move(key), std::move(value));
+    out_->emitted_bytes += bytes;
+    out_->emissions.emplace_back(std::move(key), std::move(value));
   }
 
   void Output(Value record) override {
-    if (job_->spec->output_observer) {
-      job_->spec->output_observer(record);
-      extra_cpu_ += job_->spec->observer_cpu_per_record;
-      job_->observer_cpu_units += job_->spec->observer_cpu_per_record;
-    }
-    record.EncodeTo(&task_output_->data);
-    task_output_->num_records += 1;
-    job_->result.counters.output_records += 1;
+    record.EncodeTo(&out_->output.data);
+    out_->output.num_records += 1;
   }
 
   void ChargeCpu(double units) override { extra_cpu_ += units; }
@@ -108,30 +131,20 @@ class TaskMapContext : public MapContext {
   int task_index() const override { return task_index_; }
 
   double extra_cpu() const { return extra_cpu_; }
-  uint64_t emitted_bytes() const { return emitted_bytes_; }
 
  private:
-  RunningJob* job_;
-  Split* task_output_;
+  TaskOutcome* out_;
   int task_index_;
   double extra_cpu_ = 0.0;
-  uint64_t emitted_bytes_ = 0;
 };
 
 class TaskReduceContext : public ReduceContext {
  public:
-  TaskReduceContext(RunningJob* job, Split* task_output)
-      : job_(job), task_output_(task_output) {}
+  explicit TaskReduceContext(TaskOutcome* out) : out_(out) {}
 
   void Output(Value record) override {
-    if (job_->spec->output_observer) {
-      job_->spec->output_observer(record);
-      extra_cpu_ += job_->spec->observer_cpu_per_record;
-      job_->observer_cpu_units += job_->spec->observer_cpu_per_record;
-    }
-    record.EncodeTo(&task_output_->data);
-    task_output_->num_records += 1;
-    job_->result.counters.output_records += 1;
+    record.EncodeTo(&out_->output.data);
+    out_->output.num_records += 1;
   }
 
   void ChargeCpu(double units) override { extra_cpu_ += units; }
@@ -139,8 +152,7 @@ class TaskReduceContext : public ReduceContext {
   double extra_cpu() const { return extra_cpu_; }
 
  private:
-  RunningJob* job_;
-  Split* task_output_;
+  TaskOutcome* out_;
   double extra_cpu_ = 0.0;
 };
 
@@ -149,10 +161,86 @@ SimMillis CeilDiv(double amount, double rate) {
   return static_cast<SimMillis>(std::ceil(amount / rate));
 }
 
+/// Runs one map task's data flow. Worker-thread safe: reads only the
+/// immutable spec/split and writes only the task-local outcome. (User map
+/// functions may still touch shared state of their own — e.g. Coordinator
+/// counters — which must be internally synchronized and commutative.)
+void ExecuteMapTask(const MapInput& input, const Split& split,
+                    int task_index, TaskOutcome* out) {
+  TaskMapContext ctx(out, task_index);
+  SplitReader reader(&split);
+  while (!reader.AtEnd()) {
+    Result<Value> record = reader.Next();
+    if (!record.ok()) {
+      out->status = record.status();
+      return;
+    }
+    out->input_records += 1;
+    out->cpu_units += 1.0 + input.cpu_per_record;
+    Status st = input.map_fn(*record, &ctx);
+    if (!st.ok()) {
+      out->status = st;
+      return;
+    }
+  }
+  out->input_bytes = split.num_bytes();
+  if (input.flush_fn) {
+    Status st = input.flush_fn(&ctx);
+    if (!st.ok()) {
+      out->status = st;
+      return;
+    }
+  }
+  out->cpu_units += ctx.extra_cpu();
+}
+
+/// Runs one reduce task's data flow over its (moved-in) partition bucket.
+void ExecuteReduceTask(const JobSpec& spec,
+                       std::vector<std::pair<Value, Value>> bucket,
+                       TaskOutcome* out) {
+  std::stable_sort(bucket.begin(), bucket.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.Compare(b.first) < 0;
+                   });
+  for (const auto& [key, value] : bucket) {
+    out->reduce_input_bytes += key.EncodedSize() + value.EncodedSize();
+  }
+  out->reduce_input_records = bucket.size();
+
+  TaskReduceContext ctx(out);
+  out->cpu_units += static_cast<double>(bucket.size());
+  size_t i = 0;
+  while (i < bucket.size()) {
+    size_t j = i + 1;
+    while (j < bucket.size() &&
+           bucket[j].first.Compare(bucket[i].first) == 0) {
+      ++j;
+    }
+    std::vector<Value> values;
+    values.reserve(j - i);
+    for (size_t k = i; k < j; ++k) values.push_back(bucket[k].second);
+    Status st = spec.reduce_fn(bucket[i].first, values, &ctx);
+    if (!st.ok()) {
+      out->status = st;
+      return;
+    }
+    i = j;
+  }
+  out->cpu_units += ctx.extra_cpu();
+
+  // n log n sort charge for the merge-sort of this partition.
+  if (!bucket.empty()) {
+    out->cpu_units += static_cast<double>(bucket.size()) *
+                      std::log2(static_cast<double>(bucket.size()) + 1.0);
+  }
+}
+
 }  // namespace
 
 MapReduceEngine::MapReduceEngine(Dfs* dfs, ClusterConfig config)
     : dfs_(dfs), config_(config) {}
+
+MapReduceEngine::~MapReduceEngine() = default;
 
 Result<JobResult> MapReduceEngine::Submit(const JobSpec& spec) {
   DYNO_ASSIGN_OR_RETURN(std::vector<JobResult> results, SubmitAll({spec}));
@@ -218,6 +306,15 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     }
   }
 
+  // Size the worker pool to the configured thread count. The pool persists
+  // across submissions and is resized lazily when the config changes.
+  int want_threads = config_.execution_threads;
+  if (want_threads <= 1) {
+    pool_.reset();
+  } else if (pool_ == nullptr || pool_->size() != want_threads) {
+    pool_ = std::make_unique<WorkerPool>(want_threads);
+  }
+
   // --- Discrete-event simulation. ---
   std::priority_queue<Event, std::vector<Event>, EventLater> events;
   uint64_t seq = 0;
@@ -229,19 +326,26 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
   int free_reduce_slots = config_.reduce_slots;
   int unfinished = static_cast<int>(jobs.size());
 
+  // Tears down a failed job once its last in-flight task has drained (or
+  // immediately when none are in flight). The single home for the teardown
+  // sequence formerly duplicated across fail_job and the kMapDone /
+  // kReduceDone handlers.
+  auto drain_failed_job = [&](RunningJob* job) {
+    if (!job->failed || job->phase == JobPhase::kDone) return;
+    if (job->active_map_tasks != 0 || job->active_reduce_tasks != 0) return;
+    job->phase = JobPhase::kDone;
+    job->result.finish_time_ms = now_;
+    dfs_->Delete(job->spec->output_path).ok();
+    job->output = nullptr;
+    --unfinished;
+  };
+
   auto fail_job = [&](RunningJob* job, Status status) {
     job->failed = true;
     job->result.status = std::move(status);
     job->pending_map.clear();
     job->pending_reduce.clear();
-    if (job->active_map_tasks == 0 && job->active_reduce_tasks == 0) {
-      job->phase = JobPhase::kDone;
-      job->result.finish_time_ms = now_;
-      dfs_->Delete(job->spec->output_path).ok();
-      job->output = nullptr;
-      --unfinished;
-    }
-    // Otherwise the job is torn down when its last active task drains.
+    drain_failed_job(job);
   };
 
   auto finish_job = [&](RunningJob* job) {
@@ -263,101 +367,6 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     }
     return CeilDiv(static_cast<double>(bytes),
                    config_.side_load_bytes_per_ms);
-  };
-
-  // Runs one map task's data flow; returns its simulated duration.
-  auto run_map_task = [&](RunningJob* job, MapTaskRef task,
-                          SimMillis* duration) -> Status {
-    const MapInput& input = job->spec->inputs[task.input_index];
-    const Split& split = input.file->splits()[task.split_index];
-    SimMillis setup = side_load_ms(job);
-    ++job->map_seq;
-
-    Split task_output;
-    TaskMapContext ctx(job, &task_output, job->map_seq - 1);
-    double cpu_units = 0.0;
-    SplitReader reader(&split);
-    while (!reader.AtEnd()) {
-      DYNO_ASSIGN_OR_RETURN(Value record, reader.Next());
-      job->result.counters.map_input_records += 1;
-      cpu_units += 1.0 + input.cpu_per_record;
-      DYNO_RETURN_IF_ERROR(input.map_fn(record, &ctx));
-    }
-    job->result.counters.map_input_bytes += split.num_bytes();
-    if (input.flush_fn) {
-      DYNO_RETURN_IF_ERROR(input.flush_fn(&ctx));
-    }
-    cpu_units += ctx.extra_cpu();
-
-    uint64_t written_bytes =
-        job->spec->reduce_fn ? ctx.emitted_bytes() : task_output.num_bytes();
-    *duration =
-        setup +
-        CeilDiv(static_cast<double>(split.num_bytes()),
-                config_.map_read_bytes_per_ms) +
-        CeilDiv(cpu_units, config_.cpu_units_per_ms) +
-        CeilDiv(static_cast<double>(written_bytes),
-                config_.map_write_bytes_per_ms);
-    if (!job->spec->reduce_fn && task_output.num_records > 0) {
-      job->result.counters.output_bytes += task_output.num_bytes();
-      job->output->AppendSplit(std::move(task_output));
-    }
-    ++job->result.map_tasks_run;
-    return Status::OK();
-  };
-
-  // Runs one reduce task's data flow; returns its simulated duration.
-  auto run_reduce_task = [&](RunningJob* job, int partition,
-                             SimMillis* duration) -> Status {
-    auto& bucket = job->partitions[partition];
-    std::stable_sort(bucket.begin(), bucket.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first.Compare(b.first) < 0;
-                     });
-    uint64_t in_bytes = 0;
-    for (const auto& [key, value] : bucket) {
-      in_bytes += key.EncodedSize() + value.EncodedSize();
-    }
-    job->result.counters.reduce_input_records += bucket.size();
-
-    Split task_output;
-    TaskReduceContext ctx(job, &task_output);
-    double cpu_units = static_cast<double>(bucket.size());
-    size_t i = 0;
-    while (i < bucket.size()) {
-      size_t j = i + 1;
-      while (j < bucket.size() &&
-             bucket[j].first.Compare(bucket[i].first) == 0) {
-        ++j;
-      }
-      std::vector<Value> values;
-      values.reserve(j - i);
-      for (size_t k = i; k < j; ++k) values.push_back(bucket[k].second);
-      DYNO_RETURN_IF_ERROR(
-          job->spec->reduce_fn(bucket[i].first, values, &ctx));
-      i = j;
-    }
-    cpu_units += ctx.extra_cpu();
-
-    // n log n sort charge for the merge-sort of this partition.
-    if (!bucket.empty()) {
-      cpu_units += static_cast<double>(bucket.size()) *
-                   std::log2(static_cast<double>(bucket.size()) + 1.0);
-    }
-
-    *duration = CeilDiv(static_cast<double>(in_bytes),
-                        config_.reduce_read_bytes_per_ms) +
-                CeilDiv(cpu_units, config_.cpu_units_per_ms) +
-                CeilDiv(static_cast<double>(task_output.num_bytes()),
-                        config_.reduce_write_bytes_per_ms);
-    if (task_output.num_records > 0) {
-      job->result.counters.output_bytes += task_output.num_bytes();
-      job->output->AppendSplit(std::move(task_output));
-    }
-    bucket.clear();
-    bucket.shrink_to_fit();
-    ++job->result.reduce_tasks_run;
-    return Status::OK();
   };
 
   // Transition after the map phase drains.
@@ -391,29 +400,128 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                  job->job_index});
   };
 
-  // Assigns free slots to pending tasks, FIFO across jobs.
+  // Replays a task's output records through the job's output observer —
+  // on the scheduler thread, in launch order, so observer state is updated
+  // deterministically and never concurrently. Returns the CPU charge.
+  auto replay_observer = [&](RunningJob* job, const Split& out) -> double {
+    if (!job->spec->output_observer || out.num_records == 0) return 0.0;
+    SplitReader reader(&out);
+    while (!reader.AtEnd()) {
+      Result<Value> record = reader.Next();
+      if (!record.ok()) break;  // Unreachable: we encoded these records.
+      job->spec->output_observer(*record);
+    }
+    double charge = static_cast<double>(out.num_records) *
+                    job->spec->observer_cpu_per_record;
+    job->observer_cpu_units += charge;
+    return charge;
+  };
+
+  // Commits one finished task back into its job: counters, emissions,
+  // observer replay, output splits, simulated duration and completion
+  // event. Runs on the scheduler thread in launch order.
+  auto commit_task = [&](TaskLaunch& t) {
+    RunningJob* job = t.job;
+    TaskOutcome& o = t.outcome;
+    bool already_failed = job->failed;
+    double cpu = o.cpu_units;
+    SimMillis duration = 0;
+    if (t.is_map) {
+      if (!already_failed) {
+        Counters& c = job->result.counters;
+        c.map_input_records += o.input_records;
+        c.map_input_bytes += o.input_bytes;
+        c.map_output_records += o.emissions.size();
+        c.map_output_bytes += o.emitted_bytes;
+        c.output_records += o.output.num_records;
+        if (o.status.ok()) {
+          cpu += replay_observer(job, o.output);
+          job->emission_bytes += o.emitted_bytes;
+          for (auto& kv : o.emissions) {
+            job->emissions.push_back(std::move(kv));
+          }
+          ++job->result.map_tasks_run;
+        }
+      }
+      uint64_t written_bytes = job->spec->reduce_fn
+                                   ? o.emitted_bytes
+                                   : o.output.num_bytes();
+      duration = t.setup_ms +
+                 CeilDiv(static_cast<double>(t.split->num_bytes()),
+                         config_.map_read_bytes_per_ms) +
+                 CeilDiv(cpu, config_.cpu_units_per_ms) +
+                 CeilDiv(static_cast<double>(written_bytes),
+                         config_.map_write_bytes_per_ms);
+      if (!already_failed && o.status.ok() && !job->spec->reduce_fn &&
+          o.output.num_records > 0) {
+        job->result.counters.output_bytes += o.output.num_bytes();
+        job->output->AppendSplit(std::move(o.output));
+      }
+      events.push({now_ + duration, seq++, EventKind::kMapDone,
+                   job->job_index});
+    } else {
+      if (!already_failed) {
+        Counters& c = job->result.counters;
+        c.reduce_input_records += o.reduce_input_records;
+        c.output_records += o.output.num_records;
+        if (o.status.ok()) {
+          cpu += replay_observer(job, o.output);
+          ++job->result.reduce_tasks_run;
+        }
+      }
+      duration = CeilDiv(static_cast<double>(o.reduce_input_bytes),
+                         config_.reduce_read_bytes_per_ms) +
+                 CeilDiv(cpu, config_.cpu_units_per_ms) +
+                 CeilDiv(static_cast<double>(o.output.num_bytes()),
+                         config_.reduce_write_bytes_per_ms);
+      if (!already_failed && o.status.ok() && o.output.num_records > 0) {
+        job->result.counters.output_bytes += o.output.num_bytes();
+        job->output->AppendSplit(std::move(o.output));
+      }
+      events.push({now_ + duration, seq++, EventKind::kReduceDone,
+                   job->job_index});
+    }
+    if (!already_failed && !o.status.ok()) {
+      fail_job(job, o.status);
+    }
+  };
+
+  // Assigns free slots to pending tasks (FIFO across jobs), executes the
+  // resulting wave of task data flows — in parallel on the worker pool when
+  // one is configured — and commits the outcomes in launch order. All
+  // launch decisions, including stop-condition checks, observe only
+  // *committed* state: no task is in flight while they are made, which is
+  // what makes the simulation bit-identical for any thread count.
   auto schedule = [&]() {
+    std::vector<TaskLaunch> wave;
     for (RunningJob& job : jobs) {
       if (job.phase == JobPhase::kMap && now_ >= job.ready_time) {
+        // The stop condition is evaluated once per scheduling pass, before
+        // the wave launches: concurrently launched tasks cannot observe
+        // each other's output (they couldn't on a real cluster either);
+        // tasks already running always finish their whole split (§4.2).
+        if (!job.pending_map.empty() && job.spec->stop_condition &&
+            job.spec->stop_condition()) {
+          job.result.map_tasks_skipped +=
+              static_cast<int>(job.pending_map.size());
+          job.pending_map.clear();
+        }
         while (free_map_slots > 0 && !job.pending_map.empty()) {
-          if (job.spec->stop_condition && job.spec->stop_condition()) {
-            job.result.map_tasks_skipped +=
-                static_cast<int>(job.pending_map.size());
-            job.pending_map.clear();
-            break;
-          }
           MapTaskRef task = job.pending_map.front();
           job.pending_map.pop_front();
-          SimMillis duration = 0;
-          Status st = run_map_task(&job, task, &duration);
-          if (!st.ok()) {
-            fail_job(&job, std::move(st));
-            break;
-          }
+          TaskLaunch launch;
+          launch.job = &job;
+          launch.is_map = true;
+          launch.map_ref = task;
+          launch.split =
+              &job.spec->inputs[task.input_index].file->splits()
+                   [task.split_index];
+          launch.setup_ms = side_load_ms(&job);
+          launch.task_index = job.map_seq;
+          ++job.map_seq;
           --free_map_slots;
           ++job.active_map_tasks;
-          events.push(
-              {now_ + duration, seq++, EventKind::kMapDone, job.job_index});
+          wave.push_back(std::move(launch));
         }
         if (!job.failed && job.pending_map.empty() &&
             job.active_map_tasks == 0 && job.phase == JobPhase::kMap) {
@@ -424,32 +532,41 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         while (free_reduce_slots > 0 && !job.pending_reduce.empty()) {
           int partition = job.pending_reduce.front();
           job.pending_reduce.pop_front();
-          SimMillis duration = 0;
-          Status st = run_reduce_task(&job, partition, &duration);
-          if (!st.ok()) {
-            fail_job(&job, std::move(st));
-            break;
-          }
+          TaskLaunch launch;
+          launch.job = &job;
+          launch.is_map = false;
+          launch.partition = partition;
+          launch.bucket = std::move(job.partitions[partition]);
           --free_reduce_slots;
           ++job.active_reduce_tasks;
-          events.push({now_ + duration, seq++, EventKind::kReduceDone,
-                       job.job_index});
+          wave.push_back(std::move(launch));
         }
       }
     }
+    if (wave.empty()) return;
+
+    auto execute = [](TaskLaunch& t) {
+      if (t.is_map) {
+        ExecuteMapTask(t.job->spec->inputs[t.map_ref.input_index], *t.split,
+                       t.task_index, &t.outcome);
+      } else {
+        ExecuteReduceTask(*t.job->spec, std::move(t.bucket), &t.outcome);
+      }
+    };
+    if (pool_ != nullptr && wave.size() > 1) {
+      std::vector<std::function<void()>> closures;
+      closures.reserve(wave.size());
+      for (TaskLaunch& t : wave) {
+        closures.push_back([&t, &execute] { execute(t); });
+      }
+      pool_->RunBatch(std::move(closures));
+    } else {
+      for (TaskLaunch& t : wave) execute(t);
+    }
+    for (TaskLaunch& t : wave) commit_task(t);
   };
 
-  while (unfinished > 0) {
-    schedule();
-    if (events.empty()) {
-      if (unfinished > 0) {
-        return Status::Internal("scheduler deadlock: jobs pending, no events");
-      }
-      break;
-    }
-    Event ev = events.top();
-    events.pop();
-    now_ = std::max(now_, ev.time);
+  auto handle_event = [&](const Event& ev) {
     RunningJob& job = jobs[ev.job_index];
     switch (ev.kind) {
       case EventKind::kJobReady:
@@ -476,14 +593,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         ++free_map_slots;
         --job.active_map_tasks;
         if (job.failed) {
-          if (job.active_map_tasks == 0 && job.active_reduce_tasks == 0 &&
-              job.phase != JobPhase::kDone) {
-            job.phase = JobPhase::kDone;
-            job.result.finish_time_ms = now_;
-            dfs_->Delete(job.spec->output_path).ok();
-            job.output = nullptr;
-            --unfinished;
-          }
+          drain_failed_job(&job);
         } else if (job.pending_map.empty() && job.active_map_tasks == 0 &&
                    job.phase == JobPhase::kMap) {
           on_map_phase_complete(&job);
@@ -501,20 +611,35 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         ++free_reduce_slots;
         --job.active_reduce_tasks;
         if (job.failed) {
-          if (job.active_map_tasks == 0 && job.active_reduce_tasks == 0 &&
-              job.phase != JobPhase::kDone) {
-            job.phase = JobPhase::kDone;
-            job.result.finish_time_ms = now_;
-            dfs_->Delete(job.spec->output_path).ok();
-            job.output = nullptr;
-            --unfinished;
-          }
+          drain_failed_job(&job);
         } else if (job.pending_reduce.empty() &&
                    job.active_reduce_tasks == 0 &&
                    job.phase == JobPhase::kReduce) {
           finish_job(&job);
         }
         break;
+    }
+  };
+
+  while (unfinished > 0) {
+    schedule();
+    if (events.empty()) {
+      if (unfinished > 0) {
+        return Status::Internal("scheduler deadlock: jobs pending, no events");
+      }
+      break;
+    }
+    Event ev = events.top();
+    events.pop();
+    now_ = std::max(now_, ev.time);
+    handle_event(ev);
+    // Drain every event at this same timestamp before rescheduling, so all
+    // slots freed at one simulated instant are refilled as a single wave —
+    // that wave is what the worker pool executes in parallel.
+    while (!events.empty() && events.top().time <= now_) {
+      Event next = events.top();
+      events.pop();
+      handle_event(next);
     }
   }
 

@@ -13,6 +13,8 @@
 
 namespace dyno {
 
+class WorkerPool;
+
 /// The MapReduce cluster simulator. Jobs execute their *real* data flow
 /// (map functions run over decoded rows, emissions are partitioned, sorted
 /// and reduced, outputs are materialized to the DFS) while a discrete-event
@@ -22,9 +24,16 @@ namespace dyno {
 ///
 /// The cluster clock persists across submissions, so end-to-end query time
 /// is simply the clock delta around a sequence of Submit/SubmitAll calls.
+///
+/// When ClusterConfig::execution_threads > 1, task data flows execute on a
+/// worker pool: each scheduling pass dispatches the whole wave of launched
+/// tasks to the pool, joins, and commits their buffered results in launch
+/// order on the scheduler thread. Simulated timestamps, counters and DFS
+/// outputs are therefore bit-identical regardless of thread count.
 class MapReduceEngine {
  public:
   MapReduceEngine(Dfs* dfs, ClusterConfig config);
+  ~MapReduceEngine();
 
   /// Runs one job to completion. The returned JobResult carries a non-OK
   /// status if the job failed (e.g. a broadcast build side exceeded task
@@ -55,6 +64,8 @@ class MapReduceEngine {
   ClusterConfig config_;
   Coordinator coordinator_;
   SimMillis now_ = 0;
+  /// Lazily created when execution_threads > 1; resized on config change.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace dyno

@@ -1,0 +1,60 @@
+#include "mr/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dyno {
+
+WorkerPool::WorkerPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = std::move(tasks);
+    next_ = 0;
+    in_flight_ = 0;
+  }
+  work_ready_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock,
+                   [this] { return next_ >= batch_.size() && in_flight_ == 0; });
+  batch_.clear();
+  next_ = 0;
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_ready_.wait(
+        lock, [this] { return shutting_down_ || next_ < batch_.size(); });
+    if (shutting_down_) return;
+    std::function<void()> task = std::move(batch_[next_]);
+    ++next_;
+    ++in_flight_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+    if (next_ >= batch_.size() && in_flight_ == 0) {
+      batch_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace dyno

@@ -1,0 +1,50 @@
+#ifndef DYNO_MR_WORKER_POOL_H_
+#define DYNO_MR_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dyno {
+
+/// Fixed-size pool of OS worker threads used by MapReduceEngine to execute
+/// task data flows in parallel. Purely a wall-clock accelerator: the caller
+/// enqueues a batch of independent closures and blocks until every one has
+/// run. Nothing about completion *order* is exposed — the engine commits
+/// task results in launch order afterwards — which is what keeps simulated
+/// results bit-identical for any pool size.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs every closure in `tasks` on the pool, returning once all of them
+  /// have finished. Closures must not throw; any shared state they touch
+  /// must be internally synchronized. Only one batch may run at a time
+  /// (the engine's event loop is single-threaded, so this is structural).
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::vector<std::function<void()>> batch_;  ///< Current batch.
+  size_t next_ = 0;       ///< First unclaimed index in batch_.
+  size_t in_flight_ = 0;  ///< Claimed but not yet finished.
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dyno
+
+#endif  // DYNO_MR_WORKER_POOL_H_

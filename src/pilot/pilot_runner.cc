@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "common/random.h"
@@ -26,11 +27,30 @@ Result<bool> EvalFilter(const ExprPtr& filter, const Value& row) {
   return v.type() == Value::Type::kBool && v.bool_value();
 }
 
+/// task index -> collector, shared by every map task of one pilot job.
+/// Map tasks may run concurrently on the engine's worker threads, so the
+/// *map structure* is guarded by a mutex. Each collector itself is only
+/// ever touched by the one task that owns its index (a task runs on
+/// exactly one worker), so Observe() needs no lock — and std::map nodes
+/// are stable, so the returned pointer survives concurrent inserts.
+struct PerTaskStats {
+  std::mutex mu;
+  std::map<int, StatsCollector> collectors;
+
+  StatsCollector* ForTask(int task_index,
+                          const std::vector<std::string>& columns,
+                          int kmv_k) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = collectors.try_emplace(task_index, columns, kmv_k);
+    return &it->second;
+  }
+};
+
 /// A pilot job plus the per-task statistics its map tasks accumulate.
 struct PilotJob {
   JobSpec spec;
-  /// task index -> collector; tasks publish these after the job.
-  std::shared_ptr<std::map<int, StatsCollector>> per_task;
+  /// Tasks publish these after the job.
+  std::shared_ptr<PerTaskStats> per_task;
 };
 
 /// Builds the map-only pilot job for one leaf: scan + local predicates,
@@ -44,7 +64,7 @@ PilotJob MakePilotJob(const LeafExpr& leaf, std::shared_ptr<DfsFile> file,
   PilotJob job;
   job.spec.name = "pilr:" + leaf.alias;
   job.spec.output_path = output_path;
-  job.per_task = std::make_shared<std::map<int, StatsCollector>>();
+  job.per_task = std::make_shared<PerTaskStats>();
 
   std::vector<std::string> columns = leaf.join_columns;
   ExprPtr filter = leaf.filter;
@@ -59,9 +79,7 @@ PilotJob MakePilotJob(const LeafExpr& leaf, std::shared_ptr<DfsFile> file,
                   observe_cpu](const Value& record, MapContext* ctx) -> Status {
     DYNO_ASSIGN_OR_RETURN(bool keep, EvalFilter(filter, record));
     if (!keep) return Status::OK();
-    auto [it, inserted] =
-        per_task->try_emplace(ctx->task_index(), columns, kmv_k);
-    it->second.Observe(record);
+    per_task->ForTask(ctx->task_index(), columns, kmv_k)->Observe(record);
     ctx->ChargeCpu(observe_cpu);
     coordinator->Increment(counter_key, 1);
     ctx->Output(record);
@@ -87,7 +105,7 @@ Result<StatsCollector> PublishAndMerge(Coordinator* coordinator,
                                        const PilotJob& job,
                                        const std::vector<std::string>& columns,
                                        int kmv_k) {
-  for (const auto& [task_index, collector] : *job.per_task) {
+  for (const auto& [task_index, collector] : job.per_task->collectors) {
     coordinator->Publish(channel, collector.Serialize());
   }
   StatsCollector merged(columns, kmv_k);
@@ -201,7 +219,11 @@ Result<PilotRunReport> PilotRunner::RunParallel(
   PilotRunReport report;
   SimMillis start = engine_->now();
   run_counter_ = ++g_pilot_run_counter;
-  Rng rng(options_.seed + static_cast<uint64_t>(run_counter_));
+  // Seed from options alone (NOT the process-wide run counter, which is
+  // only used to keep DFS paths and Coordinator keys unique): two runs of
+  // the same workload must pick identical split permutations so results
+  // can be compared across engine configurations.
+  Rng rng(options_.seed);
 
   std::vector<LeafJobState> states;
   for (const LeafExpr& leaf : leaves) {

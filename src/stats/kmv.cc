@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/string_util.h"
+
 namespace dyno {
 
 KmvSynopsis::KmvSynopsis(int k) : k_(k) { hashes_.reserve(2 * k); }
@@ -15,7 +17,7 @@ void KmvSynopsis::AddHash(uint64_t h) {
   if (hashes_.size() >= static_cast<size_t>(2 * k_)) Compact();
 }
 
-void KmvSynopsis::Compact() {
+void KmvSynopsis::Compact() const {
   std::sort(hashes_.begin(), hashes_.end());
   hashes_.erase(std::unique(hashes_.begin(), hashes_.end()), hashes_.end());
   if (hashes_.size() > static_cast<size_t>(k_)) {
@@ -24,52 +26,79 @@ void KmvSynopsis::Compact() {
   compacted_ = true;
 }
 
+void KmvSynopsis::EnsureCompacted() const {
+  if (!compacted_) Compact();
+}
+
 void KmvSynopsis::Merge(const KmvSynopsis& other) {
   hashes_.insert(hashes_.end(), other.hashes_.begin(), other.hashes_.end());
-  Compact();
+  compacted_ = false;
+  // Same amortization as AddHash: defer the sort until the buffer doubles
+  // or a reader needs a compact view.
+  if (hashes_.size() >= static_cast<size_t>(2 * k_)) Compact();
+}
+
+size_t KmvSynopsis::size() const {
+  EnsureCompacted();
+  return hashes_.size();
 }
 
 double KmvSynopsis::Estimate() const {
-  // Work on a compacted view without mutating state.
-  std::vector<uint64_t> sorted = hashes_;
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  if (sorted.size() > static_cast<size_t>(k_)) sorted.resize(k_);
-  if (sorted.empty()) return 0.0;
-  if (sorted.size() < static_cast<size_t>(k_)) {
+  EnsureCompacted();
+  if (hashes_.empty()) return 0.0;
+  if (hashes_.size() < static_cast<size_t>(k_)) {
     // Fewer than k distincts observed: the synopsis is exact.
-    return static_cast<double>(sorted.size());
+    return static_cast<double>(hashes_.size());
   }
-  double hk = static_cast<double>(sorted.back());
-  if (hk <= 0.0) return static_cast<double>(sorted.size());
+  double hk = static_cast<double>(hashes_.back());
+  if (hk <= 0.0) return static_cast<double>(hashes_.size());
   // M = 2^64; (k-1) * M / h_k.
   constexpr double kDomain = 18446744073709551616.0;  // 2^64
   return (static_cast<double>(k_) - 1.0) * kDomain / hk;
 }
 
 std::string KmvSynopsis::Serialize() const {
-  std::vector<uint64_t> sorted = hashes_;
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  if (sorted.size() > static_cast<size_t>(k_)) sorted.resize(k_);
+  EnsureCompacted();
   std::string out;
-  out.resize(8 + 8 * sorted.size());
+  out.resize(8 + 8 * hashes_.size());
   uint64_t k64 = static_cast<uint64_t>(k_);
   std::memcpy(out.data(), &k64, 8);
-  if (!sorted.empty()) {
-    std::memcpy(out.data() + 8, sorted.data(), 8 * sorted.size());
+  if (!hashes_.empty()) {
+    std::memcpy(out.data() + 8, hashes_.data(), 8 * hashes_.size());
   }
   return out;
 }
 
-KmvSynopsis KmvSynopsis::Deserialize(const std::string& data) {
-  uint64_t k64 = KmvSynopsis::kDefaultK;
-  if (data.size() >= 8) std::memcpy(&k64, data.data(), 8);
+Result<KmvSynopsis> KmvSynopsis::Deserialize(const std::string& data) {
+  if (data.size() < 8) {
+    return Status::InvalidArgument(
+        StrFormat("KMV synopsis too short: %zu bytes", data.size()));
+  }
+  if ((data.size() - 8) % 8 != 0) {
+    return Status::InvalidArgument(
+        StrFormat("KMV synopsis misaligned: %zu trailing bytes",
+                  (data.size() - 8) % 8));
+  }
+  uint64_t k64 = 0;
+  std::memcpy(&k64, data.data(), 8);
+  if (k64 == 0 || k64 > static_cast<uint64_t>(kMaxK)) {
+    return Status::InvalidArgument(
+        StrFormat("KMV synopsis k out of range: %llu",
+                  static_cast<unsigned long long>(k64)));
+  }
+  size_t n = (data.size() - 8) / 8;
+  if (n > k64) {
+    return Status::InvalidArgument(
+        StrFormat("KMV synopsis holds %zu hashes but k is %llu", n,
+                  static_cast<unsigned long long>(k64)));
+  }
   KmvSynopsis out(static_cast<int>(k64));
-  size_t n = data.size() >= 8 ? (data.size() - 8) / 8 : 0;
   out.hashes_.resize(n);
   if (n > 0) std::memcpy(out.hashes_.data(), data.data() + 8, 8 * n);
-  out.compacted_ = true;
+  // Serialize() writes a sorted deduped list, but defend against payloads
+  // produced elsewhere: recompact rather than trust the wire format.
+  out.compacted_ = false;
+  out.Compact();
   return out;
 }
 

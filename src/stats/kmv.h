@@ -2,8 +2,10 @@
 #define DYNO_STATS_KMV_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "json/value.h"
 
 namespace dyno {
@@ -17,6 +19,9 @@ namespace dyno {
 class KmvSynopsis {
  public:
   static constexpr int kDefaultK = 1024;
+  /// Upper bound accepted when deserializing — a corrupt header must not be
+  /// able to trigger a multi-gigabyte allocation.
+  static constexpr int kMaxK = 1 << 20;
 
   explicit KmvSynopsis(int k = kDefaultK);
 
@@ -34,20 +39,30 @@ class KmvSynopsis {
   double Estimate() const;
 
   int k() const { return k_; }
-  size_t size() const { return hashes_.size(); }
+
+  /// Number of stored (distinct, k-smallest) hashes; compacts first.
+  size_t size() const;
 
   /// Serialization for publication through the Coordinator.
   std::string Serialize() const;
-  static KmvSynopsis Deserialize(const std::string& data);
+
+  /// Parses a serialized synopsis, rejecting corrupt payloads: short or
+  /// misaligned buffers, k outside [1, kMaxK], or more hashes than k.
+  static Result<KmvSynopsis> Deserialize(const std::string& data);
 
  private:
-  void Compact();
+  /// Sorts, dedups, and truncates the buffer to the k smallest hashes.
+  /// Logically const: the set of distinct values represented is unchanged.
+  void Compact() const;
+  void EnsureCompacted() const;
 
   int k_;
   /// Kept as an unsorted buffer that is compacted (sorted, deduped,
-  /// truncated to k) when it overflows 2k — amortizes the maintenance cost.
-  std::vector<uint64_t> hashes_;
-  bool compacted_ = true;
+  /// truncated to k) when it overflows 2k — amortizing maintenance — or
+  /// lazily on first read. `mutable` because compaction is a cache-like
+  /// state change invisible to callers.
+  mutable std::vector<uint64_t> hashes_;
+  mutable bool compacted_ = true;
 };
 
 }  // namespace dyno

@@ -183,8 +183,8 @@ Result<StatsCollector> StatsCollector::Deserialize(const std::string& data) {
       out.column_states_[i].minmax.max_value = *max_v;
     }
     if (kmv) {
-      out.column_states_[i].synopsis =
-          KmvSynopsis::Deserialize(kmv->string_value());
+      DYNO_ASSIGN_OR_RETURN(out.column_states_[i].synopsis,
+                            KmvSynopsis::Deserialize(kmv->string_value()));
     }
     const Value* freq_valid = cols[i].FindField("freq_valid");
     const Value* freq = cols[i].FindField("freq");

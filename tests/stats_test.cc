@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -60,9 +62,53 @@ TEST(KmvTest, MergeEqualsUnion) {
 TEST(KmvTest, SerializeRoundTrip) {
   KmvSynopsis kmv(128);
   for (int i = 0; i < 10000; ++i) kmv.Add(Value::Int(i % 3777));
-  KmvSynopsis back = KmvSynopsis::Deserialize(kmv.Serialize());
-  EXPECT_EQ(back.k(), 128);
-  EXPECT_NEAR(back.Estimate(), kmv.Estimate(), 1e-9);
+  Result<KmvSynopsis> back = KmvSynopsis::Deserialize(kmv.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->k(), 128);
+  EXPECT_NEAR(back->Estimate(), kmv.Estimate(), 1e-9);
+}
+
+TEST(KmvTest, DeserializeRejectsCorruptPayloads) {
+  KmvSynopsis kmv(64);
+  for (int i = 0; i < 500; ++i) kmv.Add(Value::Int(i));
+  std::string good = kmv.Serialize();
+
+  // Truncated header.
+  EXPECT_FALSE(KmvSynopsis::Deserialize("").ok());
+  EXPECT_FALSE(KmvSynopsis::Deserialize(good.substr(0, 5)).ok());
+  // Hash section not a multiple of 8 bytes.
+  EXPECT_FALSE(KmvSynopsis::Deserialize(good + "xyz").ok());
+  // k = 0.
+  std::string zero_k = good;
+  std::fill(zero_k.begin(), zero_k.begin() + 8, '\0');
+  EXPECT_FALSE(KmvSynopsis::Deserialize(zero_k).ok());
+  // Absurdly large k (would otherwise drive a huge reserve()).
+  std::string huge_k = good;
+  std::fill(huge_k.begin(), huge_k.begin() + 8, '\xff');
+  EXPECT_FALSE(KmvSynopsis::Deserialize(huge_k).ok());
+  // More hashes than k claims.
+  std::string overfull = good + std::string(64 * 8, 'a');
+  EXPECT_FALSE(KmvSynopsis::Deserialize(overfull).ok());
+}
+
+TEST(KmvTest, LazyCompactionKeepsEstimateStable) {
+  // Estimate()/Serialize()/size() must see the same state before and after
+  // internal compaction, and repeated reads must agree with each other.
+  KmvSynopsis kmv(256);
+  for (int i = 0; i < 200; ++i) kmv.Add(Value::Int(i));  // < 2k: uncompacted.
+  double first = kmv.Estimate();
+  EXPECT_EQ(kmv.size(), 200u);
+  EXPECT_NEAR(kmv.Estimate(), first, 1e-12);
+  std::string s1 = kmv.Serialize();
+  EXPECT_EQ(kmv.Serialize(), s1);
+
+  KmvSynopsis other(256);
+  for (int i = 200; i < 600; ++i) other.Add(Value::Int(i));
+  kmv.Merge(other);  // Deferred compaction path.
+  Result<KmvSynopsis> round = KmvSynopsis::Deserialize(kmv.Serialize());
+  ASSERT_TRUE(round.ok());
+  EXPECT_NEAR(round->Estimate(), kmv.Estimate(), 1e-9);
+  EXPECT_EQ(kmv.size(), round->size());
 }
 
 // --- StatsCollector ---
