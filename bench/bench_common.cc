@@ -56,6 +56,20 @@ std::unique_ptr<Scenario> MakeScenario(const std::string& sf_name,
   scenario->cluster.side_load_bytes_per_ms = 100.0;
   scenario->cluster.cpu_units_per_ms = 500.0;
   scenario->cluster.execution_threads = ExecutionThreads();
+  // Failure-regime runs: DYNO_FAULT_SEED / DYNO_TASK_FAILURE_RATE /
+  // DYNO_STRAGGLER_RATE / DYNO_MAX_TASK_ATTEMPTS switch deterministic fault
+  // injection on (e.g. Fig. 5 under a 5% task failure rate). Off when the
+  // variables are unset.
+  scenario->cluster.faults.ApplyEnvOverrides();
+  if (scenario->cluster.faults.enabled()) {
+    std::fprintf(stderr,
+                 "fault injection: seed=%llu failure_rate=%.3f "
+                 "straggler_rate=%.3f max_attempts=%d\n",
+                 (unsigned long long)scenario->cluster.faults.seed,
+                 scenario->cluster.faults.task_failure_rate,
+                 scenario->cluster.faults.straggler_rate,
+                 scenario->cluster.faults.max_task_attempts);
+  }
   scenario->engine =
       std::make_unique<MapReduceEngine>(&scenario->dfs, scenario->cluster);
   scenario->catalog = std::make_unique<Catalog>(&scenario->dfs);

@@ -16,8 +16,14 @@ namespace {
 struct PrefixEstimate {
   double rows = 1.0;
   double avg_size = 0.0;
+  /// NDV keyed by "<alias>.<column>": two prefix relations sharing a bare
+  /// column name (both having `id`, say) must not overwrite each other.
   std::map<std::string, double> ndv;
 };
+
+std::string NdvKey(const std::string& alias, const std::string& col) {
+  return alias + "." + col;
+}
 
 }  // namespace
 
@@ -71,7 +77,7 @@ Result<std::unique_ptr<PlanNode>> BestStaticBaseline::BuildJaqlPlan(
     est.rows = std::max(stats.cardinality, 1.0);
     est.avg_size = std::max(stats.avg_record_size, 1.0);
     for (const auto& [col, cs] : stats.columns) {
-      est.ndv[col] = std::max(cs.ndv, 1.0);
+      est.ndv[NdvKey(order[0], col)] = std::max(cs.ndv, 1.0);
     }
   }
   std::unique_ptr<PlanNode> plan = make_leaf(order[0]);
@@ -91,16 +97,14 @@ Result<std::unique_ptr<PlanNode>> BestStaticBaseline::BuildJaqlPlan(
     for (const JoinEdge& edge : block.edges) {
       if (prefix.count(edge.left_alias) && edge.right_alias == alias) {
         key_pairs.emplace_back(edge.left_column, edge.right_column);
-        double a = est.ndv.count(edge.left_column)
-                       ? est.ndv[edge.left_column]
-                       : est.rows;
+        std::string key = NdvKey(edge.left_alias, edge.left_column);
+        double a = est.ndv.count(key) ? est.ndv[key] : est.rows;
         double b = rstats.ColumnNdv(edge.right_column);
         denoms.push_back(std::max({a, b, 1.0}));
       } else if (prefix.count(edge.right_alias) && edge.left_alias == alias) {
         key_pairs.emplace_back(edge.right_column, edge.left_column);
-        double a = est.ndv.count(edge.right_column)
-                       ? est.ndv[edge.right_column]
-                       : est.rows;
+        std::string key = NdvKey(edge.right_alias, edge.right_column);
+        double a = est.ndv.count(key) ? est.ndv[key] : est.rows;
         double b = rstats.ColumnNdv(edge.left_column);
         denoms.push_back(std::max({a, b, 1.0}));
       }
@@ -132,7 +136,7 @@ Result<std::unique_ptr<PlanNode>> BestStaticBaseline::BuildJaqlPlan(
         est.rows * std::max(rstats.cardinality, 1.0) / selectivity_den, 1.0);
     est.avg_size += std::max(rstats.avg_record_size, 1.0);
     for (const auto& [col, cs] : rstats.columns) {
-      est.ndv[col] = std::max(cs.ndv, 1.0);
+      est.ndv[NdvKey(alias, col)] = std::max(cs.ndv, 1.0);
     }
     for (auto& [col, ndv] : est.ndv) ndv = std::min(ndv, est.rows);
     prefix.insert(alias);

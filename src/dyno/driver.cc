@@ -79,9 +79,35 @@ Result<StepResult> RunRepartitionFallback(
     DYNO_ASSIGN_OR_RETURN(StepResult step, executor->ExecuteOne(request));
     ++*extra_jobs;
     current = step.relation_id;
+    // Fault counters accumulate across the fallback's jobs so the caller
+    // can account the whole recovery with one step.
+    step.job.task_failures_injected += last.job.task_failures_injected;
+    step.job.task_retries += last.job.task_retries;
+    step.job.speculative_launches += last.job.speculative_launches;
+    step.job.speculative_wins += last.job.speculative_wins;
     last = std::move(step);
   }
+  // The stats describe the original unit's subtree, so they must be keyed
+  // by *its* signature: the synthesized per-join decompositions above have
+  // signatures no later query will ever compute, and publishing under them
+  // would pollute the stats store.
+  last.subtree_signature = unit.nodes.back()->ToString();
   return last;
+}
+
+/// Folds one job's fault-model counters into a query report.
+void AddFaultCounters(const JobResult& job, QueryRunReport* report) {
+  report->task_failures_injected += job.task_failures_injected;
+  report->task_retries += job.task_retries;
+  report->speculative_launches += job.speculative_launches;
+  report->speculative_wins += job.speculative_wins;
+}
+
+void AddFaultCounters(const JobResult& job, StaticRunResult* result) {
+  result->task_failures_injected += job.task_failures_injected;
+  result->task_retries += job.task_retries;
+  result->speculative_launches += job.speculative_launches;
+  result->speculative_wins += job.speculative_wins;
 }
 
 }  // namespace
@@ -172,6 +198,7 @@ Result<QueryRunReport> DynoDriver::Execute(const Query& query) {
         RunGroupBy(engine_, current, *query.group_by, path));
     current = job.output;
     ++report.jobs_run;
+    AddFaultCounters(job, &report);
   }
   if (query.order_by.has_value()) {
     std::string path =
@@ -182,6 +209,7 @@ Result<QueryRunReport> DynoDriver::Execute(const Query& query) {
         RunOrderBy(engine_, current, *query.order_by, path));
     current = job.output;
     ++report.jobs_run;
+    AddFaultCounters(job, &report);
   }
   report.result = current;
   report.result_records = current ? current->num_records() : 0;
@@ -257,6 +285,7 @@ Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
             RunGroupBy(engine_, output, *block.group_by, path));
         output = job.output;
         ++report.jobs_run;
+        AddFaultCounters(job, &report);
       }
       // Expose the block's output to downstream blocks through the catalog.
       DYNO_RETURN_IF_ERROR(catalog_->RegisterTable(
@@ -280,6 +309,7 @@ Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
         RunOrderBy(engine_, last_output, *query.final_order_by, path));
     last_output = job.output;
     ++report.jobs_run;
+    AddFaultCounters(job, &report);
   }
   report.result = last_output;
   report.result_records = last_output ? last_output->num_records() : 0;
@@ -371,6 +401,7 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
                          block.output_columns, path));
     ++report->jobs_run;
     ++report->map_only_jobs;
+    AddFaultCounters(job, report);
     return job.output;
   }
 
@@ -409,6 +440,7 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     ++report->jobs_run;
     if (unit.map_only) ++report->map_only_jobs;
     report->stats_overhead_ms += step.job.observer_overhead_ms;
+    AddFaultCounters(step.job, report);
     store_->Put(step.subtree_signature, step.stats);
   };
 
@@ -426,6 +458,10 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     report->jobs_run += run.jobs_run;
     report->map_only_jobs += run.map_only_jobs;
     report->broadcast_fallbacks += run.broadcast_fallbacks;
+    report->task_failures_injected += run.task_failures_injected;
+    report->task_retries += run.task_retries;
+    report->speculative_launches += run.speculative_launches;
+    report->speculative_wins += run.speculative_wins;
     return run.output;
   }
 
@@ -619,6 +655,7 @@ Result<StaticRunResult> RunStaticPlan(
       executed.insert(ready[i]->uid);
       ++result.jobs_run;
       if (ready[i]->map_only) ++result.map_only_jobs;
+      AddFaultCounters(steps[i].job, &result);
       if (ready[i]->uid == final_uid) {
         last_id = steps[i].relation_id;
         result.output = steps[i].job.output;

@@ -78,6 +78,12 @@ struct QueryRunReport {
   int plan_changes = 0;              ///< Re-optimizations that changed plan.
   /// Broadcast joins demoted to repartition at runtime (§8 dynamic join).
   int broadcast_fallbacks = 0;
+  /// Fault-model totals over every job of the query (all zero unless the
+  /// engine's FaultConfig enables injection).
+  int task_failures_injected = 0;
+  int task_retries = 0;
+  int speculative_launches = 0;
+  int speculative_wins = 0;
   std::vector<PlanEvent> plan_history;
   std::shared_ptr<DfsFile> result;
   uint64_t result_records = 0;
@@ -142,6 +148,11 @@ struct StaticRunResult {
   int jobs_run = 0;
   int map_only_jobs = 0;
   int broadcast_fallbacks = 0;
+  /// Fault-model totals over the plan's jobs (see QueryRunReport).
+  int task_failures_injected = 0;
+  int task_retries = 0;
+  int speculative_launches = 0;
+  int speculative_wins = 0;
 };
 
 /// Executes `plan` as-is on `executor` (whose bindings must cover every

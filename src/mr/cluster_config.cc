@@ -1,0 +1,25 @@
+#include "mr/cluster_config.h"
+
+#include <cstdlib>
+
+namespace dyno {
+
+void FaultConfig::ApplyEnvOverrides() {
+  if (const char* env = std::getenv("DYNO_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("DYNO_TASK_FAILURE_RATE")) {
+    double parsed = std::strtod(env, nullptr);
+    if (parsed >= 0.0 && parsed <= 1.0) task_failure_rate = parsed;
+  }
+  if (const char* env = std::getenv("DYNO_STRAGGLER_RATE")) {
+    double parsed = std::strtod(env, nullptr);
+    if (parsed >= 0.0 && parsed <= 1.0) straggler_rate = parsed;
+  }
+  if (const char* env = std::getenv("DYNO_MAX_TASK_ATTEMPTS")) {
+    int parsed = std::atoi(env);
+    if (parsed >= 1) max_task_attempts = parsed;
+  }
+}
+
+}  // namespace dyno

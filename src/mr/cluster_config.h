@@ -7,6 +7,59 @@
 
 namespace dyno {
 
+/// Deterministic fault model for the simulated cluster. Every draw is made
+/// on the scheduler thread at task-launch time from a per-job stream seeded
+/// by `seed` and the job name — never from the wall clock — so a given
+/// (config, workload) pair produces bit-identical simulated results for any
+/// `execution_threads` value (DESIGN.md §6.2).
+struct FaultConfig {
+  /// Base seed. Each job derives its own stream from this and the job name,
+  /// so concurrent jobs draw independently of scheduling interleavings.
+  uint64_t seed = 0;
+
+  /// Probability that a task attempt dies partway through (transient
+  /// failure: bad node, lost container). Failed attempts are retried.
+  double task_failure_rate = 0.0;
+
+  /// Probability that an attempt runs `straggler_slowdown` times slower
+  /// than its modeled duration (hot node, slow disk).
+  double straggler_rate = 0.0;
+  double straggler_slowdown = 4.0;
+
+  /// Attempts per logical task before the whole job is declared failed
+  /// (Hadoop's mapred.map.max.attempts; must be >= 1).
+  int max_task_attempts = 4;
+
+  /// Base delay before re-queueing a failed attempt; attempt n waits
+  /// retry_backoff_ms * 2^(n-1).
+  SimMillis retry_backoff_ms = 1000;
+
+  /// Hadoop-style speculative execution: when a phase has idle slots and no
+  /// pending work, re-launch the slowest in-flight attempt once it has been
+  /// running longer than `speculative_slowness_threshold` times the median
+  /// completed task duration. Whichever attempt finishes first commits; the
+  /// loser still occupies its slot until its own finish time.
+  bool speculative_execution = true;
+  double speculative_slowness_threshold = 2.0;
+
+  /// When no injection is configured explicitly, the engine fills this
+  /// struct from DYNO_FAULT_SEED / DYNO_TASK_FAILURE_RATE /
+  /// DYNO_STRAGGLER_RATE / DYNO_MAX_TASK_ATTEMPTS (see ApplyEnvOverrides),
+  /// which is how the bench and the `faults` ctest preset switch the fault
+  /// path on without touching code.
+  bool use_env_defaults = true;
+
+  /// True when any fault injection is active. Retries of *real* task errors
+  /// (failing map/reduce functions) are also gated on this, preserving the
+  /// legacy fail-fast behavior when the model is off.
+  bool enabled() const {
+    return task_failure_rate > 0.0 || straggler_rate > 0.0;
+  }
+
+  /// Overwrites fields from the DYNO_* environment variables above.
+  void ApplyEnvOverrides();
+};
+
 /// Static description of the simulated Hadoop cluster. The defaults mirror
 /// the paper's testbed (15 nodes, 10 map + 6 reduce slots each => 140/84
 /// after excluding the master, 15-20 s job startup, 10 GbE) scaled to the
@@ -63,6 +116,9 @@ struct ClusterConfig {
   /// of this setting. <= 1 runs task data flows inline on the caller's
   /// thread (no pool).
   int execution_threads = 1;
+
+  /// Fault injection and recovery knobs (off by default).
+  FaultConfig faults;
 };
 
 }  // namespace dyno

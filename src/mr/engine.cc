@@ -5,9 +5,12 @@
 #include <cstdlib>
 #include <cmath>
 #include <deque>
+#include <optional>
 #include <queue>
 #include <utility>
 
+#include "common/hash.h"
+#include "common/random.h"
 #include "common/string_util.h"
 #include "mr/worker_pool.h"
 
@@ -33,6 +36,27 @@ struct MapTaskRef {
 
 enum class JobPhase { kStartingUp, kMap, kShuffle, kReduce, kDone };
 
+/// A queued logical task. `not_before` gates retries: a task re-enters the
+/// queue immediately after its attempt fails but only becomes launchable
+/// once its backoff elapses, keeping queue order deterministic.
+struct PendingTask {
+  int task_id = 0;
+  SimMillis not_before = 0;
+};
+
+/// Attempt bookkeeping for one logical task (fault model).
+struct TaskRunState {
+  int failures = 0;             ///< Failed attempts so far.
+  bool completed = false;       ///< Some attempt has finished.
+  bool data_committed = false;  ///< A successful attempt's data is merged.
+  bool speculated = false;      ///< A backup attempt was launched.
+  bool primary_in_flight = false;
+  SimMillis launch_time = 0;      ///< Launch of the in-flight primary.
+  SimMillis expected_finish = 0;  ///< That attempt's completion time.
+  SimMillis base_duration = 0;    ///< Its duration before straggler factor.
+  Status last_error;              ///< Most recent attempt failure.
+};
+
 /// Execution state for one concurrently running job.
 struct RunningJob {
   const JobSpec* spec = nullptr;
@@ -40,7 +64,10 @@ struct RunningJob {
   JobPhase phase = JobPhase::kStartingUp;
   SimMillis ready_time = 0;  ///< submit + startup latency.
 
-  std::deque<MapTaskRef> pending_map;
+  std::vector<MapTaskRef> map_defs;  ///< task_id -> (input, split).
+  std::vector<TaskRunState> map_states;
+  std::deque<PendingTask> pending_map;
+  int map_tasks_remaining = 0;  ///< Logical tasks not completed/skipped.
   int active_map_tasks = 0;
   int map_seq = 0;  ///< Tasks launched so far (distributed-cache billing).
 
@@ -53,8 +80,19 @@ struct RunningJob {
   /// Reduce-side state.
   int num_reduce_tasks = 0;
   std::vector<std::vector<std::pair<Value, Value>>> partitions;
-  std::deque<int> pending_reduce;
+  std::vector<TaskRunState> reduce_states;
+  std::deque<PendingTask> pending_reduce;
+  int reduce_tasks_remaining = 0;
   int active_reduce_tasks = 0;
+
+  /// Durations of completed attempts, per phase — the speculation median.
+  std::vector<SimMillis> completed_map_ms;
+  std::vector<SimMillis> completed_reduce_ms;
+
+  /// Per-job fault stream (engaged only when injection is enabled), seeded
+  /// from the config seed and the job name so draws are independent of
+  /// cross-job scheduling interleavings.
+  std::optional<Rng> fault_rng;
 
   std::shared_ptr<DfsFile> output;
   JobResult result;
@@ -64,13 +102,25 @@ struct RunningJob {
   bool Finished() const { return phase == JobPhase::kDone; }
 };
 
-enum class EventKind { kJobReady, kMapDone, kShuffleDone, kReduceDone };
+enum class EventKind {
+  kJobReady,
+  kMapDone,
+  kShuffleDone,
+  kReduceDone,
+  /// No-op: exists to force a scheduling pass at a known time (a retry
+  /// backoff expiring, an in-flight task crossing the speculation cutoff).
+  kWakeup,
+};
 
 struct Event {
   SimMillis time;
   uint64_t seq;  ///< Tie-breaker for determinism.
   EventKind kind;
   int job_index;
+  int task_id = -1;               ///< Logical task (kMapDone/kReduceDone).
+  bool attempt_failed = false;    ///< The attempt died (injected or real).
+  bool speculative = false;       ///< This is a backup attempt finishing.
+  SimMillis attempt_duration = 0;
 };
 
 struct EventLater {
@@ -89,7 +139,7 @@ struct TaskOutcome {
   std::vector<std::pair<Value, Value>> emissions;
   uint64_t emitted_bytes = 0;
   uint64_t input_records = 0;
-  uint64_t input_bytes = 0;          ///< Map only; 0 when the task errored.
+  uint64_t input_bytes = 0;  ///< Map only; partial when the attempt errored.
   uint64_t reduce_input_records = 0;
   uint64_t reduce_input_bytes = 0;
   double cpu_units = 0.0;  ///< Excludes observer charges (added at commit).
@@ -100,12 +150,20 @@ struct TaskOutcome {
 struct TaskLaunch {
   RunningJob* job = nullptr;
   bool is_map = true;
+  int task_id = 0;
   MapTaskRef map_ref{0, 0};
   const Split* split = nullptr;  ///< Input split (map tasks).
   int partition = -1;            ///< Reduce tasks.
   int task_index = 0;
   SimMillis setup_ms = 0;  ///< Side-data load charge, decided at launch.
-  std::vector<std::pair<Value, Value>> bucket;  ///< Reduce input, moved in.
+  std::vector<std::pair<Value, Value>> bucket;  ///< Reduce input.
+  /// Fault draws, decided at launch on the scheduler thread. An attempt
+  /// marked `inject_failure` never runs its data flow (the simulated
+  /// container dies `fail_fraction` of the way through); `slowdown` > 1
+  /// stretches the attempt's simulated duration.
+  bool inject_failure = false;
+  double fail_fraction = 0.0;
+  double slowdown = 1.0;
   TaskOutcome outcome;
 };
 
@@ -175,6 +233,10 @@ void ExecuteMapTask(const MapInput& input, const Split& split,
       out->status = record.status();
       return;
     }
+    // Accumulated per record so an attempt that errors mid-split still
+    // reports how much of the split it actually scanned (billed as read
+    // time for the failed attempt).
+    out->input_bytes = reader.offset();
     out->input_records += 1;
     out->cpu_units += 1.0 + input.cpu_per_record;
     Status st = input.map_fn(*record, &ctx);
@@ -183,7 +245,6 @@ void ExecuteMapTask(const MapInput& input, const Split& split,
       return;
     }
   }
-  out->input_bytes = split.num_bytes();
   if (input.flush_fn) {
     Status st = input.flush_fn(&ctx);
     if (!st.ok()) {
@@ -237,8 +298,15 @@ void ExecuteReduceTask(const JobSpec& spec,
 
 }  // namespace
 
+ClusterConfig MapReduceEngine::ResolveFaultEnv(ClusterConfig config) {
+  if (config.faults.use_env_defaults && !config.faults.enabled()) {
+    config.faults.ApplyEnvOverrides();
+  }
+  return config;
+}
+
 MapReduceEngine::MapReduceEngine(Dfs* dfs, ClusterConfig config)
-    : dfs_(dfs), config_(config) {}
+    : dfs_(dfs), config_(ResolveFaultEnv(std::move(config))) {}
 
 MapReduceEngine::~MapReduceEngine() = default;
 
@@ -249,6 +317,11 @@ Result<JobResult> MapReduceEngine::Submit(const JobSpec& spec) {
 
 Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     const std::vector<JobSpec>& specs) {
+  // Whether failed task attempts are retried (Hadoop semantics) instead of
+  // failing the whole job at the first error (legacy fail-fast).
+  const bool retries_enabled = config_.faults.enabled();
+  const int max_attempts = std::max(1, config_.faults.max_task_attempts);
+
   // --- Validate and initialize job states. ---
   std::vector<RunningJob> jobs(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -272,8 +345,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
       }
       if (input.split_indexes.empty()) {
         for (size_t s = 0; s < input.file->splits().size(); ++s) {
-          job.pending_map.push_back(
-              {static_cast<int>(in), static_cast<int>(s)});
+          job.map_defs.push_back({static_cast<int>(in), static_cast<int>(s)});
         }
       } else {
         for (int s : input.split_indexes) {
@@ -282,9 +354,17 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                 StrFormat("split index %d out of range in %s", s,
                           spec.name.c_str()));
           }
-          job.pending_map.push_back({static_cast<int>(in), s});
+          job.map_defs.push_back({static_cast<int>(in), s});
         }
       }
+    }
+    job.map_states.assign(job.map_defs.size(), TaskRunState{});
+    job.map_tasks_remaining = static_cast<int>(job.map_defs.size());
+    for (size_t t = 0; t < job.map_defs.size(); ++t) {
+      job.pending_map.push_back({static_cast<int>(t), 0});
+    }
+    if (retries_enabled) {
+      job.fault_rng.emplace(HashBytes(spec.name, Mix64(config_.faults.seed)));
     }
     auto output = dfs_->Create(spec.output_path);
     if (!output.ok()) return output.status();
@@ -369,6 +449,24 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                    config_.side_load_bytes_per_ms);
   };
 
+  // Launch-time fault draws, on the scheduler thread, from the job's own
+  // stream — the order of draws depends only on the (deterministic) launch
+  // order, never on worker timing.
+  auto draw_faults = [&](RunningJob* job, TaskLaunch* launch) {
+    if (!job->fault_rng.has_value()) return;
+    const FaultConfig& f = config_.faults;
+    if (f.task_failure_rate > 0.0 &&
+        job->fault_rng->Bernoulli(f.task_failure_rate)) {
+      launch->inject_failure = true;
+      // The container dies somewhere in the latter 75% of the attempt.
+      launch->fail_fraction = 0.25 + 0.75 * job->fault_rng->NextDouble();
+    }
+    if (f.straggler_rate > 0.0 &&
+        job->fault_rng->Bernoulli(f.straggler_rate)) {
+      launch->slowdown = std::max(1.0, f.straggler_slowdown);
+    }
+  };
+
   // Transition after the map phase drains.
   auto on_map_phase_complete = [&](RunningJob* job) {
     if (!job->spec->reduce_fn) {
@@ -384,6 +482,8 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     }
     job->num_reduce_tasks = reducers;
     job->partitions.assign(reducers, {});
+    job->reduce_states.assign(reducers, TaskRunState{});
+    job->reduce_tasks_remaining = reducers;
     for (auto& [key, value] : job->emissions) {
       size_t p = key.Hash() % static_cast<size_t>(reducers);
       job->partitions[p].emplace_back(std::move(key), std::move(value));
@@ -417,24 +517,77 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     return charge;
   };
 
-  // Commits one finished task back into its job: counters, emissions,
-  // observer replay, output splits, simulated duration and completion
-  // event. Runs on the scheduler thread in launch order.
+  auto median_ms = [](const std::vector<SimMillis>& v) -> SimMillis {
+    std::vector<SimMillis> copy(v);
+    size_t mid = copy.size() / 2;
+    std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+    return copy[mid];
+  };
+
+  // Schedules a no-op wakeup at the earliest time an in-flight attempt of
+  // `job` crosses the speculation cutoff, so stragglers are re-examined
+  // even when no other event falls in between.
+  auto push_speculation_wakeup = [&](RunningJob* job, bool is_map) {
+    if (!retries_enabled || !config_.faults.speculative_execution) return;
+    const auto& durations =
+        is_map ? job->completed_map_ms : job->completed_reduce_ms;
+    if (durations.empty()) return;
+    const auto& states = is_map ? job->map_states : job->reduce_states;
+    SimMillis cutoff = static_cast<SimMillis>(
+        std::ceil(config_.faults.speculative_slowness_threshold *
+                  static_cast<double>(median_ms(durations))));
+    SimMillis best = -1;
+    for (const TaskRunState& st : states) {
+      if (!st.primary_in_flight || st.completed || st.speculated ||
+          !st.data_committed) {
+        continue;
+      }
+      SimMillis fire = st.launch_time + cutoff + 1;
+      if (fire <= now_ || fire >= st.expected_finish) continue;
+      if (best < 0 || fire < best) best = fire;
+    }
+    if (best >= 0) {
+      Event wake{best, seq++, EventKind::kWakeup, job->job_index};
+      events.push(wake);
+    }
+  };
+
+  // Commits one finished task attempt back into its job: counters,
+  // emissions, observer replay, output splits, simulated duration and
+  // completion event. Runs on the scheduler thread in launch order.
   auto commit_task = [&](TaskLaunch& t) {
     RunningJob* job = t.job;
     TaskOutcome& o = t.outcome;
     bool already_failed = job->failed;
+    bool attempt_ok = !t.inject_failure && o.status.ok();
+    TaskRunState& st =
+        t.is_map ? job->map_states[t.task_id] : job->reduce_states[t.task_id];
     double cpu = o.cpu_units;
     SimMillis duration = 0;
     if (t.is_map) {
-      if (!already_failed) {
-        Counters& c = job->result.counters;
-        c.map_input_records += o.input_records;
-        c.map_input_bytes += o.input_bytes;
-        c.map_output_records += o.emissions.size();
-        c.map_output_bytes += o.emitted_bytes;
-        c.output_records += o.output.num_records;
-        if (o.status.ok()) {
+      if (t.inject_failure) {
+        // The attempt dies `fail_fraction` of the way through. Its data
+        // flow never ran, so model the full attempt from the split's size
+        // and record count, then bill the completed fraction.
+        const MapInput& input = job->spec->inputs[t.map_ref.input_index];
+        double est_cpu = static_cast<double>(t.split->num_records) *
+                         (1.0 + input.cpu_per_record);
+        SimMillis full = t.setup_ms +
+                         CeilDiv(static_cast<double>(t.split->num_bytes()),
+                                 config_.map_read_bytes_per_ms) +
+                         CeilDiv(est_cpu, config_.cpu_units_per_ms);
+        duration = std::max<SimMillis>(
+            1, static_cast<SimMillis>(
+                   std::ceil(static_cast<double>(full) * t.fail_fraction)));
+        ++job->result.task_failures_injected;
+      } else {
+        if (!already_failed && o.status.ok()) {
+          Counters& c = job->result.counters;
+          c.map_input_records += o.input_records;
+          c.map_input_bytes += o.input_bytes;
+          c.map_output_records += o.emissions.size();
+          c.map_output_bytes += o.emitted_bytes;
+          c.output_records += o.output.num_records;
           cpu += replay_observer(job, o.output);
           job->emission_bytes += o.emitted_bytes;
           for (auto& kv : o.emissions) {
@@ -442,56 +595,174 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           }
           ++job->result.map_tasks_run;
         }
-      }
-      uint64_t written_bytes = job->spec->reduce_fn
-                                   ? o.emitted_bytes
-                                   : o.output.num_bytes();
-      duration = t.setup_ms +
-                 CeilDiv(static_cast<double>(t.split->num_bytes()),
-                         config_.map_read_bytes_per_ms) +
-                 CeilDiv(cpu, config_.cpu_units_per_ms) +
-                 CeilDiv(static_cast<double>(written_bytes),
-                         config_.map_write_bytes_per_ms);
-      if (!already_failed && o.status.ok() && !job->spec->reduce_fn &&
-          o.output.num_records > 0) {
-        job->result.counters.output_bytes += o.output.num_bytes();
-        job->output->AppendSplit(std::move(o.output));
-      }
-      events.push({now_ + duration, seq++, EventKind::kMapDone,
-                   job->job_index});
-    } else {
-      if (!already_failed) {
-        Counters& c = job->result.counters;
-        c.reduce_input_records += o.reduce_input_records;
-        c.output_records += o.output.num_records;
+        // An errored attempt scanned only `input_bytes` of its split and
+        // its partial spill is discarded, not written.
+        uint64_t written_bytes = 0;
         if (o.status.ok()) {
+          written_bytes =
+              job->spec->reduce_fn ? o.emitted_bytes : o.output.num_bytes();
+        }
+        duration = t.setup_ms +
+                   CeilDiv(static_cast<double>(o.input_bytes),
+                           config_.map_read_bytes_per_ms) +
+                   CeilDiv(cpu, config_.cpu_units_per_ms) +
+                   CeilDiv(static_cast<double>(written_bytes),
+                           config_.map_write_bytes_per_ms);
+        if (!already_failed && o.status.ok() && !job->spec->reduce_fn &&
+            o.output.num_records > 0) {
+          job->result.counters.output_bytes += o.output.num_bytes();
+          job->output->AppendSplit(std::move(o.output));
+        }
+      }
+    } else {
+      if (t.inject_failure) {
+        // Same idea for a dying reduce attempt: its bucket was left in
+        // place (nothing ran), so size the full attempt from it.
+        const auto& bucket = job->partitions[t.task_id];
+        uint64_t bucket_bytes = 0;
+        for (const auto& [key, value] : bucket) {
+          bucket_bytes += key.EncodedSize() + value.EncodedSize();
+        }
+        double n = static_cast<double>(bucket.size());
+        double est_cpu = n + n * std::log2(n + 1.0);
+        SimMillis full = CeilDiv(static_cast<double>(bucket_bytes),
+                                 config_.reduce_read_bytes_per_ms) +
+                         CeilDiv(est_cpu, config_.cpu_units_per_ms);
+        duration = std::max<SimMillis>(
+            1, static_cast<SimMillis>(
+                   std::ceil(static_cast<double>(full) * t.fail_fraction)));
+        ++job->result.task_failures_injected;
+      } else {
+        if (!already_failed && o.status.ok()) {
+          Counters& c = job->result.counters;
+          c.reduce_input_records += o.reduce_input_records;
+          c.output_records += o.output.num_records;
           cpu += replay_observer(job, o.output);
           ++job->result.reduce_tasks_run;
         }
+        uint64_t written_bytes = o.status.ok() ? o.output.num_bytes() : 0;
+        duration = CeilDiv(static_cast<double>(o.reduce_input_bytes),
+                           config_.reduce_read_bytes_per_ms) +
+                   CeilDiv(cpu, config_.cpu_units_per_ms) +
+                   CeilDiv(static_cast<double>(written_bytes),
+                           config_.reduce_write_bytes_per_ms);
+        if (!already_failed && o.status.ok() && o.output.num_records > 0) {
+          job->result.counters.output_bytes += o.output.num_bytes();
+          job->output->AppendSplit(std::move(o.output));
+        }
+        if (attempt_ok) {
+          // This partition is done; release the bucket copy retained for
+          // possible retries.
+          job->partitions[t.task_id].clear();
+          job->partitions[t.task_id].shrink_to_fit();
+        }
       }
-      duration = CeilDiv(static_cast<double>(o.reduce_input_bytes),
-                         config_.reduce_read_bytes_per_ms) +
-                 CeilDiv(cpu, config_.cpu_units_per_ms) +
-                 CeilDiv(static_cast<double>(o.output.num_bytes()),
-                         config_.reduce_write_bytes_per_ms);
-      if (!already_failed && o.status.ok() && o.output.num_records > 0) {
-        job->result.counters.output_bytes += o.output.num_bytes();
-        job->output->AppendSplit(std::move(o.output));
-      }
-      events.push({now_ + duration, seq++, EventKind::kReduceDone,
-                   job->job_index});
     }
-    if (!already_failed && !o.status.ok()) {
+    SimMillis base = duration;
+    if (t.slowdown > 1.0) {
+      duration = static_cast<SimMillis>(
+          std::ceil(static_cast<double>(duration) * t.slowdown));
+    }
+    st.primary_in_flight = true;
+    st.launch_time = now_;
+    st.expected_finish = now_ + duration;
+    st.base_duration = base;
+    if (attempt_ok) {
+      st.data_committed = true;
+    } else {
+      st.last_error =
+          t.inject_failure
+              ? Status::Internal(StrFormat(
+                    "injected failure: %s task %d of %s, attempt %d",
+                    t.is_map ? "map" : "reduce", t.task_id,
+                    job->spec->name.c_str(), st.failures + 1))
+              : o.status;
+    }
+    Event done{now_ + duration, seq++,
+               t.is_map ? EventKind::kMapDone : EventKind::kReduceDone,
+               job->job_index};
+    done.task_id = t.task_id;
+    done.attempt_failed = !attempt_ok;
+    done.attempt_duration = duration;
+    events.push(done);
+    // Legacy fail-fast: with the fault model off, the first real task
+    // error kills the whole job at commit time.
+    if (!retries_enabled && !already_failed && !o.status.ok()) {
       fail_job(job, o.status);
     }
+  };
+
+  // Launches a backup attempt for the slowest committed in-flight task of
+  // one phase, when the phase has idle slots, nothing launchable pending,
+  // and that task has been running `speculative_slowness_threshold` times
+  // longer than the phase's median completed duration. The backup runs no
+  // data flow — the primary's outcome is already committed — it is a pure
+  // timing race: whichever attempt's completion event fires first wins,
+  // and the loser still occupies its slot until its own finish time.
+  auto maybe_speculate = [&](RunningJob& job, bool is_map) {
+    int& free_slots = is_map ? free_map_slots : free_reduce_slots;
+    if (free_slots <= 0 || !job.fault_rng.has_value()) return;
+    const auto& durations =
+        is_map ? job.completed_map_ms : job.completed_reduce_ms;
+    if (durations.empty()) return;
+    const auto& pending = is_map ? job.pending_map : job.pending_reduce;
+    for (const PendingTask& p : pending) {
+      if (p.not_before <= now_) return;  // Real work should use the slot.
+    }
+    auto& states = is_map ? job.map_states : job.reduce_states;
+    double threshold = config_.faults.speculative_slowness_threshold *
+                       static_cast<double>(median_ms(durations));
+    int slowest = -1;
+    SimMillis slowest_elapsed = -1;
+    for (size_t t = 0; t < states.size(); ++t) {
+      const TaskRunState& st = states[t];
+      if (!st.primary_in_flight || st.completed || st.speculated ||
+          !st.data_committed) {
+        continue;
+      }
+      SimMillis elapsed = now_ - st.launch_time;
+      if (static_cast<double>(elapsed) <= threshold) continue;
+      if (elapsed > slowest_elapsed) {
+        slowest_elapsed = elapsed;
+        slowest = static_cast<int>(t);
+      }
+    }
+    if (slowest < 0) return;
+    TaskRunState& st = states[slowest];
+    // The backup re-runs the same attempt from scratch on another node,
+    // with its own straggler draw on top of the unslowed duration.
+    double slowdown = 1.0;
+    if (config_.faults.straggler_rate > 0.0 &&
+        job.fault_rng->Bernoulli(config_.faults.straggler_rate)) {
+      slowdown = std::max(1.0, config_.faults.straggler_slowdown);
+    }
+    SimMillis duration = std::max<SimMillis>(
+        1, static_cast<SimMillis>(
+               std::ceil(static_cast<double>(st.base_duration) * slowdown)));
+    --free_slots;
+    if (is_map) {
+      ++job.active_map_tasks;
+    } else {
+      ++job.active_reduce_tasks;
+    }
+    st.speculated = true;
+    ++job.result.speculative_launches;
+    Event done{now_ + duration, seq++,
+               is_map ? EventKind::kMapDone : EventKind::kReduceDone,
+               job.job_index};
+    done.task_id = slowest;
+    done.speculative = true;
+    done.attempt_duration = duration;
+    events.push(done);
   };
 
   // Assigns free slots to pending tasks (FIFO across jobs), executes the
   // resulting wave of task data flows — in parallel on the worker pool when
   // one is configured — and commits the outcomes in launch order. All
-  // launch decisions, including stop-condition checks, observe only
-  // *committed* state: no task is in flight while they are made, which is
-  // what makes the simulation bit-identical for any thread count.
+  // launch decisions, including stop-condition checks and fault draws,
+  // observe only *committed* state: no task is in flight while they are
+  // made, which is what makes the simulation bit-identical for any thread
+  // count.
   auto schedule = [&]() {
     std::vector<TaskLaunch> wave;
     for (RunningJob& job : jobs) {
@@ -504,48 +775,104 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
             job.spec->stop_condition()) {
           job.result.map_tasks_skipped +=
               static_cast<int>(job.pending_map.size());
+          job.map_tasks_remaining -=
+              static_cast<int>(job.pending_map.size());
           job.pending_map.clear();
         }
+        std::deque<PendingTask> deferred;
         while (free_map_slots > 0 && !job.pending_map.empty()) {
-          MapTaskRef task = job.pending_map.front();
+          PendingTask next = job.pending_map.front();
           job.pending_map.pop_front();
+          if (next.not_before > now_) {
+            deferred.push_back(next);  // Backoff not elapsed yet.
+            continue;
+          }
           TaskLaunch launch;
           launch.job = &job;
           launch.is_map = true;
-          launch.map_ref = task;
-          launch.split =
-              &job.spec->inputs[task.input_index].file->splits()
-                   [task.split_index];
+          launch.task_id = next.task_id;
+          launch.map_ref = job.map_defs[next.task_id];
+          launch.split = &job.spec->inputs[launch.map_ref.input_index]
+                              .file->splits()[launch.map_ref.split_index];
           launch.setup_ms = side_load_ms(&job);
           launch.task_index = job.map_seq;
           ++job.map_seq;
+          if (job.map_states[next.task_id].failures > 0) {
+            ++job.result.task_retries;
+          }
+          draw_faults(&job, &launch);
           --free_map_slots;
           ++job.active_map_tasks;
           wave.push_back(std::move(launch));
         }
+        while (!deferred.empty()) {
+          job.pending_map.push_front(deferred.back());
+          deferred.pop_back();
+        }
         if (!job.failed && job.pending_map.empty() &&
-            job.active_map_tasks == 0 && job.phase == JobPhase::kMap) {
+            job.map_tasks_remaining == 0 && job.phase == JobPhase::kMap) {
           on_map_phase_complete(&job);
         }
       }
       if (job.phase == JobPhase::kReduce) {
+        std::deque<PendingTask> deferred;
         while (free_reduce_slots > 0 && !job.pending_reduce.empty()) {
-          int partition = job.pending_reduce.front();
+          PendingTask next = job.pending_reduce.front();
           job.pending_reduce.pop_front();
+          if (next.not_before > now_) {
+            deferred.push_back(next);
+            continue;
+          }
           TaskLaunch launch;
           launch.job = &job;
           launch.is_map = false;
-          launch.partition = partition;
-          launch.bucket = std::move(job.partitions[partition]);
+          launch.task_id = next.task_id;
+          launch.partition = next.task_id;
+          if (job.reduce_states[next.task_id].failures > 0) {
+            ++job.result.task_retries;
+          }
+          draw_faults(&job, &launch);
+          if (launch.inject_failure) {
+            // The attempt dies before finishing; its bucket stays in place
+            // for the retry (the commit sizes the attempt from it).
+          } else if (retries_enabled) {
+            // Keep the bucket for a possible retry after a *real* reduce
+            // error; released when an attempt commits successfully.
+            launch.bucket = job.partitions[next.task_id];
+          } else {
+            launch.bucket = std::move(job.partitions[next.task_id]);
+          }
           --free_reduce_slots;
           ++job.active_reduce_tasks;
           wave.push_back(std::move(launch));
+        }
+        while (!deferred.empty()) {
+          job.pending_reduce.push_front(deferred.back());
+          deferred.pop_back();
+        }
+      }
+    }
+    // Backup attempts claim only slots left over after real work, across
+    // all jobs (never starving another job's pending tasks).
+    if (retries_enabled && config_.faults.speculative_execution) {
+      for (RunningJob& job : jobs) {
+        if (job.failed) continue;
+        if (job.phase == JobPhase::kMap && now_ >= job.ready_time) {
+          maybe_speculate(job, /*is_map=*/true);
+        }
+        if (job.phase == JobPhase::kReduce) {
+          maybe_speculate(job, /*is_map=*/false);
         }
       }
     }
     if (wave.empty()) return;
 
     auto execute = [](TaskLaunch& t) {
+      // Attempts with an injected failure never run their data flow: the
+      // simulated container dies. Re-running user code here would repeat
+      // its side effects (Coordinator counters), which real retried tasks
+      // do too, but would break the simulator's exactly-once accounting.
+      if (t.inject_failure) return;
       if (t.is_map) {
         ExecuteMapTask(t.job->spec->inputs[t.map_ref.input_index], *t.split,
                        t.task_index, &t.outcome);
@@ -564,6 +891,17 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
       for (TaskLaunch& t : wave) execute(t);
     }
     for (TaskLaunch& t : wave) commit_task(t);
+    // New launches can only cross the speculation cutoff later; make sure
+    // a pass happens when the earliest one does.
+    for (RunningJob& job : jobs) {
+      if (job.failed) continue;
+      if (job.phase == JobPhase::kMap || job.phase == JobPhase::kShuffle) {
+        push_speculation_wakeup(&job, /*is_map=*/true);
+      }
+      if (job.phase == JobPhase::kReduce) {
+        push_speculation_wakeup(&job, /*is_map=*/false);
+      }
+    }
   };
 
   auto handle_event = [&](const Event& ev) {
@@ -589,34 +927,122 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           }
         }
         break;
-      case EventKind::kMapDone:
+      case EventKind::kMapDone: {
         ++free_map_slots;
         --job.active_map_tasks;
         if (job.failed) {
           drain_failed_job(&job);
-        } else if (job.pending_map.empty() && job.active_map_tasks == 0 &&
-                   job.phase == JobPhase::kMap) {
+          break;
+        }
+        TaskRunState& st = job.map_states[ev.task_id];
+        if (ev.speculative) {
+          if (!st.completed) {
+            // The backup beat its primary; the primary's own completion
+            // event will only give back its slot.
+            st.completed = true;
+            --job.map_tasks_remaining;
+            ++job.result.speculative_wins;
+            job.completed_map_ms.push_back(ev.attempt_duration);
+          }
+        } else if (ev.attempt_failed) {
+          st.primary_in_flight = false;
+          ++st.failures;
+          if (st.failures >= max_attempts) {
+            fail_job(&job, Status::Internal(StrFormat(
+                               "map task %d of %s failed %d attempts; last: "
+                               "%s",
+                               ev.task_id, job.spec->name.c_str(),
+                               st.failures,
+                               st.last_error.ToString().c_str())));
+            break;
+          }
+          SimMillis backoff =
+              config_.faults.retry_backoff_ms *
+              (SimMillis{1} << std::min(st.failures - 1, 16));
+          job.pending_map.push_back({ev.task_id, now_ + backoff});
+          if (backoff > 0) {
+            events.push(
+                {now_ + backoff, seq++, EventKind::kWakeup, job.job_index});
+          }
+        } else {
+          st.primary_in_flight = false;
+          if (!st.completed) {
+            st.completed = true;
+            --job.map_tasks_remaining;
+            job.completed_map_ms.push_back(ev.attempt_duration);
+          }
+          // else: the primary lost its race against a faster backup; it
+          // only held a slot until now.
+        }
+        if (job.pending_map.empty() && job.map_tasks_remaining == 0 &&
+            job.phase == JobPhase::kMap) {
           on_map_phase_complete(&job);
+        } else {
+          push_speculation_wakeup(&job, /*is_map=*/true);
         }
         break;
+      }
       case EventKind::kShuffleDone:
         if (!job.failed) {
           job.phase = JobPhase::kReduce;
           for (int r = 0; r < job.num_reduce_tasks; ++r) {
-            job.pending_reduce.push_back(r);
+            job.pending_reduce.push_back({r, 0});
           }
         }
         break;
-      case EventKind::kReduceDone:
+      case EventKind::kReduceDone: {
         ++free_reduce_slots;
         --job.active_reduce_tasks;
         if (job.failed) {
           drain_failed_job(&job);
-        } else if (job.pending_reduce.empty() &&
-                   job.active_reduce_tasks == 0 &&
-                   job.phase == JobPhase::kReduce) {
-          finish_job(&job);
+          break;
         }
+        TaskRunState& st = job.reduce_states[ev.task_id];
+        if (ev.speculative) {
+          if (!st.completed) {
+            st.completed = true;
+            --job.reduce_tasks_remaining;
+            ++job.result.speculative_wins;
+            job.completed_reduce_ms.push_back(ev.attempt_duration);
+          }
+        } else if (ev.attempt_failed) {
+          st.primary_in_flight = false;
+          ++st.failures;
+          if (st.failures >= max_attempts) {
+            fail_job(&job,
+                     Status::Internal(StrFormat(
+                         "reduce task %d of %s failed %d attempts; last: %s",
+                         ev.task_id, job.spec->name.c_str(), st.failures,
+                         st.last_error.ToString().c_str())));
+            break;
+          }
+          SimMillis backoff =
+              config_.faults.retry_backoff_ms *
+              (SimMillis{1} << std::min(st.failures - 1, 16));
+          job.pending_reduce.push_back({ev.task_id, now_ + backoff});
+          if (backoff > 0) {
+            events.push(
+                {now_ + backoff, seq++, EventKind::kWakeup, job.job_index});
+          }
+        } else {
+          st.primary_in_flight = false;
+          if (!st.completed) {
+            st.completed = true;
+            --job.reduce_tasks_remaining;
+            job.completed_reduce_ms.push_back(ev.attempt_duration);
+          }
+        }
+        if (job.pending_reduce.empty() && job.reduce_tasks_remaining == 0 &&
+            job.phase == JobPhase::kReduce) {
+          finish_job(&job);
+        } else {
+          push_speculation_wakeup(&job, /*is_map=*/false);
+        }
+        break;
+      }
+      case EventKind::kWakeup:
+        // Nothing to do: the point was to trigger the scheduling pass that
+        // follows event handling at this timestamp.
         break;
     }
   };

@@ -30,6 +30,11 @@ class WorkerPool;
 /// tasks to the pool, joins, and commits their buffered results in launch
 /// order on the scheduler thread. Simulated timestamps, counters and DFS
 /// outputs are therefore bit-identical regardless of thread count.
+///
+/// ClusterConfig::faults enables a deterministic fault model — transient
+/// task failures with retry/backoff, straggler slowdowns, and speculative
+/// execution — whose draws all happen on the scheduler thread at launch
+/// time, preserving the bit-identical guarantee (DESIGN.md §6.2).
 class MapReduceEngine {
  public:
   MapReduceEngine(Dfs* dfs, ClusterConfig config);
@@ -57,9 +62,15 @@ class MapReduceEngine {
   const ClusterConfig& config() const { return config_; }
 
   /// Replaces the cluster configuration (used by benches that sweep rates).
-  void set_config(const ClusterConfig& config) { config_ = config; }
+  void set_config(const ClusterConfig& config) {
+    config_ = ResolveFaultEnv(config);
+  }
 
  private:
+  /// Fills config.faults from DYNO_* env vars when the caller did not
+  /// configure injection explicitly (FaultConfig::use_env_defaults).
+  static ClusterConfig ResolveFaultEnv(ClusterConfig config);
+
   Dfs* dfs_;
   ClusterConfig config_;
   Coordinator coordinator_;

@@ -140,6 +140,12 @@ struct JobResult {
   /// Simulated time attributable to the output observer (stats collection).
   SimMillis observer_overhead_ms = 0;
 
+  /// Fault-model accounting (all zero when fault injection is off).
+  int task_failures_injected = 0;  ///< Attempts killed by injection.
+  int task_retries = 0;            ///< Re-launches after a failed attempt.
+  int speculative_launches = 0;    ///< Backup attempts started.
+  int speculative_wins = 0;        ///< Backups that beat their primary.
+
   SimMillis Elapsed() const { return finish_time_ms - submit_time_ms; }
 };
 

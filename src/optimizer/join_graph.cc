@@ -15,8 +15,8 @@ Status ValidateJoinGraph(const OptJoinGraph& graph) {
   if (graph.relations.empty()) {
     return Status::InvalidArgument("join graph has no relations");
   }
-  if (graph.relations.size() > 20) {
-    return Status::InvalidArgument("join graph too large (max 20 relations)");
+  if (graph.relations.size() > 63) {
+    return Status::InvalidArgument("join graph too large (max 63 relations)");
   }
   std::set<std::string> ids;
   for (const OptRelation& rel : graph.relations) {

@@ -48,8 +48,8 @@ struct OptJoinGraph {
   int IndexOf(const std::string& id) const;
 };
 
-/// Validates ids and sizes (at most 20 relations — the memo is bitmask
-/// based).
+/// Validates ids and sizes (at most 63 relations — the memo is based on
+/// 64-bit bitmasks and `(1 << n) - 1` must not overflow).
 Status ValidateJoinGraph(const OptJoinGraph& graph);
 
 }  // namespace dyno

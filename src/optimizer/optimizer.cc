@@ -11,16 +11,23 @@ namespace dyno {
 
 namespace {
 
-using Mask = uint32_t;
+// Subset masks over the relations of the join graph. 64-bit: with a
+// narrower type, `(Mask(1) << n_) - 1` is undefined behavior once the graph
+// reaches the type's width. ValidateJoinGraph caps graphs at 63 relations
+// so the all-relations mask below always fits.
+using Mask = uint64_t;
 
-int Popcount(Mask m) { return __builtin_popcount(m); }
+int Popcount(Mask m) { return __builtin_popcountll(m); }
 
 /// Logical properties of a relation subset (a memo group).
 struct GroupProps {
   double rows = 0.0;
   double avg_size = 0.0;
   double bytes = 0.0;
-  /// NDV per join column present in the group, capped by group cardinality.
+  /// NDV per join column present in the group, keyed by
+  /// "<relation id>.<column>" (bare column names would let two relations
+  /// that share a column name overwrite each other), capped by group
+  /// cardinality.
   std::map<std::string, double> ndv;
 };
 
@@ -119,6 +126,20 @@ class Search {
     return false;
   }
 
+  /// Qualified ndv-map key for column `col` of relation index `rel`.
+  std::string NdvKey(int rel, const std::string& col) const {
+    return graph_.relations[rel].id + "." + col;
+  }
+
+  /// NDV of one relation's column as known to the group: the qualified map
+  /// entry when present, else the base table statistic.
+  double GroupNdv(const GroupProps& p, int rel,
+                  const std::string& col) const {
+    auto it = p.ndv.find(NdvKey(rel, col));
+    if (it != p.ndv.end()) return it->second;
+    return graph_.relations[rel].stats.ColumnNdv(col);
+  }
+
   const GroupProps& Props(Mask m) {
     auto it = props_.find(m);
     if (it != props_.end()) return it->second;
@@ -130,7 +151,11 @@ class Search {
       p.rows *= std::max(stats.cardinality, 1.0);
       p.avg_size += std::max(stats.avg_record_size, 1.0);
       for (const auto& [col, cs] : stats.columns) {
-        p.ndv[col] = std::max(cs.ndv, 1.0);
+        // Unknown NDVs (<= 0) are left out; GroupNdv then falls back to
+        // ColumnNdv, which substitutes the relation cardinality.
+        if (cs.ndv <= 0.0) continue;
+        p.ndv[NdvKey(i, col)] =
+            std::min(cs.ndv, std::max(stats.cardinality, 1.0));
       }
     }
     // Textbook join selectivity per connecting edge: 1 / max(ndv_a, ndv_b).
@@ -142,8 +167,8 @@ class Search {
     std::map<std::pair<int, int>, std::vector<double>> denom_by_pair;
     for (const IndexedEdge& e : edges_) {
       if ((m & (Mask(1) << e.a)) && (m & (Mask(1) << e.b))) {
-        double ndv_a = graph_.relations[e.a].stats.ColumnNdv(e.a_col);
-        double ndv_b = graph_.relations[e.b].stats.ColumnNdv(e.b_col);
+        double ndv_a = GroupNdv(p, e.a, e.a_col);
+        double ndv_b = GroupNdv(p, e.b, e.b_col);
         denom_by_pair[{std::min(e.a, e.b), std::max(e.a, e.b)}].push_back(
             std::max({ndv_a, ndv_b, 1.0}));
       }
@@ -221,7 +246,7 @@ class Search {
   std::unique_ptr<PlanNode> Extract(Mask m) {
     const GroupProps& props = Props(m);
     if (Popcount(m) == 1) {
-      int i = __builtin_ctz(m);
+      int i = __builtin_ctzll(m);
       auto leaf = PlanNode::Leaf(graph_.relations[i].id);
       leaf->est_rows = props.rows;
       leaf->est_bytes = props.bytes;

@@ -114,6 +114,10 @@ class SplitReader {
 
   bool AtEnd() const { return offset_ >= split_->data.size(); }
 
+  /// Bytes consumed so far; equals the split size after a clean scan. Lets
+  /// callers bill partially-scanned splits (failed map attempts) exactly.
+  size_t offset() const { return offset_; }
+
  private:
   const Split* split_;
   size_t offset_ = 0;

@@ -50,6 +50,9 @@ std::string FingerprintJob(const JobResult& job) {
       (unsigned long long)job.counters.reduce_input_records,
       (unsigned long long)job.counters.output_records,
       (unsigned long long)job.counters.output_bytes);
+  out += StrFormat(" inj=%d retry=%d spec=%d specwin=%d",
+                   job.task_failures_injected, job.task_retries,
+                   job.speculative_launches, job.speculative_wins);
   if (job.output != nullptr) {
     uint64_t h = 14695981039346656037ull;
     for (const Split& split : job.output->splits()) {
@@ -68,9 +71,19 @@ std::string FingerprintStats(const TableStats& stats,
                    stats.from_sample ? 1 : 0, stats.ColumnNdv(column));
 }
 
+/// Aggregate fault-model activity across the workload's jobs, so tests can
+/// assert the fault path was genuinely exercised.
+struct FaultTotals {
+  int failures_injected = 0;
+  int retries = 0;
+  int speculative_launches = 0;
+};
+
 /// Builds a fresh cluster, runs the whole workload, and digests every
-/// observable outcome into one string.
-std::string RunWorkload(int threads) {
+/// observable outcome into one string. `faults` (optional) switches on the
+/// deterministic fault model; `totals` (optional) accumulates its activity.
+std::string RunWorkload(int threads, const FaultConfig* faults = nullptr,
+                        FaultTotals* totals = nullptr) {
   Dfs dfs;
   Catalog catalog(&dfs);
   ClusterConfig config;
@@ -78,6 +91,13 @@ std::string RunWorkload(int threads) {
   config.reduce_slots = 4;
   config.job_startup_ms = 500;
   config.execution_threads = threads;
+  // Pin the fault settings so the ctest fault preset's env vars cannot
+  // perturb these fingerprint comparisons.
+  config.faults.use_env_defaults = false;
+  if (faults != nullptr) {
+    config.faults = *faults;
+    config.faults.use_env_defaults = false;
+  }
   MapReduceEngine engine(&dfs, config);
 
   std::vector<Value> rows;
@@ -153,6 +173,11 @@ std::string RunWorkload(int threads) {
                              static_cast<long long>(engine.now()));
   for (const JobResult& job : *results) {
     fp += FingerprintJob(job) + "\n";
+    if (totals != nullptr) {
+      totals->failures_injected += job.task_failures_injected;
+      totals->retries += job.task_retries;
+      totals->speculative_launches += job.speculative_launches;
+    }
   }
   fp += "observer=" + observer_stats->Serialize() + "\n";
 
@@ -210,6 +235,34 @@ TEST(EngineDeterminismTest, RepeatedRunsAreStable) {
   // Same thread count twice: guards against hidden global state (RNG,
   // clock, allocation-order dependence) rather than threading.
   EXPECT_EQ(RunWorkload(4), RunWorkload(4));
+}
+
+TEST(EngineDeterminismTest, IdenticalResultsUnderFaultInjection) {
+  // The fault model's draws (injected failures, straggler slowdowns,
+  // speculative races) all happen on the scheduler thread at launch time,
+  // so the thread-count contract must survive a failure-heavy run.
+  FaultConfig faults;
+  faults.seed = 42;
+  faults.task_failure_rate = 0.12;
+  faults.straggler_rate = 0.12;
+  faults.straggler_slowdown = 6.0;
+  faults.speculative_slowness_threshold = 1.5;
+  faults.retry_backoff_ms = 200;
+
+  FaultTotals totals;
+  std::string one = RunWorkload(1, &faults, &totals);
+  std::string four = RunWorkload(4, &faults);
+  std::string eight = RunWorkload(8, &faults);
+  EXPECT_EQ(one, four) << "1-thread and 4-thread faulty runs diverged";
+  EXPECT_EQ(one, eight) << "1-thread and 8-thread faulty runs diverged";
+
+  // The comparison is only meaningful if faults actually fired.
+  EXPECT_GT(totals.failures_injected, 0);
+  EXPECT_GT(totals.retries, 0);
+  EXPECT_GT(totals.speculative_launches, 0);
+
+  // And a faulty run is genuinely different from a clean one.
+  EXPECT_NE(one, RunWorkload(1));
 }
 
 }  // namespace

@@ -256,6 +256,58 @@ TEST(OptimizerTest, ValidationErrors) {
   EXPECT_FALSE(optimizer.Optimize(bad_edge).ok());
 }
 
+TEST(OptimizerTest, WideJoinGraphsUpTo63RelationsValidate) {
+  // The enumeration mask is 64-bit: 63 relations are representable, 64 are
+  // not. Exhaustive enumeration is infeasible at that width, so exercise
+  // only the validation boundary (left_deep_only keeps any accidental
+  // enumeration from exploding if validation were to pass wrongly).
+  auto chain = [](int n) {
+    OptJoinGraph graph;
+    for (int i = 0; i < n; ++i) {
+      std::map<std::string, double> ndvs;
+      if (i > 0) ndvs["e" + std::to_string(i - 1)] = 10;
+      if (i < n - 1) ndvs["e" + std::to_string(i)] = 10;
+      graph.relations.push_back(
+          {"r" + std::to_string(i), MakeStats(100, 20, ndvs)});
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      std::string col = "e" + std::to_string(i);
+      graph.edges.push_back(
+          {"r" + std::to_string(i), col, "r" + std::to_string(i + 1), col});
+    }
+    return graph;
+  };
+  JoinOptimizer optimizer(DefaultParams());
+  auto too_wide = optimizer.Optimize(chain(64));
+  ASSERT_FALSE(too_wide.ok());
+  EXPECT_EQ(too_wide.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(too_wide.status().ToString().find("63"), std::string::npos)
+      << too_wide.status().ToString();
+
+  // The old 20-relation cap is gone: a 24-way chain optimizes fine (chains
+  // have few connected subgraphs, so this stays fast even bushy).
+  auto wide = optimizer.Optimize(chain(24));
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  std::vector<std::string> ids;
+  wide->plan->CollectLeafIds(&ids);
+  EXPECT_EQ(ids.size(), 24u);
+}
+
+TEST(OptimizerTest, SameColumnNameOnBothSidesKeepsDistinctNdvs) {
+  // Both relations expose a join column literally named "id" with very
+  // different NDVs. Estimation must key NDV by (relation, column): with the
+  // old bare-column map, one side's NDV silently overwrote the other's.
+  OptJoinGraph graph;
+  graph.relations = {{"orders", MakeStats(10000, 20, {{"id", 2500}})},
+                     {"users", MakeStats(400, 20, {{"id", 40}})}};
+  graph.edges = {{"orders", "id", "users", "id"}};
+  JoinOptimizer optimizer(DefaultParams());
+  auto result = optimizer.Optimize(graph);
+  ASSERT_TRUE(result.ok());
+  // |orders ⋈ users| = 10000 * 400 / max(2500, 40) = 1600.
+  EXPECT_NEAR(result->plan->est_rows, 1600.0, 1.0);
+}
+
 TEST(OptimizerTest, ReportCountsGrowWithRelations) {
   JoinOptimizer optimizer(DefaultParams());
   auto small = optimizer.Optimize(StarGraph());
