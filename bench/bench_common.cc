@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/string_util.h"
+
 namespace dyno::bench {
 
 namespace {
@@ -22,6 +24,26 @@ int ExecutionThreads() {
 }
 
 }  // namespace
+
+Scenario::~Scenario() {
+  if (trace == nullptr || trace_path.empty()) return;
+  Status st = trace->WriteJsonl(trace_path + ".jsonl");
+  if (st.ok()) st = trace->WriteChromeTrace(trace_path + ".chrome.json");
+  if (st.ok() && metrics != nullptr) {
+    std::string rendered = metrics->Serialize();
+    std::FILE* f = std::fopen((trace_path + ".metrics.txt").c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(rendered.data(), 1, rendered.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n", st.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "trace written to %s.{jsonl,chrome.json}\n",
+                 trace_path.c_str());
+  }
+}
 
 double ScaleFor(const std::string& sf_name) {
   if (sf_name == "SF100") return 0.002;
@@ -73,6 +95,21 @@ std::unique_ptr<Scenario> MakeScenario(const std::string& sf_name,
   scenario->engine =
       std::make_unique<MapReduceEngine>(&scenario->dfs, scenario->cluster);
   scenario->catalog = std::make_unique<Catalog>(&scenario->dfs);
+
+  // DYNO_TRACE_PATH=/tmp/run turns on query-lifecycle tracing: the run
+  // writes /tmp/run.jsonl (deterministic, golden-diffable),
+  // /tmp/run.chrome.json (chrome://tracing / Perfetto) and
+  // /tmp/run.metrics.txt on scenario teardown. Benches reusing one
+  // scenario for several variants concatenate into a single trace.
+  if (const char* trace_path = std::getenv("DYNO_TRACE_PATH")) {
+    if (trace_path[0] != '\0') {
+      scenario->trace = std::make_unique<obs::TraceSink>();
+      scenario->metrics = std::make_unique<obs::MetricsRegistry>();
+      scenario->trace_path = StrFormat("%s_%s", trace_path, sf_name.c_str());
+      scenario->engine->set_trace(scenario->trace.get());
+      scenario->engine->set_metrics(scenario->metrics.get());
+    }
+  }
 
   scenario->cost.max_memory_bytes = scenario->cluster.memory_per_task_bytes;
   // One job costs ~15 s of startup plus a materialization round-trip; in

@@ -9,6 +9,8 @@
 #include "baselines/relopt.h"
 #include "dyno/driver.h"
 #include "mr/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/stats_store.h"
 #include "storage/catalog.h"
 #include "tpch/dbgen.h"
@@ -30,9 +32,17 @@ struct Scenario {
   ClusterConfig cluster;
   CostModelParams cost;
 
+  /// Engaged when DYNO_TRACE_PATH is set: the engine (and everything
+  /// driving it) records into these, and the destructor writes
+  /// <path>.jsonl, <path>.chrome.json and <path>.metrics.txt.
+  std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::string trace_path;
+
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
   Scenario() = default;
+  ~Scenario();
 };
 
 /// Simulator scale for a paper scale factor name ("SF100", "SF300",

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "baselines/exact_stats.h"
+#include "obs/trace.h"
 
 namespace dyno {
 
@@ -306,6 +307,16 @@ Result<BestStaticResult> BestStaticBaseline::Run(const JoinBlock& block) {
     return Status::Internal("no static candidate executed successfully");
   }
   result.best_time_ms = best;
+  if (obs::TraceSink* trace = engine_->trace()) {
+    trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                  obs::TraceLane::kDriver, "baseline",
+                                  "best_static")
+                      .ArgInt("plans_enumerated", result.plans_enumerated)
+                      .ArgInt("plans_executed", result.plans_executed)
+                      .ArgInt("plans_failed", result.plans_failed)
+                      .Arg("best_plan", result.best_plan)
+                      .ArgInt("best_time_ms", result.best_time_ms));
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "dyno/driver.h"
+#include "obs/trace.h"
 
 namespace dyno {
 
@@ -219,6 +220,13 @@ Result<RelOptBaseline::RunResult> RelOptBaseline::PlanAndExecute(
   auto run = RunStaticPlan(&executor, *plan, /*parallel_waves=*/true,
                            block.output_columns);
   result.elapsed_ms = engine_->now() - start;
+  if (obs::TraceSink* trace = engine_->trace()) {
+    trace->Record(obs::TraceEvent(start, result.elapsed_ms,
+                                  obs::TraceLane::kDriver, "baseline",
+                                  "relopt_plan")
+                      .Arg("plan", result.plan_compact)
+                      .ArgBool("ok", run.ok()));
+  }
   if (!run.ok()) {
     result.exec_status = run.status();
     return result;

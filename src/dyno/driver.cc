@@ -8,6 +8,8 @@
 
 #include "common/string_util.h"
 #include "exec/aggregates.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pilot/predicate_order.h"
 #include "exec/row_ops.h"
 
@@ -419,6 +421,8 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
   JoinOptimizer optimizer(options_.cost);
   bool reoptimize = options_.reoptimize && !IsSimpleStrategy(options_.strategy);
   std::string previous_plan;
+  obs::TraceSink* trace = engine_->trace();
+  obs::MetricsRegistry* metrics = engine_->metrics();
 
   auto record_plan = [&](const OptimizeResult& opt) {
     PlanEvent event;
@@ -429,6 +433,30 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     event.plan_changed =
         !previous_plan.empty() && previous_plan != event.plan_compact;
     if (event.plan_changed) ++report->plan_changes;
+    if (trace != nullptr) {
+      trace->Record(
+          obs::TraceEvent(engine_->now(), opt.report.simulated_ms,
+                          obs::TraceLane::kOptimizer, "optimizer", "optimize")
+              .ArgInt("groups_explored", opt.report.groups_explored)
+              .ArgInt("expressions_costed", opt.report.expressions_costed)
+              .ArgInt("plans_pruned_memory", opt.report.plans_pruned_memory)
+              .ArgInt("broadcast_chain_collapses",
+                      opt.report.broadcast_chain_collapses)
+              .ArgDouble("best_cost", opt.plan->est_cost)
+              .Arg("plan", event.plan_compact)
+              .Arg("prev_plan", previous_plan)
+              .ArgBool("plan_changed", event.plan_changed));
+    }
+    if (metrics != nullptr) {
+      metrics->GetCounter("driver.optimizer_calls")->Add();
+      if (event.plan_changed) {
+        metrics->GetCounter("driver.plan_changes")->Add();
+      }
+      metrics->GetCounter("optimizer.groups_explored")
+          ->Add(opt.report.groups_explored);
+      metrics->GetCounter("optimizer.plans_pruned_memory")
+          ->Add(opt.report.plans_pruned_memory);
+    }
     previous_plan = event.plan_compact;
     report->plan_history.push_back(std::move(event));
     report->optimizer_ms += opt.report.simulated_ms;
@@ -523,10 +551,28 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
                                          &extra_jobs));
         report->jobs_run += extra_jobs - 1;  // account_step adds one more
         ++report->broadcast_fallbacks;
+        if (trace != nullptr) {
+          trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                        obs::TraceLane::kDriver, "driver",
+                                        "broadcast_fallback")
+                            .ArgInt("unit", root.uid)
+                            .ArgInt("extra_jobs", extra_jobs));
+        }
       } else {
         return attempt.status();
       }
       account_step(root, step);
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                      obs::TraceLane::kDriver, "driver",
+                                      "final_step")
+                          .Arg("relation", step.relation_id)
+                          .ArgDouble("est_rows",
+                                     std::max(root.est_rows, 1.0))
+                          .ArgDouble("observed_rows",
+                                     std::max(step.stats.cardinality, 1.0))
+                          .Arg("plan", previous_plan));
+      }
       DYNO_ASSIGN_OR_RETURN(RelationBinding binding,
                             executor.GetBinding(step.relation_id));
       return binding.file;
@@ -572,6 +618,13 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
           ++report->broadcast_fallbacks;
           executor.RegisterUnitOutput(chosen[i]->uid, steps[i].relation_id);
           replan = true;  // the plan was provably wrong here
+          if (trace != nullptr) {
+            trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                          obs::TraceLane::kDriver, "driver",
+                                          "broadcast_fallback")
+                              .ArgInt("unit", chosen[i]->uid)
+                              .ArgInt("extra_jobs", extra_jobs));
+          }
         } else {
           return steps[i].status;
         }
@@ -584,7 +637,26 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
       double estimated = std::max(chosen[i]->est_rows, 1.0);
       double observed = std::max(steps[i].stats.cardinality, 1.0);
       double error = std::abs(observed - estimated) / estimated;
-      if (error > options_.reopt_row_error_threshold) replan = true;
+      bool step_triggers_replan = error > options_.reopt_row_error_threshold;
+      if (step_triggers_replan) replan = true;
+      if (trace != nullptr) {
+        trace->Record(
+            obs::TraceEvent(engine_->now(), -1, obs::TraceLane::kDriver,
+                            "driver", "checkpoint")
+                .Arg("relation", steps[i].relation_id)
+                .ArgDouble("est_rows", estimated)
+                .ArgDouble("observed_rows", observed)
+                .ArgDouble("row_error", error)
+                .ArgDouble("threshold", options_.reopt_row_error_threshold)
+                .ArgBool("replan", step_triggers_replan)
+                .Arg("plan", previous_plan));
+      }
+      if (metrics != nullptr) {
+        metrics->GetCounter("driver.checkpoints")->Add();
+        if (step_triggers_replan) {
+          metrics->GetCounter("driver.replans_triggered")->Add();
+        }
+      }
     }
   }
 }

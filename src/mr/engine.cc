@@ -13,6 +13,8 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "mr/worker_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dyno {
 
@@ -88,6 +90,9 @@ struct RunningJob {
   /// Durations of completed attempts, per phase — the speculation median.
   std::vector<SimMillis> completed_map_ms;
   std::vector<SimMillis> completed_reduce_ms;
+
+  /// When the reduce phase opened (shuffle done) — trace span start.
+  SimMillis reduce_start = 0;
 
   /// Per-job fault stream (engaged only when injection is enabled), seeded
   /// from the config seed and the job name so draws are independent of
@@ -322,6 +327,31 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
   const bool retries_enabled = config_.faults.enabled();
   const int max_attempts = std::max(1, config_.faults.max_task_attempts);
 
+  // Cache instrument pointers once per submission; the hot paths below then
+  // pay only a relaxed atomic per update.
+  obs::Counter* m_jobs = nullptr;
+  obs::Counter* m_map_attempts = nullptr;
+  obs::Counter* m_reduce_attempts = nullptr;
+  obs::Counter* m_retries = nullptr;
+  obs::Counter* m_injected = nullptr;
+  obs::Counter* m_spec_launches = nullptr;
+  obs::Counter* m_spec_wins = nullptr;
+  obs::Histogram* h_map_ms = nullptr;
+  obs::Histogram* h_reduce_ms = nullptr;
+  obs::Histogram* h_job_ms = nullptr;
+  if (metrics_ != nullptr) {
+    m_jobs = metrics_->GetCounter("mr.jobs");
+    m_map_attempts = metrics_->GetCounter("mr.map_attempts");
+    m_reduce_attempts = metrics_->GetCounter("mr.reduce_attempts");
+    m_retries = metrics_->GetCounter("mr.task_retries");
+    m_injected = metrics_->GetCounter("mr.task_failures_injected");
+    m_spec_launches = metrics_->GetCounter("mr.speculative_launches");
+    m_spec_wins = metrics_->GetCounter("mr.speculative_wins");
+    h_map_ms = metrics_->GetHistogram("mr.map_attempt_ms");
+    h_reduce_ms = metrics_->GetHistogram("mr.reduce_attempt_ms");
+    h_job_ms = metrics_->GetHistogram("mr.job_ms");
+  }
+
   // --- Validate and initialize job states. ---
   std::vector<RunningJob> jobs(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -371,6 +401,16 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     job.output = *output;
   }
 
+  if (trace_ != nullptr) {
+    for (const RunningJob& job : jobs) {
+      trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kEngine, "mr",
+                                     "job_submit")
+                         .Arg("job", job.spec->name)
+                         .ArgInt("map_tasks", (int64_t)job.map_defs.size())
+                         .ArgBool("map_only", job.spec->reduce_fn == nullptr));
+    }
+  }
+
   if (getenv("DYNO_DEBUG_JOBS") != nullptr) {
     for (const RunningJob& job : jobs) {
       uint64_t in_bytes = 0;
@@ -410,6 +450,32 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
   // immediately when none are in flight). The single home for the teardown
   // sequence formerly duplicated across fail_job and the kMapDone /
   // kReduceDone handlers.
+  // Closes out a job's observability record (success or failure): the
+  // whole-job span plus job-level counters/latency.
+  auto record_job_end = [&](RunningJob* job) {
+    SimMillis elapsed = now_ - job->result.submit_time_ms;
+    if (h_job_ms != nullptr) h_job_ms->Observe(elapsed);
+    if (m_jobs != nullptr) m_jobs->Add();
+    if (trace_ == nullptr) return;
+    trace_->Record(obs::TraceEvent(job->result.submit_time_ms, elapsed,
+                                   obs::TraceLane::kEngine, "mr", "job")
+                       .Arg("job", job->spec->name)
+                       .ArgBool("ok", job->result.status.ok())
+                       .ArgInt("map_tasks_run", job->result.map_tasks_run)
+                       .ArgInt("map_tasks_skipped",
+                               job->result.map_tasks_skipped)
+                       .ArgInt("reduce_tasks_run", job->result.reduce_tasks_run)
+                       .ArgInt("retries", job->result.task_retries)
+                       .ArgInt("failures_injected",
+                               job->result.task_failures_injected)
+                       .ArgInt("speculative_launches",
+                               job->result.speculative_launches)
+                       .ArgInt("speculative_wins",
+                               job->result.speculative_wins)
+                       .ArgInt("output_records",
+                               (int64_t)job->result.counters.output_records));
+  };
+
   auto drain_failed_job = [&](RunningJob* job) {
     if (!job->failed || job->phase == JobPhase::kDone) return;
     if (job->active_map_tasks != 0 || job->active_reduce_tasks != 0) return;
@@ -417,6 +483,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     job->result.finish_time_ms = now_;
     dfs_->Delete(job->spec->output_path).ok();
     job->output = nullptr;
+    record_job_end(job);
     --unfinished;
   };
 
@@ -433,6 +500,15 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     job->result.finish_time_ms = now_;
     job->result.observer_overhead_ms = static_cast<SimMillis>(
         std::ceil(job->observer_cpu_units / config_.cpu_units_per_ms));
+    if (trace_ != nullptr && job->spec->reduce_fn) {
+      trace_->Record(obs::TraceEvent(job->reduce_start,
+                                     now_ - job->reduce_start,
+                                     obs::TraceLane::kEngine, "mr",
+                                     "reduce_phase")
+                         .Arg("job", job->spec->name)
+                         .ArgInt("reduce_tasks", job->num_reduce_tasks));
+    }
+    record_job_end(job);
     --unfinished;
   };
 
@@ -469,6 +545,15 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
 
   // Transition after the map phase drains.
   auto on_map_phase_complete = [&](RunningJob* job) {
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEvent(job->ready_time, now_ - job->ready_time,
+                                     obs::TraceLane::kEngine, "mr",
+                                     "map_phase")
+                         .Arg("job", job->spec->name)
+                         .ArgInt("tasks_run", job->result.map_tasks_run)
+                         .ArgInt("tasks_skipped",
+                                 job->result.map_tasks_skipped));
+    }
     if (!job->spec->reduce_fn) {
       finish_job(job);
       return;
@@ -496,6 +581,14 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     // more expensive than broadcasting a small one (paper §2.2.1).
     SimMillis shuffle_ms = CeilDiv(static_cast<double>(job->emission_bytes),
                                    config_.shuffle_bytes_per_ms);
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEvent(now_, shuffle_ms,
+                                     obs::TraceLane::kEngine, "mr",
+                                     "shuffle_phase")
+                         .Arg("job", job->spec->name)
+                         .ArgInt("bytes", (int64_t)job->emission_bytes)
+                         .ArgInt("reducers", reducers));
+    }
     events.push({now_ + shuffle_ms, seq++, EventKind::kShuffleDone,
                  job->job_index});
   };
@@ -678,6 +771,26 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                     job->spec->name.c_str(), st.failures + 1))
               : o.status;
     }
+    if (t.is_map) {
+      if (m_map_attempts != nullptr) m_map_attempts->Add();
+      if (h_map_ms != nullptr) h_map_ms->Observe(duration);
+    } else {
+      if (m_reduce_attempts != nullptr) m_reduce_attempts->Add();
+      if (h_reduce_ms != nullptr) h_reduce_ms->Observe(duration);
+    }
+    if (t.inject_failure && m_injected != nullptr) m_injected->Add();
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEvent(now_, duration, obs::TraceLane::kTasks,
+                                     "mr",
+                                     t.is_map ? "map_attempt"
+                                              : "reduce_attempt")
+                         .Arg("job", job->spec->name)
+                         .ArgInt("task", t.task_id)
+                         .ArgInt("attempt", st.failures + 1)
+                         .ArgBool("ok", attempt_ok)
+                         .ArgBool("injected_failure", t.inject_failure)
+                         .ArgDouble("slowdown", t.slowdown));
+    }
     Event done{now_ + duration, seq++,
                t.is_map ? EventKind::kMapDone : EventKind::kReduceDone,
                job->job_index};
@@ -747,6 +860,15 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     }
     st.speculated = true;
     ++job.result.speculative_launches;
+    if (m_spec_launches != nullptr) m_spec_launches->Add();
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEvent(now_, duration, obs::TraceLane::kTasks,
+                                     "mr", "speculative_attempt")
+                         .Arg("job", job.spec->name)
+                         .ArgInt("task", slowest)
+                         .ArgBool("map", is_map)
+                         .ArgDouble("slowdown", slowdown));
+    }
     Event done{now_ + duration, seq++,
                is_map ? EventKind::kMapDone : EventKind::kReduceDone,
                job.job_index};
@@ -799,6 +921,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           ++job.map_seq;
           if (job.map_states[next.task_id].failures > 0) {
             ++job.result.task_retries;
+            if (m_retries != nullptr) m_retries->Add();
           }
           draw_faults(&job, &launch);
           --free_map_slots;
@@ -830,6 +953,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           launch.partition = next.task_id;
           if (job.reduce_states[next.task_id].failures > 0) {
             ++job.result.task_retries;
+            if (m_retries != nullptr) m_retries->Add();
           }
           draw_faults(&job, &launch);
           if (launch.inject_failure) {
@@ -942,6 +1066,14 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
             st.completed = true;
             --job.map_tasks_remaining;
             ++job.result.speculative_wins;
+            if (m_spec_wins != nullptr) m_spec_wins->Add();
+            if (trace_ != nullptr) {
+              trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kTasks,
+                                             "mr", "speculative_win")
+                                 .Arg("job", job.spec->name)
+                                 .ArgInt("task", ev.task_id)
+                                 .ArgBool("map", true));
+            }
             job.completed_map_ms.push_back(ev.attempt_duration);
           }
         } else if (ev.attempt_failed) {
@@ -985,6 +1117,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
       case EventKind::kShuffleDone:
         if (!job.failed) {
           job.phase = JobPhase::kReduce;
+          job.reduce_start = now_;
           for (int r = 0; r < job.num_reduce_tasks; ++r) {
             job.pending_reduce.push_back({r, 0});
           }
@@ -1003,6 +1136,14 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
             st.completed = true;
             --job.reduce_tasks_remaining;
             ++job.result.speculative_wins;
+            if (m_spec_wins != nullptr) m_spec_wins->Add();
+            if (trace_ != nullptr) {
+              trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kTasks,
+                                             "mr", "speculative_win")
+                                 .Arg("job", job.spec->name)
+                                 .ArgInt("task", ev.task_id)
+                                 .ArgBool("map", false));
+            }
             job.completed_reduce_ms.push_back(ev.attempt_duration);
           }
         } else if (ev.attempt_failed) {

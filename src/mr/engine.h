@@ -15,6 +15,11 @@ namespace dyno {
 
 class WorkerPool;
 
+namespace obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace obs
+
 /// The MapReduce cluster simulator. Jobs execute their *real* data flow
 /// (map functions run over decoded rows, emissions are partitioned, sorted
 /// and reduced, outputs are materialized to the DFS) while a discrete-event
@@ -66,6 +71,18 @@ class MapReduceEngine {
     config_ = ResolveFaultEnv(config);
   }
 
+  /// Attaches an observability sink/registry (non-owning, may be null).
+  /// The engine records job/phase/attempt spans into the sink and bumps
+  /// counters and latency histograms in the registry. All recording happens
+  /// on the scheduler thread, so trace order inherits the simulator's
+  /// bit-identical-across-thread-counts guarantee. Components driving the
+  /// engine (pilot, optimizer, driver) reach the same sink through the
+  /// accessors.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace() const { return trace_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   /// Fills config.faults from DYNO_* env vars when the caller did not
   /// configure injection explicitly (FaultConfig::use_env_defaults).
@@ -77,6 +94,8 @@ class MapReduceEngine {
   SimMillis now_ = 0;
   /// Lazily created when execution_threads > 1; resized on config change.
   std::unique_ptr<WorkerPool> pool_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace dyno

@@ -46,6 +46,14 @@ struct IndexedEdge {
   std::string b_col;
 };
 
+/// Number of joins folded into their left neighbor's map-only job.
+int CountChainCollapses(const PlanNode* node) {
+  if (node == nullptr || node->IsLeaf()) return 0;
+  return (node->chain_with_left ? 1 : 0) +
+         CountChainCollapses(node->left.get()) +
+         CountChainCollapses(node->right.get());
+}
+
 class Search {
  public:
   Search(const OptJoinGraph& graph, const CostModelParams& params)
@@ -85,6 +93,7 @@ class Search {
     out.plan = Extract(all);
     if (params_.enable_broadcast_chains) {
       ApplyBroadcastChaining(out.plan.get(), params_);
+      report_.broadcast_chain_collapses = CountChainCollapses(out.plan.get());
     } else {
       RecostPlan(out.plan.get(), params_, /*chained_by_parent=*/false);
     }
@@ -226,6 +235,9 @@ class Search {
       bool build_fits = Popcount(rest) == 1
                             ? params_.BroadcastFits(rp.bytes)
                             : params_.BroadcastFitsEstimated(rp.bytes);
+      if (params_.enable_broadcast && !build_fits) {
+        ++report_.plans_pruned_memory;
+      }
       if (params_.enable_broadcast && build_fits) {
         ++report_.expressions_costed;
         // A join-result build side forces its own materialization job; a

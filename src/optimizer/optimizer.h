@@ -17,6 +17,12 @@ namespace dyno {
 struct OptimizerReport {
   int groups_explored = 0;        ///< Memo groups (connected subsets).
   int expressions_costed = 0;     ///< (split, method) alternatives costed.
+  /// Broadcast alternatives never costed because the build side exceeds
+  /// M_max (the paper's memory-feasibility prune).
+  int plans_pruned_memory = 0;
+  /// Consecutive broadcast joins collapsed into their left neighbor's
+  /// map-only job by ApplyBroadcastChaining.
+  int broadcast_chain_collapses = 0;
   double best_cost = 0.0;
   SimMillis simulated_ms = 0;     ///< Modeled client-side latency.
 };

@@ -8,6 +8,8 @@
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dyno {
 
@@ -158,6 +160,7 @@ Result<PilotRunReport> PilotRunner::RunSerial(
     const std::vector<LeafExpr>& leaves) {
   PilotRunReport report;
   SimMillis start = engine_->now();
+  obs::TraceSink* trace = engine_->trace();
   run_counter_ = ++g_pilot_run_counter;
   for (const LeafExpr& leaf : leaves) {
     std::string signature = LeafSignature(leaf);
@@ -171,9 +174,16 @@ Result<PilotRunReport> PilotRunner::RunSerial(
         result.reused_cached_stats = true;
         report.leaves.push_back(std::move(result));
         ++report.runs_skipped_cached;
+        if (trace != nullptr) {
+          trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                        obs::TraceLane::kPilot, "pilot",
+                                        "pilot_leaf_cached")
+                            .Arg("alias", leaf.alias));
+        }
         continue;
       }
     }
+    SimMillis leaf_start = engine_->now();
     DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file,
                           catalog_->OpenTable(leaf.table));
     std::string counter_key =
@@ -207,8 +217,29 @@ Result<PilotRunReport> PilotRunner::RunSerial(
     result.stats = merged.Finalize(scanned_everything ? 1.0 : fraction);
     if (scanned_everything) result.full_output = job.output;
     store_->Put(signature, result.stats);
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEvent(leaf_start, engine_->now() - leaf_start,
+                                    obs::TraceLane::kPilot, "pilot",
+                                    "pilot_leaf")
+                        .Arg("alias", leaf.alias)
+                        .Arg("mode", "ST")
+                        .ArgInt("splits_consumed", job.map_tasks_run)
+                        .ArgInt("splits_skipped", job.map_tasks_skipped)
+                        .ArgInt("total_splits",
+                                (int64_t)file->splits().size())
+                        .ArgInt("output_records",
+                                (int64_t)job.counters.output_records)
+                        .ArgInt("k", options_.k)
+                        .ArgBool("stop_hit", job.map_tasks_skipped > 0)
+                        .ArgBool("scanned_all", scanned_everything));
+    }
     report.leaves.push_back(std::move(result));
     ++report.runs_executed;
+  }
+  if (obs::MetricsRegistry* metrics = engine_->metrics()) {
+    metrics->GetCounter("pilot.runs_executed")->Add(report.runs_executed);
+    metrics->GetCounter("pilot.runs_skipped_cached")
+        ->Add(report.runs_skipped_cached);
   }
   report.elapsed_ms = engine_->now() - start;
   return report;
@@ -218,6 +249,7 @@ Result<PilotRunReport> PilotRunner::RunParallel(
     const std::vector<LeafExpr>& leaves) {
   PilotRunReport report;
   SimMillis start = engine_->now();
+  obs::TraceSink* trace = engine_->trace();
   run_counter_ = ++g_pilot_run_counter;
   // Seed from options alone (NOT the process-wide run counter, which is
   // only used to keep DFS paths and Coordinator keys unique): two runs of
@@ -238,6 +270,12 @@ Result<PilotRunReport> PilotRunner::RunParallel(
         result.reused_cached_stats = true;
         report.leaves.push_back(std::move(result));
         ++report.runs_skipped_cached;
+        if (trace != nullptr) {
+          trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                        obs::TraceLane::kPilot, "pilot",
+                                        "pilot_leaf_cached")
+                            .Arg("alias", leaf.alias));
+        }
         continue;
       }
     }
@@ -310,8 +348,17 @@ Result<PilotRunReport> PilotRunner::RunParallel(
       active.push_back(&state);
     }
     if (specs.empty()) break;
+    SimMillis batch_start = engine_->now();
     DYNO_ASSIGN_OR_RETURN(std::vector<JobResult> results,
                           engine_->SubmitAll(specs));
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEvent(batch_start,
+                                    engine_->now() - batch_start,
+                                    obs::TraceLane::kPilot, "pilot",
+                                    "pilot_batch")
+                        .ArgInt("batch", batch)
+                        .ArgInt("leaves", (int64_t)specs.size()));
+    }
     for (size_t i = 0; i < results.size(); ++i) {
       if (!results[i].status.ok()) return results[i].status;
       LeafJobState& state = *active[i];
@@ -361,8 +408,28 @@ Result<PilotRunReport> PilotRunner::RunParallel(
       }
     }
     store_->Put(state.signature, result.stats);
+    if (trace != nullptr) {
+      trace->Record(
+          obs::TraceEvent(start, engine_->now() - start,
+                          obs::TraceLane::kPilot, "pilot", "pilot_leaf")
+              .Arg("alias", state.leaf->alias)
+              .Arg("mode", "MT")
+              .ArgInt("splits_consumed", (int64_t)state.next_split)
+              .ArgInt("total_splits", (int64_t)state.split_order.size())
+              .ArgInt("output_records", (int64_t)state.output_records)
+              .ArgInt("k", options_.k)
+              .ArgBool("stop_hit",
+                       state.output_records >=
+                           static_cast<uint64_t>(options_.k))
+              .ArgBool("scanned_all", scanned_everything));
+    }
     report.leaves.push_back(std::move(result));
     ++report.runs_executed;
+  }
+  if (obs::MetricsRegistry* metrics = engine_->metrics()) {
+    metrics->GetCounter("pilot.runs_executed")->Add(report.runs_executed);
+    metrics->GetCounter("pilot.runs_skipped_cached")
+        ->Add(report.runs_skipped_cached);
   }
   report.elapsed_ms = engine_->now() - start;
   return report;

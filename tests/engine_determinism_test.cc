@@ -15,6 +15,7 @@
 #include "common/string_util.h"
 #include "expr/expr.h"
 #include "mr/engine.h"
+#include "obs/trace.h"
 #include "pilot/pilot_runner.h"
 #include "stats/table_stats.h"
 #include "storage/catalog.h"
@@ -99,6 +100,11 @@ std::string RunWorkload(int threads, const FaultConfig* faults = nullptr,
     config.faults.use_env_defaults = false;
   }
   MapReduceEngine engine(&dfs, config);
+  // The serialized trace is part of the fingerprint: event content AND
+  // buffer order must be bit-identical across thread counts, since the
+  // golden-trace tests rely on exactly that.
+  obs::TraceSink trace;
+  engine.set_trace(&trace);
 
   std::vector<Value> rows;
   for (int i = 0; i < 6000; ++i) {
@@ -218,6 +224,7 @@ std::string RunWorkload(int threads, const FaultConfig* faults = nullptr,
     fp += "\n";
   }
   fp += StrFormat("now=%lld", static_cast<long long>(engine.now()));
+  fp += "\ntrace:\n" + trace.SerializeJsonl();
   return fp;
 }
 

@@ -3,6 +3,8 @@
 // cleanly (error Status) rather than crash or loop — a property the
 // storage layer leans on for every split read.
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -11,6 +13,17 @@
 
 namespace dyno {
 namespace {
+
+/// Iterations for one fuzz loop: DYNO_FUZZ_ITERS when set (the fuzz-smoke
+/// ctest preset pins a small fixed budget; soak runs can crank it up),
+/// otherwise the loop's default.
+int FuzzIters(int base) {
+  static const int env_iters = [] {
+    const char* env = std::getenv("DYNO_FUZZ_ITERS");
+    return env != nullptr ? std::atoi(env) : 0;
+  }();
+  return env_iters > 0 ? env_iters : base;
+}
 
 Value RandomValue(Rng* rng, int depth) {
   // Bias away from containers as depth grows so trees stay bounded.
@@ -54,7 +67,8 @@ class CodecFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CodecFuzzTest, RandomValuesRoundTrip) {
   Rng rng(GetParam());
-  for (int i = 0; i < 200; ++i) {
+  const int iters = FuzzIters(200);
+  for (int i = 0; i < iters; ++i) {
     Value v = RandomValue(&rng, 0);
     std::string buf;
     v.EncodeTo(&buf);
@@ -70,7 +84,8 @@ TEST_P(CodecFuzzTest, RandomValuesRoundTrip) {
 
 TEST_P(CodecFuzzTest, CorruptedEncodingsFailCleanly) {
   Rng rng(GetParam() ^ 0x5eedULL);
-  for (int i = 0; i < 200; ++i) {
+  const int iters = FuzzIters(200);
+  for (int i = 0; i < iters; ++i) {
     Value v = RandomValue(&rng, 0);
     std::string buf;
     v.EncodeTo(&buf);
@@ -101,7 +116,8 @@ TEST_P(CodecFuzzTest, CorruptedEncodingsFailCleanly) {
 
 TEST_P(CodecFuzzTest, GarbageBytesNeverCrashDecoder) {
   Rng rng(GetParam() * 1337 + 11);
-  for (int i = 0; i < 300; ++i) {
+  const int iters = FuzzIters(300);
+  for (int i = 0; i < iters; ++i) {
     std::string garbage(rng.Uniform(64), '\0');
     for (char& c : garbage) c = static_cast<char>(rng.Uniform(256));
     size_t offset = 0;

@@ -334,6 +334,87 @@ TEST(OptimizerTest, ReportCountsGrowWithRelations) {
   EXPECT_GE(large->report.simulated_ms, small->report.simulated_ms);
 }
 
+TEST(OptimizerTest, StarGraphReportsEnumerationMetrics) {
+  // The §5.2 star: 3 relations -> every connected subset is a memo group
+  // ({fact},{dim1},{dim2},{fact,dim1},{fact,dim2},{fact,dim1,dim2} = 6; the
+  // dim1-dim2 pair is disconnected and must not become a group). Each split
+  // whose build side contains the 5 MB fact is pruned by M_max before
+  // costing: (dim1|fact), (dim2|fact), (dim1|fact dim2), (dim2|fact dim1)
+  // = 4. Chaining then collapses the two stacked dim broadcasts into one
+  // map-only job.
+  JoinOptimizer optimizer(DefaultParams());
+  auto result = optimizer.Optimize(StarGraph());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.groups_explored, 6);
+  EXPECT_EQ(result->report.plans_pruned_memory, 4);
+  EXPECT_EQ(result->report.broadcast_chain_collapses, 1);
+  EXPECT_GT(result->report.expressions_costed, 0);
+  EXPECT_GT(result->report.best_cost, 0.0);
+}
+
+TEST(OptimizerTest, MemoryPruneCountsSkippedBroadcasts) {
+  // Neither side of this join fits in M_max, so every broadcast alternative
+  // is pruned before costing; the report must say so, and with broadcast
+  // impossible there is nothing to chain.
+  OptJoinGraph graph;
+  graph.relations = {{"a", MakeStats(50000, 100, {{"k", 1000}})},
+                     {"b", MakeStats(60000, 100, {{"k", 1000}})}};
+  graph.edges = {{"a", "k", "b", "k"}};
+  JoinOptimizer optimizer(DefaultParams());  // memory 10000 bytes
+  auto result = optimizer.Optimize(graph);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->report.plans_pruned_memory, 0);
+  EXPECT_EQ(result->report.broadcast_chain_collapses, 0);
+  EXPECT_EQ(result->report.groups_explored, 3);  // {a},{b},{a,b}
+
+  // The same graph with broadcast disabled outright skips those
+  // alternatives silently: they were never candidates, so nothing is
+  // counted as a *memory* prune.
+  CostModelParams params = DefaultParams();
+  params.enable_broadcast = false;
+  JoinOptimizer no_broadcast(params);
+  auto repart_only = no_broadcast.Optimize(graph);
+  ASSERT_TRUE(repart_only.ok());
+  EXPECT_EQ(repart_only->report.plans_pruned_memory, 0);
+}
+
+TEST(OptimizerTest, ChainCollapseCountMatchesPlanShape) {
+  // A fact with three in-memory dims: chaining should collapse both upper
+  // broadcasts onto the lowest one (two chain_with_left flags).
+  OptJoinGraph graph;
+  graph.relations = {
+      {"fact",
+       MakeStats(100000, 50, {{"d1", 100}, {"d2", 50}, {"d3", 25}})},
+      {"dim1", MakeStats(100, 30, {{"k1", 100}})},
+      {"dim2", MakeStats(50, 30, {{"k2", 50}})},
+      {"dim3", MakeStats(25, 30, {{"k3", 25}})},
+  };
+  graph.edges = {{"fact", "d1", "dim1", "k1"},
+                 {"fact", "d2", "dim2", "k2"},
+                 {"fact", "d3", "dim3", "k3"}};
+  JoinOptimizer optimizer(DefaultParams());
+  auto result = optimizer.Optimize(graph);
+  ASSERT_TRUE(result.ok());
+  int flags = 0;
+  std::function<void(const PlanNode&)> count = [&](const PlanNode& node) {
+    if (node.IsLeaf()) return;
+    if (node.chain_with_left) ++flags;
+    count(*node.left);
+    count(*node.right);
+  };
+  count(*result->plan);
+  EXPECT_EQ(result->report.broadcast_chain_collapses, flags);
+  EXPECT_EQ(flags, 2);
+
+  // With chaining disabled the report must agree with the (flag-free) plan.
+  CostModelParams params = DefaultParams();
+  params.enable_broadcast_chains = false;
+  JoinOptimizer unchained(params);
+  auto flat = unchained.Optimize(graph);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->report.broadcast_chain_collapses, 0);
+}
+
 TEST(OptimizerTest, RecostPlanChainAccounting) {
   // Manual chain: (probe *b s1) *b s2 with chain flag; chained recost must
   // be cheaper than unchained (saves the intermediate materialization and
