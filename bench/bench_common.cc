@@ -62,7 +62,13 @@ std::unique_ptr<Scenario> MakeScenario(const std::string& sf_name,
   // startup, 2 GB per slot. Task memory is an *absolute* budget: it does
   // not grow with the scale factor, which is why larger SFs offer fewer
   // broadcast opportunities (paper §6.5).
+  // DYNO_NODES overrides the node count (the fault domains slots and
+  // resident map outputs are divided across); the paper's testbed is 15.
   scenario->cluster.num_nodes = 15;
+  if (const char* env = std::getenv("DYNO_NODES")) {
+    int parsed = std::atoi(env);
+    if (parsed >= 1) scenario->cluster.num_nodes = parsed;
+  }
   scenario->cluster.map_slots = 140;
   scenario->cluster.reduce_slots = 84;
   scenario->cluster.job_startup_ms = 5000;
@@ -79,18 +85,22 @@ std::unique_ptr<Scenario> MakeScenario(const std::string& sf_name,
   scenario->cluster.cpu_units_per_ms = 500.0;
   scenario->cluster.execution_threads = ExecutionThreads();
   // Failure-regime runs: DYNO_FAULT_SEED / DYNO_TASK_FAILURE_RATE /
-  // DYNO_STRAGGLER_RATE / DYNO_MAX_TASK_ATTEMPTS switch deterministic fault
-  // injection on (e.g. Fig. 5 under a 5% task failure rate). Off when the
-  // variables are unset.
+  // DYNO_STRAGGLER_RATE / DYNO_MAX_TASK_ATTEMPTS / DYNO_NODE_FAILURE_RATE /
+  // DYNO_NODE_RECOVERY_MS switch deterministic fault injection on (e.g.
+  // Fig. 5 under a 5% task failure rate, or a node-loss regime). Off when
+  // the variables are unset.
   scenario->cluster.faults.ApplyEnvOverrides();
   if (scenario->cluster.faults.enabled()) {
     std::fprintf(stderr,
                  "fault injection: seed=%llu failure_rate=%.3f "
-                 "straggler_rate=%.3f max_attempts=%d\n",
+                 "straggler_rate=%.3f max_attempts=%d "
+                 "node_failure_rate=%.4f nodes=%d\n",
                  (unsigned long long)scenario->cluster.faults.seed,
                  scenario->cluster.faults.task_failure_rate,
                  scenario->cluster.faults.straggler_rate,
-                 scenario->cluster.faults.max_task_attempts);
+                 scenario->cluster.faults.max_task_attempts,
+                 scenario->cluster.faults.node_failure_rate,
+                 scenario->cluster.num_nodes);
   }
   scenario->engine =
       std::make_unique<MapReduceEngine>(&scenario->dfs, scenario->cluster);

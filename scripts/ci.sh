@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The full local CI gauntlet, one command:
+#
+#   tier-1      every test, default build (catches functional regressions)
+#   tsan        engine/obs suites under ThreadSanitizer (catches data races
+#               in the multi-threaded task executor)
+#   faults      engine/driver suites with 5% injected task failures
+#   node-faults engine/driver suites with 2% node crashes + job-level retry
+#   fuzz-smoke  codec + checkpoint-manifest fuzzing, small fixed budget
+#   goldens     checked-in traces match the current trace schema
+#
+# Usage: scripts/ci.sh
+# Requires cmake >= 3.20 (presets). Builds into build/ and build-tsan/.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+run() {
+  echo
+  echo "=== $* ==="
+  "$@"
+}
+
+run cmake --preset default
+run cmake --build --preset default -j "$(nproc)"
+run cmake --preset tsan
+run cmake --build --preset tsan -j "$(nproc)"
+
+run ctest --preset default
+run ctest --preset tsan
+run ctest --preset faults
+run ctest --preset node-faults
+run ctest --preset fuzz-smoke
+
+run scripts/check_goldens.sh
+
+echo
+echo "ci: all suites green"

@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

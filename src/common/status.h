@@ -20,6 +20,14 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// The resource backing the operation is gone (e.g. every cluster node
+  /// that could run a job is permanently down). Distinct from kInternal so
+  /// callers can treat it as an environmental failure worth replanning or
+  /// retrying around rather than a logic bug.
+  kUnavailable,
+  /// The operation was deliberately stopped before completing (e.g. the
+  /// driver was killed mid-query). Resumable via checkpoints.
+  kCancelled,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -57,6 +65,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,179 @@
+#include "dyno/checkpoint.h"
+
+#include <utility>
+
+namespace dyno {
+
+namespace {
+
+Value StatsToValue(const TableStats& stats) {
+  ArrayElements cols;
+  for (const auto& [name, cs] : stats.columns) {
+    StructFields f;
+    f.emplace_back("name", Value::String(name));
+    f.emplace_back("ndv", Value::Double(cs.ndv));
+    // Presence of "min"/"max" encodes engagement of the optionals.
+    if (cs.min_value.has_value()) f.emplace_back("min", *cs.min_value);
+    if (cs.max_value.has_value()) f.emplace_back("max", *cs.max_value);
+    cols.push_back(Value::Struct(std::move(f)));
+  }
+  StructFields f;
+  f.emplace_back("cardinality", Value::Double(stats.cardinality));
+  f.emplace_back("avg_record_size", Value::Double(stats.avg_record_size));
+  f.emplace_back("from_sample", Value::Bool(stats.from_sample));
+  f.emplace_back("columns", Value::Array(std::move(cols)));
+  return Value::Struct(std::move(f));
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("checkpoint manifest: " + what);
+}
+
+Result<const Value*> RequireField(const Value& v, const char* name,
+                                  Value::Type type) {
+  const Value* f = v.FindField(name);
+  if (f == nullptr) return Corrupt(std::string("missing field '") + name + "'");
+  if (f->type() != type) {
+    return Corrupt(std::string("field '") + name + "' has wrong type");
+  }
+  return f;
+}
+
+Result<TableStats> StatsFromValue(const Value& v) {
+  if (v.type() != Value::Type::kStruct) return Corrupt("stats is not a struct");
+  TableStats stats;
+  DYNO_ASSIGN_OR_RETURN(const Value* card,
+                        RequireField(v, "cardinality", Value::Type::kDouble));
+  stats.cardinality = card->double_value();
+  DYNO_ASSIGN_OR_RETURN(
+      const Value* rec_size,
+      RequireField(v, "avg_record_size", Value::Type::kDouble));
+  stats.avg_record_size = rec_size->double_value();
+  DYNO_ASSIGN_OR_RETURN(const Value* sample,
+                        RequireField(v, "from_sample", Value::Type::kBool));
+  stats.from_sample = sample->bool_value();
+  DYNO_ASSIGN_OR_RETURN(const Value* cols,
+                        RequireField(v, "columns", Value::Type::kArray));
+  for (const Value& col : cols->array()) {
+    if (col.type() != Value::Type::kStruct) {
+      return Corrupt("column stats is not a struct");
+    }
+    DYNO_ASSIGN_OR_RETURN(const Value* name,
+                          RequireField(col, "name", Value::Type::kString));
+    DYNO_ASSIGN_OR_RETURN(const Value* ndv,
+                          RequireField(col, "ndv", Value::Type::kDouble));
+    if (stats.columns.count(name->string_value()) != 0) {
+      return Corrupt("duplicate column '" + name->string_value() + "'");
+    }
+    ColumnStats cs;
+    cs.ndv = ndv->double_value();
+    if (const Value* min = col.FindField("min")) cs.min_value = *min;
+    if (const Value* max = col.FindField("max")) cs.max_value = *max;
+    stats.columns.emplace(name->string_value(), std::move(cs));
+  }
+  return stats;
+}
+
+Result<CheckpointEntry> EntryFromValue(const Value& v) {
+  if (v.type() != Value::Type::kStruct) return Corrupt("entry is not a struct");
+  CheckpointEntry entry;
+  DYNO_ASSIGN_OR_RETURN(const Value* sig,
+                        RequireField(v, "signature", Value::Type::kString));
+  entry.signature = sig->string_value();
+  if (entry.signature.empty()) return Corrupt("empty signature");
+  DYNO_ASSIGN_OR_RETURN(const Value* rel,
+                        RequireField(v, "relation_id", Value::Type::kString));
+  entry.relation_id = rel->string_value();
+  if (entry.relation_id.empty()) return Corrupt("empty relation_id");
+  DYNO_ASSIGN_OR_RETURN(const Value* path,
+                        RequireField(v, "path", Value::Type::kString));
+  entry.path = path->string_value();
+  if (entry.path.empty()) return Corrupt("empty path");
+  DYNO_ASSIGN_OR_RETURN(const Value* covered,
+                        RequireField(v, "covered", Value::Type::kArray));
+  if (covered->array().empty()) return Corrupt("empty cover set");
+  for (const Value& alias : covered->array()) {
+    if (alias.type() != Value::Type::kString || alias.string_value().empty()) {
+      return Corrupt("cover set holds a non-string alias");
+    }
+    // Cover sets are written sorted; enforce strict ascent so the set
+    // semantics survive the round trip.
+    if (!entry.covered.empty() &&
+        !(entry.covered.back() < alias.string_value())) {
+      return Corrupt("cover set is not sorted/unique");
+    }
+    entry.covered.push_back(alias.string_value());
+  }
+  DYNO_ASSIGN_OR_RETURN(const Value* stats,
+                        RequireField(v, "stats", Value::Type::kStruct));
+  DYNO_ASSIGN_OR_RETURN(entry.stats, StatsFromValue(*stats));
+  return entry;
+}
+
+}  // namespace
+
+Value CheckpointManifest::ToValue() const {
+  ArrayElements rows;
+  for (const CheckpointEntry& entry : entries) {
+    ArrayElements covered;
+    for (const std::string& alias : entry.covered) {
+      covered.push_back(Value::String(alias));
+    }
+    StructFields f;
+    f.emplace_back("signature", Value::String(entry.signature));
+    f.emplace_back("relation_id", Value::String(entry.relation_id));
+    f.emplace_back("path", Value::String(entry.path));
+    f.emplace_back("covered", Value::Array(std::move(covered)));
+    f.emplace_back("stats", StatsToValue(entry.stats));
+    rows.push_back(Value::Struct(std::move(f)));
+  }
+  StructFields f;
+  f.emplace_back("version", Value::Int(kVersion));
+  f.emplace_back("temp_counter", Value::Int(temp_counter));
+  f.emplace_back("entries", Value::Array(std::move(rows)));
+  return Value::Struct(std::move(f));
+}
+
+Result<CheckpointManifest> CheckpointManifest::FromValue(const Value& value) {
+  if (value.type() != Value::Type::kStruct) {
+    return Corrupt("root is not a struct");
+  }
+  DYNO_ASSIGN_OR_RETURN(const Value* version,
+                        RequireField(value, "version", Value::Type::kInt));
+  if (version->int_value() != kVersion) {
+    return Corrupt("unsupported version " +
+                   std::to_string(version->int_value()));
+  }
+  CheckpointManifest manifest;
+  DYNO_ASSIGN_OR_RETURN(
+      const Value* counter,
+      RequireField(value, "temp_counter", Value::Type::kInt));
+  manifest.temp_counter = counter->int_value();
+  if (manifest.temp_counter < 0) return Corrupt("negative temp_counter");
+  DYNO_ASSIGN_OR_RETURN(const Value* entries,
+                        RequireField(value, "entries", Value::Type::kArray));
+  for (const Value& row : entries->array()) {
+    DYNO_ASSIGN_OR_RETURN(CheckpointEntry entry, EntryFromValue(row));
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+Status CheckpointManifest::WriteTo(Dfs* dfs, const std::string& path) const {
+  // DFS files are immutable; checkpointing replaces the whole manifest.
+  dfs->Delete(path);
+  DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file,
+                        WriteRows(dfs, path, {ToValue()}));
+  (void)file;
+  return Status::OK();
+}
+
+Result<CheckpointManifest> CheckpointManifest::ReadFrom(
+    const Dfs& dfs, const std::string& path) {
+  DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file, dfs.Open(path));
+  DYNO_ASSIGN_OR_RETURN(std::vector<Value> rows, ReadAllRows(*file));
+  if (rows.size() != 1) return Corrupt("expected exactly one manifest row");
+  return FromValue(rows[0]);
+}
+
+}  // namespace dyno

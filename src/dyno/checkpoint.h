@@ -1,0 +1,60 @@
+#ifndef DYNO_DYNO_CHECKPOINT_H_
+#define DYNO_DYNO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "json/value.h"
+#include "stats/table_stats.h"
+#include "storage/dfs.h"
+
+namespace dyno {
+
+/// One recovery checkpoint: a subtree of the query that was executed to
+/// completion and whose output is materialized in the DFS. `covered` names
+/// the *base* leaf aliases the subtree subsumes — relation ids differ
+/// between a killed run and its resume (each run allocates its own temp
+/// ids), so cover sets are the stable join key between the two.
+struct CheckpointEntry {
+  std::string signature;    ///< Subtree signature (stats-store key).
+  std::string relation_id;  ///< Relation id the original run assigned.
+  std::string path;         ///< DFS path of the materialized output.
+  std::vector<std::string> covered;  ///< Base leaf aliases, sorted.
+  TableStats stats;         ///< Observed output statistics.
+};
+
+/// The driver's crash-recovery manifest (DESIGN.md §6.4): after every
+/// successfully accounted execution step the driver rewrites this manifest
+/// at DynoOptions::checkpoint_path. DynoDriver::Resume() reads it back and
+/// substitutes the already-materialized subtrees into a restarted query
+/// instead of re-executing them. Serialization is strict: any malformed
+/// field fails FromValue, and Resume() treats that as "no checkpoint"
+/// (re-run from scratch) rather than trusting partial state.
+struct CheckpointManifest {
+  static constexpr int64_t kVersion = 1;
+
+  /// Executor temp-id high-water mark at checkpoint time. Resume
+  /// fast-forwards its executor past this so continuation relation ids
+  /// (and therefore subtree signatures) match the uninterrupted run.
+  int64_t temp_counter = 0;
+
+  std::vector<CheckpointEntry> entries;
+
+  Value ToValue() const;
+  static Result<CheckpointManifest> FromValue(const Value& value);
+
+  /// Persists the manifest as a single-row DFS file, replacing any
+  /// previous version at `path`.
+  Status WriteTo(Dfs* dfs, const std::string& path) const;
+
+  /// Loads and validates a manifest. Missing file, wrong version or any
+  /// corruption yields a non-OK status (never crashes).
+  static Result<CheckpointManifest> ReadFrom(const Dfs& dfs,
+                                             const std::string& path);
+};
+
+}  // namespace dyno
+
+#endif  // DYNO_DYNO_CHECKPOINT_H_

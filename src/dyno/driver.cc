@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <utility>
@@ -103,6 +104,10 @@ void AddFaultCounters(const JobResult& job, QueryRunReport* report) {
   report->task_retries += job.task_retries;
   report->speculative_launches += job.speculative_launches;
   report->speculative_wins += job.speculative_wins;
+  report->node_crashes_observed += job.node_crashes_observed;
+  report->attempts_killed_by_node += job.attempts_killed_by_node;
+  report->maps_invalidated += job.maps_invalidated;
+  report->shuffle_fetch_retries += job.shuffle_fetch_retries;
 }
 
 void AddFaultCounters(const JobResult& job, StaticRunResult* result) {
@@ -110,7 +115,15 @@ void AddFaultCounters(const JobResult& job, StaticRunResult* result) {
   result->task_retries += job.task_retries;
   result->speculative_launches += job.speculative_launches;
   result->speculative_wins += job.speculative_wins;
+  result->node_crashes_observed += job.node_crashes_observed;
+  result->attempts_killed_by_node += job.attempts_killed_by_node;
+  result->maps_invalidated += job.maps_invalidated;
+  result->shuffle_fetch_retries += job.shuffle_fetch_retries;
 }
+
+/// How many permanent job failures one block tolerates (each triggers a
+/// re-plan around the materialized subtrees) before the query gives up.
+constexpr int kMaxPermanentJobFailures = 3;
 
 }  // namespace
 
@@ -183,13 +196,56 @@ struct DynoDriver::BlockState {
 DynoDriver::DynoDriver(MapReduceEngine* engine, Catalog* catalog,
                        StatsStore* store, DynoOptions options)
     : engine_(engine), catalog_(catalog), store_(store),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  if (options_.max_job_attempts <= 0) {
+    options_.max_job_attempts = 1;
+    if (const char* env = std::getenv("DYNO_MAX_JOB_ATTEMPTS")) {
+      char* end = nullptr;
+      long parsed = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && parsed >= 1 && parsed <= 1000) {
+        options_.max_job_attempts = static_cast<int>(parsed);
+      }
+    }
+  }
+}
 
 Result<QueryRunReport> DynoDriver::Execute(const Query& query) {
+  return ExecuteInternal(query, nullptr);
+}
+
+Result<QueryRunReport> DynoDriver::Resume(const Query& query) {
+  CheckpointManifest manifest;
+  bool from_scratch = true;
+  if (!options_.checkpoint_path.empty()) {
+    auto loaded =
+        CheckpointManifest::ReadFrom(*engine_->dfs(), options_.checkpoint_path);
+    if (loaded.ok()) {
+      manifest = std::move(*loaded);
+      from_scratch = manifest.entries.empty();
+    }
+  }
+  if (obs::TraceSink* trace = engine_->trace()) {
+    trace->Record(obs::TraceEvent(engine_->now(), -1, obs::TraceLane::kDriver,
+                                  "driver", "resume")
+                      .ArgBool("from_scratch", from_scratch)
+                      .ArgInt("checkpointed_steps",
+                              static_cast<int64_t>(manifest.entries.size())));
+  }
+  if (obs::MetricsRegistry* metrics = engine_->metrics()) {
+    metrics->GetCounter("driver.recovery_resumes")->Add();
+  }
+  return ExecuteInternal(query, from_scratch ? nullptr : &manifest);
+}
+
+Result<QueryRunReport> DynoDriver::ExecuteInternal(
+    const Query& query, const CheckpointManifest* resume) {
+  // Seeding with the resume manifest keeps the already-applied entries
+  // available should this run itself be killed and resumed again.
+  manifest_ = resume != nullptr ? *resume : CheckpointManifest{};
   QueryRunReport report;
   SimMillis start = engine_->now();
   DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> joined,
-                        RunJoinBlock(query.join_block, &report));
+                        RunJoinBlock(query.join_block, &report, resume));
   std::shared_ptr<DfsFile> current = std::move(joined);
   if (query.group_by.has_value()) {
     std::string path =
@@ -224,6 +280,7 @@ Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
   if (query.blocks.empty()) {
     return Status::InvalidArgument("multi-block query has no blocks");
   }
+  manifest_ = CheckpointManifest{};
   QueryRunReport report;
   SimMillis start = engine_->now();
 
@@ -276,7 +333,7 @@ Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
       }
       const MultiBlockQuery::Block& block = **it;
       DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> joined,
-                            RunJoinBlock(block.join_block, &report));
+                            RunJoinBlock(block.join_block, &report, nullptr));
       std::shared_ptr<DfsFile> output = std::move(joined);
       if (block.group_by.has_value()) {
         std::string path =
@@ -320,7 +377,8 @@ Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
 }
 
 Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
-    const JoinBlock& block, QueryRunReport* report) {
+    const JoinBlock& block, QueryRunReport* report,
+    const CheckpointManifest* resume) {
   DYNO_RETURN_IF_ERROR(ValidateJoinBlock(block));
   SimMillis block_start = engine_->now();
   std::vector<Predicate> non_local;
@@ -424,6 +482,68 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
   obs::TraceSink* trace = engine_->trace();
   obs::MetricsRegistry* metrics = engine_->metrics();
 
+  // Base-leaf cover set of every live relation: which original leaves it
+  // embodies. Checkpoint entries are keyed by cover, because relation ids
+  // are run-local — a resumed run matches entries through this map.
+  std::map<std::string, std::set<std::string>> base_cover;
+  for (const LeafExpr& leaf : leaves) base_cover[leaf.alias] = {leaf.alias};
+
+  if (resume != nullptr) {
+    int applied = 0;
+    for (const CheckpointEntry& entry : resume->entries) {
+      std::set<std::string> want(entry.covered.begin(), entry.covered.end());
+      // The entry replaces the live relations whose covers tile `want`
+      // exactly; anything else (already superseded, or from a different
+      // query sharing the path) is skipped and re-executed normally.
+      std::set<std::string> replaced;
+      std::set<std::string> got;
+      for (const auto& [id, cover] : base_cover) {
+        if (state.relations.count(id) == 0) continue;
+        if (!std::includes(want.begin(), want.end(), cover.begin(),
+                           cover.end())) {
+          continue;
+        }
+        replaced.insert(id);
+        got.insert(cover.begin(), cover.end());
+      }
+      if (replaced.empty() || got != want) continue;
+      auto file = engine_->dfs()->Open(entry.path);
+      if (!file.ok()) continue;  // Materialization gone; re-execute it.
+      RelationBinding binding;
+      binding.file = std::move(*file);
+      binding.signature = entry.signature;
+      executor.Bind(entry.relation_id, std::move(binding));
+      state.Substitute(replaced, entry.relation_id, entry.stats);
+      store_->Put(entry.signature, entry.stats);
+      base_cover[entry.relation_id] = std::move(want);
+      ++applied;
+    }
+    if (applied > 0) {
+      // Continuation relation ids (and so subtree signatures) must match
+      // the ones the killed run would have assigned next.
+      executor.ReserveTempIds(static_cast<int>(resume->temp_counter));
+      report->resumed_steps += applied;
+      if (metrics != nullptr) {
+        metrics->GetCounter("driver.recovery_resumed_steps")->Add(applied);
+      }
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                      obs::TraceLane::kDriver, "driver",
+                                      "resume_applied")
+                          .ArgInt("steps", applied)
+                          .ArgInt("reserved_temp_ids", resume->temp_counter));
+      }
+    }
+    if (state.relations.size() == 1) {
+      // Every join ran before the kill: the last checkpoint is already the
+      // block's projected output.
+      DYNO_ASSIGN_OR_RETURN(
+          RelationBinding binding,
+          executor.GetBinding(state.relations.begin()->first));
+      return binding.file;
+    }
+  }
+
   auto record_plan = [&](const OptimizeResult& opt) {
     PlanEvent event;
     event.at_ms = engine_->now() - block_start;
@@ -464,12 +584,95 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     engine_->AdvanceClock(opt.report.simulated_ms);
   };
 
-  auto account_step = [&](const JobUnit& unit, const StepResult& step) {
+  auto account_step = [&](const JobUnit& unit, const StepResult& step,
+                          const std::set<std::string>& covered) {
     ++report->jobs_run;
     if (unit.map_only) ++report->map_only_jobs;
     report->stats_overhead_ms += step.job.observer_overhead_ms;
     AddFaultCounters(step.job, report);
     store_->Put(step.subtree_signature, step.stats);
+    // Fold the new relation's base-leaf cover and checkpoint the step.
+    std::set<std::string> base;
+    for (const std::string& id : covered) {
+      auto it = base_cover.find(id);
+      if (it != base_cover.end()) {
+        base.insert(it->second.begin(), it->second.end());
+      } else {
+        base.insert(id);
+      }
+    }
+    base_cover[step.relation_id] = base;
+    if (options_.checkpoint_path.empty()) return;
+    auto binding = executor.GetBinding(step.relation_id);
+    if (!binding.ok() || binding->file == nullptr) return;
+    CheckpointEntry entry;
+    entry.signature = step.subtree_signature;
+    entry.relation_id = step.relation_id;
+    entry.path = binding->file->path();
+    entry.covered.assign(base.begin(), base.end());
+    entry.stats = step.stats;
+    manifest_.entries.push_back(std::move(entry));
+    manifest_.temp_counter = executor.temp_counter();
+    Status persisted =
+        manifest_.WriteTo(engine_->dfs(), options_.checkpoint_path);
+    if (persisted.ok() && metrics != nullptr) {
+      metrics->GetCounter("driver.recovery_checkpoint_writes")->Add();
+    }
+  };
+
+  // Aborts the query once the kill switch trips (checkpoint/resume tests).
+  auto abort_requested = [&]() {
+    return options_.abort_after_jobs >= 0 &&
+           report->jobs_run >= options_.abort_after_jobs;
+  };
+
+  // Whole-job retry: re-submit a transiently failed unit until the attempt
+  // budget runs out. OutOfMemory (handled by the broadcast fallback) and
+  // Unavailable (the cluster can never run it) are not retried.
+  int permanent_failures = 0;
+  auto execute_with_retry =
+      [&](const PlanExecutor::UnitRequest& request,
+          Status first_error) -> Result<StepResult> {
+    Status last = std::move(first_error);
+    for (int attempt = 2; attempt <= options_.max_job_attempts &&
+                          last.code() != StatusCode::kOutOfMemory &&
+                          last.code() != StatusCode::kUnavailable;
+         ++attempt) {
+      ++report->job_retries;
+      if (metrics != nullptr) {
+        metrics->GetCounter("driver.recovery_job_retries")->Add();
+      }
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                      obs::TraceLane::kDriver, "driver",
+                                      "job_retry")
+                          .ArgInt("unit", request.unit->uid)
+                          .ArgInt("attempt", attempt)
+                          .Arg("error", last.ToString()));
+      }
+      auto again = executor.ExecuteOne(request);
+      if (again.ok()) return std::move(*again);
+      last = again.status();
+    }
+    return last;
+  };
+
+  // A permanently failed unit is abandoned: the driver re-plans around the
+  // subtrees it already materialized (bounded, and pointless when the
+  // failure is environmental). Returns true when the loop should re-plan.
+  auto abandon_job = [&](const JobUnit& unit, const Status& error) {
+    ++permanent_failures;
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                    obs::TraceLane::kDriver, "driver",
+                                    "job_permanent_failure")
+                        .ArgInt("unit", unit.uid)
+                        .ArgInt("permanent_failures", permanent_failures)
+                        .Arg("error", error.ToString()));
+    }
+    if (metrics != nullptr) {
+      metrics->GetCounter("driver.recovery_replans")->Add();
+    }
   };
 
   if (!reoptimize) {
@@ -536,6 +739,11 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     const JobUnit& root = units.back();
     bool root_is_last = executed_units.size() + 1 == units.size();
     if (root_is_last && is_ready(root)) {
+      std::set<std::string> root_covered;
+      for (const JobInput& input : root.inputs) {
+        DYNO_ASSIGN_OR_RETURN(std::string id, executor.ResolveInput(input));
+        root_covered.insert(std::move(id));
+      }
       PlanExecutor::UnitRequest request;
       request.unit = &root;
       request.projection = block.output_columns;
@@ -559,9 +767,24 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
                             .ArgInt("extra_jobs", extra_jobs));
         }
       } else {
-        return attempt.status();
+        auto retried = execute_with_retry(request, attempt.status());
+        if (retried.ok()) {
+          step = std::move(*retried);
+        } else if (retried.status().code() == StatusCode::kUnavailable ||
+                   permanent_failures + 1 > kMaxPermanentJobFailures) {
+          return retried.status();
+        } else {
+          abandon_job(root, retried.status());
+          replan = true;
+          continue;  // Re-plan around the materialized subtrees.
+        }
       }
-      account_step(root, step);
+      account_step(root, step, root_covered);
+      if (abort_requested()) {
+        return Status::Cancelled(
+            StrFormat("query aborted after %d jobs (test kill switch)",
+                      report->jobs_run));
+      }
       if (trace != nullptr) {
         trace->Record(obs::TraceEvent(engine_->now(), -1,
                                       obs::TraceLane::kDriver, "driver",
@@ -626,10 +849,25 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
                               .ArgInt("extra_jobs", extra_jobs));
           }
         } else {
-          return steps[i].status;
+          auto retried = execute_with_retry(requests[i], steps[i].status);
+          if (retried.ok()) {
+            steps[i] = std::move(*retried);
+          } else if (retried.status().code() == StatusCode::kUnavailable ||
+                     permanent_failures + 1 > kMaxPermanentJobFailures) {
+            return retried.status();
+          } else {
+            abandon_job(*chosen[i], retried.status());
+            replan = true;
+            continue;  // Skip accounting; re-plan around what succeeded.
+          }
         }
       }
-      account_step(*chosen[i], steps[i]);
+      account_step(*chosen[i], steps[i], covered_sets[i]);
+      if (abort_requested()) {
+        return Status::Cancelled(
+            StrFormat("query aborted after %d jobs (test kill switch)",
+                      report->jobs_run));
+      }
       state.Substitute(covered_sets[i], steps[i].relation_id,
                        steps[i].stats);
       executed_units.insert(chosen[i]->uid);

@@ -8,6 +8,7 @@
 
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "dyno/checkpoint.h"
 #include "dyno/strategy.h"
 #include "exec/plan_executor.h"
 #include "lang/query.h"
@@ -54,6 +55,26 @@ struct DynoOptions {
   /// (the paper's implementation); e.g. 0.5 tolerates 50% estimation error
   /// before paying another optimizer call.
   double reopt_row_error_threshold = 0.0;
+
+  /// DFS path where the driver rewrites a CheckpointManifest after every
+  /// successfully accounted execution step (DESIGN.md §6.4). Empty disables
+  /// checkpointing. Resume() reads the same path; a path therefore
+  /// identifies one logical query — do not share it across queries.
+  std::string checkpoint_path;
+
+  /// Whole-job retry budget: a job that fails for a transient reason (task
+  /// attempts exhausted under heavy node loss) is re-submitted up to this
+  /// many total attempts before the driver treats the failure as permanent
+  /// and re-plans around the subtrees it already materialized. <= 0 reads
+  /// DYNO_MAX_JOB_ATTEMPTS, defaulting to 1 (no retry). OutOfMemory and
+  /// Unavailable failures are never retried (the former has its own
+  /// fallback, the latter cannot succeed).
+  int max_job_attempts = 0;
+
+  /// Test kill switch: abort the query with Cancelled once this many jobs
+  /// have been accounted (< 0 = never). Simulates the driver process dying
+  /// mid-query so checkpoint/resume tests can exercise Resume().
+  int abort_after_jobs = -1;
 };
 
 /// One (re-)optimization event in a query's life.
@@ -84,6 +105,14 @@ struct QueryRunReport {
   int task_retries = 0;
   int speculative_launches = 0;
   int speculative_wins = 0;
+  /// Node fault-domain totals (see JobResult; DESIGN.md §6.4).
+  int node_crashes_observed = 0;
+  int attempts_killed_by_node = 0;
+  int maps_invalidated = 0;
+  int shuffle_fetch_retries = 0;
+  /// Driver-level recovery accounting.
+  int job_retries = 0;    ///< Whole-job re-submissions after a failure.
+  int resumed_steps = 0;  ///< Steps satisfied from a checkpoint manifest.
   std::vector<PlanEvent> plan_history;
   std::shared_ptr<DfsFile> result;
   uint64_t result_records = 0;
@@ -127,18 +156,36 @@ class DynoDriver {
   /// cycles or unknown block names.
   Result<QueryRunReport> ExecuteMultiBlock(const MultiBlockQuery& query);
 
+  /// Restarts `query` after a driver death: reads the CheckpointManifest at
+  /// DynoOptions::checkpoint_path, rebinds every still-materialized subtree
+  /// it records instead of re-executing it, and fast-forwards relation-id
+  /// allocation so the continuation is byte-identical (same final rows,
+  /// same checkpointed statistics) to an uninterrupted run. A missing or
+  /// corrupt manifest degrades to a plain Execute() from scratch.
+  Result<QueryRunReport> Resume(const Query& query);
+
   const DynoOptions& options() const { return options_; }
+
+  /// The manifest recorded by the most recent Execute/Resume call (empty
+  /// when checkpointing is disabled). Exposed for tests.
+  const CheckpointManifest& manifest() const { return manifest_; }
 
  private:
   struct BlockState;
 
-  Result<std::shared_ptr<DfsFile>> RunJoinBlock(const JoinBlock& block,
-                                                QueryRunReport* report);
+  Result<QueryRunReport> ExecuteInternal(const Query& query,
+                                         const CheckpointManifest* resume);
+
+  Result<std::shared_ptr<DfsFile>> RunJoinBlock(
+      const JoinBlock& block, QueryRunReport* report,
+      const CheckpointManifest* resume);
 
   MapReduceEngine* engine_;
   Catalog* catalog_;
   StatsStore* store_;
   DynoOptions options_;
+  /// Checkpoint state of the in-flight/most recent query run.
+  CheckpointManifest manifest_;
 };
 
 /// Outcome of executing a fixed physical plan (no re-optimization).
@@ -153,6 +200,10 @@ struct StaticRunResult {
   int task_retries = 0;
   int speculative_launches = 0;
   int speculative_wins = 0;
+  int node_crashes_observed = 0;
+  int attempts_killed_by_node = 0;
+  int maps_invalidated = 0;
+  int shuffle_fetch_retries = 0;
 };
 
 /// Executes `plan` as-is on `executor` (whose bindings must cover every

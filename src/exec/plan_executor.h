@@ -1,6 +1,7 @@
 #ifndef DYNO_EXEC_PLAN_EXECUTOR_H_
 #define DYNO_EXEC_PLAN_EXECUTOR_H_
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -164,6 +165,16 @@ class PlanExecutor {
 
   /// Total simulated observer (statistics-collection) overhead so far.
   SimMillis total_stats_overhead_ms() const { return stats_overhead_ms_; }
+
+  /// Temp-id high-water mark: relation ids are "t<N>" with N up to this.
+  int temp_counter() const { return temp_counter_; }
+
+  /// Fast-forwards temp-id allocation past `upto`. Checkpoint resume uses
+  /// this so a continuation's relation ids — and therefore its subtree
+  /// signatures — match the ones an uninterrupted run would have assigned.
+  void ReserveTempIds(int upto) {
+    temp_counter_ = std::max(temp_counter_, upto);
+  }
 
  private:
   MapReduceEngine* engine_;

@@ -20,6 +20,13 @@ void FaultConfig::ApplyEnvOverrides() {
     int parsed = std::atoi(env);
     if (parsed >= 1) max_task_attempts = parsed;
   }
+  if (const char* env = std::getenv("DYNO_NODE_FAILURE_RATE")) {
+    double parsed = std::strtod(env, nullptr);
+    if (parsed >= 0.0 && parsed <= 1.0) node_failure_rate = parsed;
+  }
+  if (const char* env = std::getenv("DYNO_NODE_RECOVERY_MS")) {
+    node_recovery_ms = std::strtoll(env, nullptr, 10);
+  }
 }
 
 }  // namespace dyno

@@ -2,6 +2,7 @@
 #define DYNO_MR_CLUSTER_CONFIG_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/sim_time.h"
 
@@ -31,8 +32,13 @@ struct FaultConfig {
   int max_task_attempts = 4;
 
   /// Base delay before re-queueing a failed attempt; attempt n waits
-  /// retry_backoff_ms * 2^(n-1).
+  /// min(retry_backoff_ms * 2^(n-1), max_backoff_ms) plus a deterministic
+  /// jitter of up to retry_jitter_fraction of that, drawn from the job's
+  /// fault stream so retries of concurrent tasks de-synchronize without
+  /// breaking bit-identical replay.
   SimMillis retry_backoff_ms = 1000;
+  SimMillis max_backoff_ms = 30000;  ///< <= 0 disables the cap.
+  double retry_jitter_fraction = 0.25;
 
   /// Hadoop-style speculative execution: when a phase has idle slots and no
   /// pending work, re-launch the slowest in-flight attempt once it has been
@@ -42,18 +48,48 @@ struct FaultConfig {
   bool speculative_execution = true;
   double speculative_slowness_threshold = 2.0;
 
+  /// --- Node fault domain (DESIGN.md §6.4). ---
+  /// Probability, drawn per task-attempt launch from the job's fault
+  /// stream, that the node hosting the attempt crashes partway through it.
+  /// A crash kills every attempt running on the node, invalidates the
+  /// completed map outputs resident there, and removes the node's slots
+  /// until it recovers.
+  double node_failure_rate = 0.0;
+
+  /// How long a crashed node stays blacklisted before it rejoins with its
+  /// slots (and nothing else: its resident map outputs are gone for good).
+  /// <= 0 means nodes never recover; losing all of them then classifies
+  /// every unfinished job as a permanent failure.
+  SimMillis node_recovery_ms = 120000;
+
+  /// Test/chaos hook: crash `node` at simulated time `at_ms` exactly once,
+  /// without consuming any fault-stream draws. Entries must be sorted by
+  /// time; they let tests place a crash deterministically relative to a
+  /// job's phases.
+  struct ScriptedNodeCrash {
+    SimMillis at_ms = 0;
+    int node = 0;
+  };
+  std::vector<ScriptedNodeCrash> scripted_node_crashes;
+
   /// When no injection is configured explicitly, the engine fills this
   /// struct from DYNO_FAULT_SEED / DYNO_TASK_FAILURE_RATE /
-  /// DYNO_STRAGGLER_RATE / DYNO_MAX_TASK_ATTEMPTS (see ApplyEnvOverrides),
-  /// which is how the bench and the `faults` ctest preset switch the fault
+  /// DYNO_STRAGGLER_RATE / DYNO_MAX_TASK_ATTEMPTS / DYNO_NODE_FAILURE_RATE
+  /// / DYNO_NODE_RECOVERY_MS (see ApplyEnvOverrides), which is how the
+  /// bench and the `faults` / `node-faults` ctest presets switch the fault
   /// path on without touching code.
   bool use_env_defaults = true;
+
+  /// True when node crashes (random or scripted) are possible.
+  bool node_faults() const {
+    return node_failure_rate > 0.0 || !scripted_node_crashes.empty();
+  }
 
   /// True when any fault injection is active. Retries of *real* task errors
   /// (failing map/reduce functions) are also gated on this, preserving the
   /// legacy fail-fast behavior when the model is off.
   bool enabled() const {
-    return task_failure_rate > 0.0 || straggler_rate > 0.0;
+    return task_failure_rate > 0.0 || straggler_rate > 0.0 || node_faults();
   }
 
   /// Overwrites fields from the DYNO_* environment variables above.
@@ -67,9 +103,13 @@ struct FaultConfig {
 /// data, so the rate constants below give the familiar "HDFS scan ~100 MB/s
 /// per slot, shuffle ~50 MB/s" feel.
 struct ClusterConfig {
-  /// Number of worker nodes; used by the distributed-cache variant of the
-  /// broadcast join, which loads the build side once per node instead of
-  /// once per task.
+  /// Number of worker nodes. They are the simulator's fault domains: map /
+  /// reduce slots are divided across them (node i gets slots/num_nodes,
+  /// plus one of the remainder when i < slots % num_nodes), completed map
+  /// outputs are resident on the node that produced them, and a node crash
+  /// (FaultConfig) takes slots and resident outputs down together. Also
+  /// used by the distributed-cache variant of the broadcast join, which
+  /// loads the build side once per node instead of once per task.
   int num_nodes = 15;
 
   /// Concurrent map / reduce task slots across the cluster.

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cmath>
 #include <deque>
+#include <map>
 #include <optional>
 #include <queue>
 #include <utility>
@@ -50,13 +51,29 @@ struct PendingTask {
 struct TaskRunState {
   int failures = 0;             ///< Failed attempts so far.
   bool completed = false;       ///< Some attempt has finished.
-  bool data_committed = false;  ///< A successful attempt's data is merged.
+  bool data_committed = false;  ///< A successful attempt's data is staged.
   bool speculated = false;      ///< A backup attempt was launched.
   bool primary_in_flight = false;
+  bool backup_in_flight = false;
   SimMillis launch_time = 0;      ///< Launch of the in-flight primary.
   SimMillis expected_finish = 0;  ///< That attempt's completion time.
   SimMillis base_duration = 0;    ///< Its duration before straggler factor.
+  int node = -1;                  ///< Node hosting the completed output.
   Status last_error;              ///< Most recent attempt failure.
+};
+
+/// One logical task's staged data: everything its successful attempt
+/// produced, held per task until the job finishes (or, for map outputs of
+/// map-reduce jobs, until a node crash invalidates it). Assembling job
+/// outputs from this in task-id order at finish time is what keeps results
+/// byte-identical whether or not tasks were re-executed out of order.
+struct TaskData {
+  bool valid = false;
+  Counters counters;  ///< This task's contribution alone.
+  Split output;       ///< Map-only or reduce output records.
+  std::vector<std::pair<Value, Value>> emissions;  ///< Map of a reduce job.
+  uint64_t emitted_bytes = 0;
+  double observer_charge = 0.0;  ///< CPU units the observer replay costs.
 };
 
 /// Execution state for one concurrently running job.
@@ -68,24 +85,27 @@ struct RunningJob {
 
   std::vector<MapTaskRef> map_defs;  ///< task_id -> (input, split).
   std::vector<TaskRunState> map_states;
+  std::vector<TaskData> map_data;  ///< task_id -> staged outputs.
   std::deque<PendingTask> pending_map;
   int map_tasks_remaining = 0;  ///< Logical tasks not completed/skipped.
   int active_map_tasks = 0;
   int map_seq = 0;  ///< Tasks launched so far (distributed-cache billing).
 
-  /// Shuffle buffer: all (key, value) emissions with their encoded size.
-  /// Only touched on the scheduler thread — worker-side emissions are
-  /// buffered per task and merged here in launch order.
-  std::vector<std::pair<Value, Value>> emissions;
-  uint64_t emission_bytes = 0;
-
   /// Reduce-side state.
   int num_reduce_tasks = 0;
   std::vector<std::vector<std::pair<Value, Value>>> partitions;
   std::vector<TaskRunState> reduce_states;
+  std::vector<TaskData> reduce_data;
   std::deque<PendingTask> pending_reduce;
   int reduce_tasks_remaining = 0;
   int active_reduce_tasks = 0;
+  bool reduce_opened = false;  ///< First shuffle completed at least once.
+  /// Bumped when a node crash invalidates map outputs mid-shuffle or later;
+  /// a kShuffleDone event with a stale epoch is ignored.
+  int shuffle_epoch = 0;
+  /// Emission bytes already billed to the network, so a re-shuffle after a
+  /// crash transfers only the re-executed maps' bytes.
+  uint64_t shuffled_bytes = 0;
 
   /// Durations of completed attempts, per phase — the speculation median.
   std::vector<SimMillis> completed_map_ms;
@@ -112,6 +132,8 @@ enum class EventKind {
   kMapDone,
   kShuffleDone,
   kReduceDone,
+  kNodeCrash,
+  kNodeRecover,
   /// No-op: exists to force a scheduling pass at a known time (a retry
   /// backoff expiring, an in-flight task crossing the speculation cutoff).
   kWakeup,
@@ -126,6 +148,9 @@ struct Event {
   bool attempt_failed = false;    ///< The attempt died (injected or real).
   bool speculative = false;       ///< This is a backup attempt finishing.
   SimMillis attempt_duration = 0;
+  int node = -1;           ///< kNodeCrash/kNodeRecover target.
+  bool scripted = false;   ///< Crash from FaultConfig::scripted_node_crashes.
+  int shuffle_epoch = 0;   ///< kShuffleDone staleness check.
 };
 
 struct EventLater {
@@ -162,14 +187,33 @@ struct TaskLaunch {
   int task_index = 0;
   SimMillis setup_ms = 0;  ///< Side-data load charge, decided at launch.
   std::vector<std::pair<Value, Value>> bucket;  ///< Reduce input.
+  /// Node the attempt was placed on (always >= 0 once launched).
+  int node = 0;
   /// Fault draws, decided at launch on the scheduler thread. An attempt
   /// marked `inject_failure` never runs its data flow (the simulated
   /// container dies `fail_fraction` of the way through); `slowdown` > 1
-  /// stretches the attempt's simulated duration.
+  /// stretches the attempt's simulated duration. `crash_node` schedules a
+  /// crash of the hosting node `crash_fraction` of the way through the
+  /// attempt (the commit computes the absolute time once the duration is
+  /// known).
   bool inject_failure = false;
   double fail_fraction = 0.0;
   double slowdown = 1.0;
+  bool crash_node = false;
+  double crash_fraction = 0.0;
   TaskOutcome outcome;
+};
+
+/// One attempt in flight, keyed by the seq of its completion event. A node
+/// crash kills attempts by erasing their registry entry; the completion
+/// event of a killed attempt is then simply ignored (its node's slots went
+/// down with the node).
+struct InFlightAttempt {
+  int job_index = 0;
+  bool is_map = true;
+  int task_id = 0;
+  bool speculative = false;
+  int node = 0;
 };
 
 /// MapContext implementation that buffers into the task's own outcome.
@@ -311,7 +355,9 @@ ClusterConfig MapReduceEngine::ResolveFaultEnv(ClusterConfig config) {
 }
 
 MapReduceEngine::MapReduceEngine(Dfs* dfs, ClusterConfig config)
-    : dfs_(dfs), config_(ResolveFaultEnv(std::move(config))) {}
+    : dfs_(dfs), config_(ResolveFaultEnv(std::move(config))) {
+  node_states_.assign(std::max(1, config_.num_nodes), NodeState{});
+}
 
 MapReduceEngine::~MapReduceEngine() = default;
 
@@ -336,6 +382,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
   obs::Counter* m_injected = nullptr;
   obs::Counter* m_spec_launches = nullptr;
   obs::Counter* m_spec_wins = nullptr;
+  obs::Counter* m_node_crashes = nullptr;
+  obs::Counter* m_node_recoveries = nullptr;
+  obs::Counter* m_node_kills = nullptr;
+  obs::Counter* m_maps_invalidated = nullptr;
+  obs::Counter* m_shuffle_retries = nullptr;
   obs::Histogram* h_map_ms = nullptr;
   obs::Histogram* h_reduce_ms = nullptr;
   obs::Histogram* h_job_ms = nullptr;
@@ -347,6 +398,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     m_injected = metrics_->GetCounter("mr.task_failures_injected");
     m_spec_launches = metrics_->GetCounter("mr.speculative_launches");
     m_spec_wins = metrics_->GetCounter("mr.speculative_wins");
+    m_node_crashes = metrics_->GetCounter("mr.node_crashes");
+    m_node_recoveries = metrics_->GetCounter("mr.node_recoveries");
+    m_node_kills = metrics_->GetCounter("mr.node_attempt_kills");
+    m_maps_invalidated = metrics_->GetCounter("mr.maps_invalidated");
+    m_shuffle_retries = metrics_->GetCounter("mr.shuffle_fetch_retries");
     h_map_ms = metrics_->GetHistogram("mr.map_attempt_ms");
     h_reduce_ms = metrics_->GetHistogram("mr.reduce_attempt_ms");
     h_job_ms = metrics_->GetHistogram("mr.job_ms");
@@ -389,6 +445,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
       }
     }
     job.map_states.assign(job.map_defs.size(), TaskRunState{});
+    job.map_data.assign(job.map_defs.size(), TaskData{});
     job.map_tasks_remaining = static_cast<int>(job.map_defs.size());
     for (size_t t = 0; t < job.map_defs.size(); ++t) {
       job.pending_map.push_back({static_cast<int>(t), 0});
@@ -442,8 +499,76 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     events.push({job.ready_time, seq++, EventKind::kJobReady, job.job_index});
   }
 
-  int free_map_slots = config_.map_slots;
-  int free_reduce_slots = config_.reduce_slots;
+  // --- Node fault domains: slots live on nodes. ---
+  const int num_nodes = static_cast<int>(node_states_.size());
+  // Slots divided evenly across nodes, remainder to the low ids. Total
+  // capacity is exactly map_slots/reduce_slots, so with every node alive
+  // scheduling behaves as the flat slot pool did.
+  auto node_capacity = [&](int total, int node) {
+    return total / num_nodes + (node < total % num_nodes ? 1 : 0);
+  };
+  std::vector<int> free_map(num_nodes, 0);
+  std::vector<int> free_reduce(num_nodes, 0);
+  int free_map_slots = 0;
+  int free_reduce_slots = 0;
+  int alive_nodes = 0;
+  // Nodes whose recovery time passed while the engine was idle rejoin now;
+  // still-pending recoveries re-enter the event queue (it does not persist
+  // across submissions).
+  for (int n = 0; n < num_nodes; ++n) {
+    NodeState& ns = node_states_[n];
+    if (!ns.alive && ns.recover_at >= 0 && ns.recover_at <= now_) {
+      ns.alive = true;
+    }
+    if (!ns.alive && ns.recover_at > now_) {
+      Event ev{ns.recover_at, seq++, EventKind::kNodeRecover, -1};
+      ev.node = n;
+      events.push(ev);
+    }
+    if (ns.alive) {
+      ++alive_nodes;
+      free_map[n] = node_capacity(config_.map_slots, n);
+      free_reduce[n] = node_capacity(config_.reduce_slots, n);
+      free_map_slots += free_map[n];
+      free_reduce_slots += free_reduce[n];
+    }
+  }
+  // Scripted crashes that have not fired yet (test/chaos hook); re-pushed
+  // every submission until they fire, consumed exactly once.
+  for (size_t c = scripted_crashes_consumed_;
+       c < config_.faults.scripted_node_crashes.size(); ++c) {
+    const auto& script = config_.faults.scripted_node_crashes[c];
+    Event ev{std::max(script.at_ms, now_), seq++, EventKind::kNodeCrash, -1};
+    ev.node = script.node;
+    ev.scripted = true;
+    events.push(ev);
+  }
+
+  // Attempts currently executing, keyed by the seq of their completion
+  // event. Killing an attempt = erasing its entry; its completion event is
+  // then ignored. std::map iterates in seq (launch) order, keeping crash
+  // handling deterministic.
+  std::map<uint64_t, InFlightAttempt> in_flight;
+
+  // Picks the alive node with the most free slots of the phase (lowest id
+  // wins ties); prefers any node other than `exclude` (a backup attempt
+  // should not land next to its primary). Returns -1 if nothing is free.
+  auto pick_node = [&](bool is_map, int exclude) {
+    const std::vector<int>& free = is_map ? free_map : free_reduce;
+    int best = -1;
+    for (int n = 0; n < num_nodes; ++n) {
+      if (!node_states_[n].alive || free[n] <= 0 || n == exclude) continue;
+      if (best < 0 || free[n] > free[best]) best = n;
+    }
+    if (best < 0 && exclude >= 0) {
+      for (int n = 0; n < num_nodes; ++n) {
+        if (!node_states_[n].alive || free[n] <= 0) continue;
+        if (best < 0 || free[n] > free[best]) best = n;
+      }
+    }
+    return best;
+  };
+
   int unfinished = static_cast<int>(jobs.size());
 
   // Tears down a failed job once its last in-flight task has drained (or
@@ -472,6 +597,12 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                                job->result.speculative_launches)
                        .ArgInt("speculative_wins",
                                job->result.speculative_wins)
+                       .ArgInt("node_attempt_kills",
+                               job->result.attempts_killed_by_node)
+                       .ArgInt("maps_invalidated",
+                               job->result.maps_invalidated)
+                       .ArgInt("shuffle_fetch_retries",
+                               job->result.shuffle_fetch_retries)
                        .ArgInt("output_records",
                                (int64_t)job->result.counters.output_records));
   };
@@ -496,6 +627,29 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
   };
 
   auto finish_job = [&](RunningJob* job) {
+    // Assemble counters and output splits from the per-task staged data in
+    // task-id / partition order — the exact order a fault-free run commits
+    // in — so job outputs stay byte-identical even when node crashes forced
+    // out-of-order re-execution of some tasks.
+    Counters& totals = job->result.counters;
+    for (TaskData& d : job->map_data) {
+      if (!d.valid) continue;
+      totals.MergeFrom(d.counters);
+      if (!job->spec->reduce_fn && d.output.num_records > 0) {
+        totals.output_bytes += d.output.num_bytes();
+        job->output->AppendSplit(std::move(d.output));
+      }
+      d = TaskData{};
+    }
+    for (TaskData& d : job->reduce_data) {
+      if (!d.valid) continue;
+      totals.MergeFrom(d.counters);
+      if (d.output.num_records > 0) {
+        totals.output_bytes += d.output.num_bytes();
+        job->output->AppendSplit(std::move(d.output));
+      }
+      d = TaskData{};
+    }
     job->phase = JobPhase::kDone;
     job->result.finish_time_ms = now_;
     job->result.observer_overhead_ms = static_cast<SimMillis>(
@@ -541,6 +695,32 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         job->fault_rng->Bernoulli(f.straggler_rate)) {
       launch->slowdown = std::max(1.0, f.straggler_slowdown);
     }
+    if (f.node_failure_rate > 0.0 &&
+        job->fault_rng->Bernoulli(f.node_failure_rate)) {
+      // The hosting node dies somewhere during this attempt; the absolute
+      // crash time is computed at commit, once the duration is known.
+      launch->crash_node = true;
+      launch->crash_fraction = job->fault_rng->NextDouble();
+    }
+  };
+
+  // Capped + jittered exponential backoff before re-queueing a failed
+  // attempt (the legacy retry_backoff_ms * 2^n grew unbounded). The jitter
+  // is drawn from the job's fault stream on the scheduler thread, so it
+  // de-synchronizes concurrent retries while staying bit-identical across
+  // execution thread counts.
+  auto retry_backoff = [&](RunningJob* job, int failures) -> SimMillis {
+    const FaultConfig& f = config_.faults;
+    SimMillis backoff =
+        f.retry_backoff_ms * (SimMillis{1} << std::min(failures - 1, 16));
+    if (f.max_backoff_ms > 0) backoff = std::min(backoff, f.max_backoff_ms);
+    if (f.retry_jitter_fraction > 0.0 && backoff > 0 &&
+        job->fault_rng.has_value()) {
+      backoff += static_cast<SimMillis>(f.retry_jitter_fraction *
+                                        static_cast<double>(backoff) *
+                                        job->fault_rng->NextDouble());
+    }
+    return backoff;
   };
 
   // Transition after the map phase drains.
@@ -559,55 +739,99 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
       return;
     }
     job->phase = JobPhase::kShuffle;
-    int reducers = job->spec->num_reduce_tasks;
-    if (reducers <= 0) {
-      reducers = static_cast<int>(
-          job->emission_bytes / config_.bytes_per_reduce_task + 1);
-      reducers = std::clamp(reducers, 1, config_.reduce_slots);
+    uint64_t total_emitted = 0;
+    for (const TaskData& d : job->map_data) {
+      if (d.valid) total_emitted += d.emitted_bytes;
     }
-    job->num_reduce_tasks = reducers;
+    if (job->num_reduce_tasks == 0) {
+      // First shuffle: fix the reducer count for the job's lifetime (a
+      // re-shuffle after a node crash must not re-deal the keys).
+      int reducers = job->spec->num_reduce_tasks;
+      if (reducers <= 0) {
+        reducers = static_cast<int>(
+            total_emitted / config_.bytes_per_reduce_task + 1);
+        reducers = std::clamp(reducers, 1, config_.reduce_slots);
+      }
+      job->num_reduce_tasks = reducers;
+      job->reduce_states.assign(reducers, TaskRunState{});
+      job->reduce_data.assign(reducers, TaskData{});
+      job->reduce_tasks_remaining = reducers;
+    }
+    const int reducers = job->num_reduce_tasks;
+    // (Re)build the partition buckets of not-yet-completed reducers from
+    // the staged emissions in task-id order — the same order a fault-free
+    // run's commits feed the shuffle, so reducer input (and thus output)
+    // bytes are identical whether or not maps were re-executed. Emissions
+    // are retained per task while node crashes are possible, since a lost
+    // node forces exactly this rebuild.
+    const bool retain_emissions = config_.faults.node_faults();
     job->partitions.assign(reducers, {});
-    job->reduce_states.assign(reducers, TaskRunState{});
-    job->reduce_tasks_remaining = reducers;
-    for (auto& [key, value] : job->emissions) {
-      size_t p = key.Hash() % static_cast<size_t>(reducers);
-      job->partitions[p].emplace_back(std::move(key), std::move(value));
+    for (TaskData& d : job->map_data) {
+      if (!d.valid) continue;
+      for (auto& kv : d.emissions) {
+        size_t p = kv.first.Hash() % static_cast<size_t>(reducers);
+        if (job->reduce_states[p].completed) continue;
+        if (retain_emissions) {
+          job->partitions[p].push_back(kv);
+        } else {
+          job->partitions[p].emplace_back(std::move(kv.first),
+                                          std::move(kv.second));
+        }
+      }
+      if (!retain_emissions) {
+        d.emissions.clear();
+        d.emissions.shrink_to_fit();
+      }
     }
-    job->emissions.clear();
-    job->emissions.shrink_to_fit();
     // Shuffle is billed at the cluster's aggregate cross-network rate: the
     // all-to-all transfer is bisection-bandwidth bound, not per-reducer
     // parallel, which is what makes repartitioning a large relation so much
-    // more expensive than broadcasting a small one (paper §2.2.1).
-    SimMillis shuffle_ms = CeilDiv(static_cast<double>(job->emission_bytes),
+    // more expensive than broadcasting a small one (paper §2.2.1). Only
+    // bytes not already transferred are billed, so a re-shuffle after a
+    // crash pays for the re-executed maps' output alone.
+    uint64_t transfer =
+        total_emitted - std::min(total_emitted, job->shuffled_bytes);
+    job->shuffled_bytes = total_emitted;
+    SimMillis shuffle_ms = CeilDiv(static_cast<double>(transfer),
                                    config_.shuffle_bytes_per_ms);
     if (trace_ != nullptr) {
       trace_->Record(obs::TraceEvent(now_, shuffle_ms,
                                      obs::TraceLane::kEngine, "mr",
                                      "shuffle_phase")
                          .Arg("job", job->spec->name)
-                         .ArgInt("bytes", (int64_t)job->emission_bytes)
+                         .ArgInt("bytes", (int64_t)transfer)
                          .ArgInt("reducers", reducers));
     }
-    events.push({now_ + shuffle_ms, seq++, EventKind::kShuffleDone,
-                 job->job_index});
+    Event done{now_ + shuffle_ms, seq++, EventKind::kShuffleDone,
+               job->job_index};
+    done.shuffle_epoch = job->shuffle_epoch;
+    events.push(done);
   };
 
-  // Replays a task's output records through the job's output observer —
-  // on the scheduler thread, in launch order, so observer state is updated
-  // deterministically and never concurrently. Returns the CPU charge.
-  auto replay_observer = [&](RunningJob* job, const Split& out) -> double {
-    if (!job->spec->output_observer || out.num_records == 0) return 0.0;
-    SplitReader reader(&out);
-    while (!reader.AtEnd()) {
-      Result<Value> record = reader.Next();
-      if (!record.ok()) break;  // Unreachable: we encoded these records.
-      job->spec->output_observer(*record);
+  // Applies a logical task's durable completion: replays its staged output
+  // records through the job's output observer (scheduler thread only, so
+  // observer state is never updated concurrently; observers must be
+  // commutative across tasks, which the stats collectors are) and, for
+  // reduce tasks, releases the partition bucket retained for retries. Runs
+  // at *completion* rather than commit so an attempt killed by a node crash
+  // after committing never double-applies when the task re-runs.
+  auto apply_durable_completion = [&](RunningJob* job, bool is_map,
+                                      int task_id) {
+    if (is_map && job->spec->reduce_fn) return;  // Volatile until job end.
+    TaskData& d = is_map ? job->map_data[task_id] : job->reduce_data[task_id];
+    if (d.valid && job->spec->output_observer && d.output.num_records > 0) {
+      SplitReader reader(&d.output);
+      while (!reader.AtEnd()) {
+        Result<Value> record = reader.Next();
+        if (!record.ok()) break;  // Unreachable: we encoded these records.
+        job->spec->output_observer(*record);
+      }
     }
-    double charge = static_cast<double>(out.num_records) *
-                    job->spec->observer_cpu_per_record;
-    job->observer_cpu_units += charge;
-    return charge;
+    if (d.valid) job->observer_cpu_units += d.observer_charge;
+    if (!is_map) {
+      job->partitions[task_id].clear();
+      job->partitions[task_id].shrink_to_fit();
+    }
   };
 
   auto median_ms = [](const std::vector<SimMillis>& v) -> SimMillis {
@@ -645,9 +869,12 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     }
   };
 
-  // Commits one finished task attempt back into its job: counters,
-  // emissions, observer replay, output splits, simulated duration and
-  // completion event. Runs on the scheduler thread in launch order.
+  // Commits one finished task attempt back into its job: simulated
+  // duration, per-task staged data (TaskData), in-flight registration and
+  // completion event. Runs on the scheduler thread in launch order. Nothing
+  // is merged into job-level counters or outputs here — that happens at
+  // completion/finish time — so an attempt later killed by a node crash
+  // leaves no residue in the job.
   auto commit_task = [&](TaskLaunch& t) {
     RunningJob* job = t.job;
     TaskOutcome& o = t.outcome;
@@ -656,6 +883,16 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     TaskRunState& st =
         t.is_map ? job->map_states[t.task_id] : job->reduce_states[t.task_id];
     double cpu = o.cpu_units;
+    // Observer CPU is billed to the attempt now (durations must not depend
+    // on when the replay runs), but the replay itself happens at durable
+    // completion (apply_durable_completion), so a killed attempt never
+    // feeds the observer.
+    double obs_charge = 0.0;
+    if (attempt_ok && !already_failed && job->spec->output_observer) {
+      obs_charge = static_cast<double>(o.output.num_records) *
+                   job->spec->observer_cpu_per_record;
+      cpu += obs_charge;
+    }
     SimMillis duration = 0;
     if (t.is_map) {
       if (t.inject_failure) {
@@ -674,20 +911,6 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                    std::ceil(static_cast<double>(full) * t.fail_fraction)));
         ++job->result.task_failures_injected;
       } else {
-        if (!already_failed && o.status.ok()) {
-          Counters& c = job->result.counters;
-          c.map_input_records += o.input_records;
-          c.map_input_bytes += o.input_bytes;
-          c.map_output_records += o.emissions.size();
-          c.map_output_bytes += o.emitted_bytes;
-          c.output_records += o.output.num_records;
-          cpu += replay_observer(job, o.output);
-          job->emission_bytes += o.emitted_bytes;
-          for (auto& kv : o.emissions) {
-            job->emissions.push_back(std::move(kv));
-          }
-          ++job->result.map_tasks_run;
-        }
         // An errored attempt scanned only `input_bytes` of its split and
         // its partial spill is discarded, not written.
         uint64_t written_bytes = 0;
@@ -701,10 +924,19 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                    CeilDiv(cpu, config_.cpu_units_per_ms) +
                    CeilDiv(static_cast<double>(written_bytes),
                            config_.map_write_bytes_per_ms);
-        if (!already_failed && o.status.ok() && !job->spec->reduce_fn &&
-            o.output.num_records > 0) {
-          job->result.counters.output_bytes += o.output.num_bytes();
-          job->output->AppendSplit(std::move(o.output));
+        if (!already_failed && o.status.ok()) {
+          TaskData& d = job->map_data[t.task_id];
+          d.valid = true;
+          d.counters = Counters{};
+          d.counters.map_input_records = o.input_records;
+          d.counters.map_input_bytes = o.input_bytes;
+          d.counters.map_output_records = o.emissions.size();
+          d.counters.map_output_bytes = o.emitted_bytes;
+          d.counters.output_records = o.output.num_records;
+          d.emitted_bytes = o.emitted_bytes;
+          d.emissions = std::move(o.emissions);
+          d.output = std::move(o.output);
+          d.observer_charge = obs_charge;
         }
       }
     } else {
@@ -726,28 +958,20 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                    std::ceil(static_cast<double>(full) * t.fail_fraction)));
         ++job->result.task_failures_injected;
       } else {
-        if (!already_failed && o.status.ok()) {
-          Counters& c = job->result.counters;
-          c.reduce_input_records += o.reduce_input_records;
-          c.output_records += o.output.num_records;
-          cpu += replay_observer(job, o.output);
-          ++job->result.reduce_tasks_run;
-        }
         uint64_t written_bytes = o.status.ok() ? o.output.num_bytes() : 0;
         duration = CeilDiv(static_cast<double>(o.reduce_input_bytes),
                            config_.reduce_read_bytes_per_ms) +
                    CeilDiv(cpu, config_.cpu_units_per_ms) +
                    CeilDiv(static_cast<double>(written_bytes),
                            config_.reduce_write_bytes_per_ms);
-        if (!already_failed && o.status.ok() && o.output.num_records > 0) {
-          job->result.counters.output_bytes += o.output.num_bytes();
-          job->output->AppendSplit(std::move(o.output));
-        }
-        if (attempt_ok) {
-          // This partition is done; release the bucket copy retained for
-          // possible retries.
-          job->partitions[t.task_id].clear();
-          job->partitions[t.task_id].shrink_to_fit();
+        if (!already_failed && o.status.ok()) {
+          TaskData& d = job->reduce_data[t.task_id];
+          d.valid = true;
+          d.counters = Counters{};
+          d.counters.reduce_input_records = o.reduce_input_records;
+          d.counters.output_records = o.output.num_records;
+          d.output = std::move(o.output);
+          d.observer_charge = obs_charge;
         }
       }
     }
@@ -760,6 +984,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     st.launch_time = now_;
     st.expected_finish = now_ + duration;
     st.base_duration = base;
+    st.node = t.node;
     if (attempt_ok) {
       st.data_committed = true;
     } else {
@@ -791,12 +1016,25 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                          .ArgBool("injected_failure", t.inject_failure)
                          .ArgDouble("slowdown", t.slowdown));
     }
+    // A drawn node crash lands partway through this attempt. The crash
+    // event is pushed before the completion event so a crash falling on the
+    // attempt's own finish time still kills it first (lower seq wins ties).
+    if (t.crash_node) {
+      SimMillis crash_after = std::max<SimMillis>(
+          1, static_cast<SimMillis>(std::ceil(static_cast<double>(duration) *
+                                              t.crash_fraction)));
+      Event crash{now_ + crash_after, seq++, EventKind::kNodeCrash, -1};
+      crash.node = t.node;
+      events.push(crash);
+    }
     Event done{now_ + duration, seq++,
                t.is_map ? EventKind::kMapDone : EventKind::kReduceDone,
                job->job_index};
     done.task_id = t.task_id;
     done.attempt_failed = !attempt_ok;
     done.attempt_duration = duration;
+    in_flight[done.seq] = InFlightAttempt{job->job_index, t.is_map, t.task_id,
+                                          /*speculative=*/false, t.node};
     events.push(done);
     // Legacy fail-fast: with the fault model off, the first real task
     // error kills the whole job at commit time.
@@ -842,8 +1080,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     }
     if (slowest < 0) return;
     TaskRunState& st = states[slowest];
-    // The backup re-runs the same attempt from scratch on another node,
-    // with its own straggler draw on top of the unslowed duration.
+    // The backup re-runs the same attempt from scratch on another node
+    // (never the primary's, when avoidable — the point of speculation under
+    // node faults), with its own straggler draw on the unslowed duration.
+    int bnode = pick_node(is_map, /*exclude=*/st.node);
+    if (bnode < 0) return;
     double slowdown = 1.0;
     if (config_.faults.straggler_rate > 0.0 &&
         job.fault_rng->Bernoulli(config_.faults.straggler_rate)) {
@@ -853,12 +1094,15 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         1, static_cast<SimMillis>(
                std::ceil(static_cast<double>(st.base_duration) * slowdown)));
     --free_slots;
+    std::vector<int>& free = is_map ? free_map : free_reduce;
+    --free[bnode];
     if (is_map) {
       ++job.active_map_tasks;
     } else {
       ++job.active_reduce_tasks;
     }
     st.speculated = true;
+    st.backup_in_flight = true;
     ++job.result.speculative_launches;
     if (m_spec_launches != nullptr) m_spec_launches->Add();
     if (trace_ != nullptr) {
@@ -875,6 +1119,8 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     done.task_id = slowest;
     done.speculative = true;
     done.attempt_duration = duration;
+    in_flight[done.seq] = InFlightAttempt{job.job_index, is_map, slowest,
+                                          /*speculative=*/true, bnode};
     events.push(done);
   };
 
@@ -924,6 +1170,9 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
             if (m_retries != nullptr) m_retries->Add();
           }
           draw_faults(&job, &launch);
+          // free_map_slots > 0 guarantees some alive node has a free slot.
+          launch.node = pick_node(/*is_map=*/true, /*exclude=*/-1);
+          --free_map[launch.node];
           --free_map_slots;
           ++job.active_map_tasks;
           wave.push_back(std::move(launch));
@@ -966,6 +1215,8 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           } else {
             launch.bucket = std::move(job.partitions[next.task_id]);
           }
+          launch.node = pick_node(/*is_map=*/false, /*exclude=*/-1);
+          --free_reduce[launch.node];
           --free_reduce_slots;
           ++job.active_reduce_tasks;
           wave.push_back(std::move(launch));
@@ -1028,10 +1279,224 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     }
   };
 
+  // True when the nodes that could ever host this job's tasks are all down
+  // for good (no recovery scheduled): the job can never finish.
+  auto cluster_doomed_for = [&](const RunningJob& job) {
+    int pot_map = 0;
+    int pot_reduce = 0;
+    for (int n = 0; n < num_nodes; ++n) {
+      if (node_states_[n].alive || node_states_[n].recover_at >= 0) {
+        pot_map += node_capacity(config_.map_slots, n);
+        pot_reduce += node_capacity(config_.reduce_slots, n);
+      }
+    }
+    return pot_map == 0 ||
+           (job.spec->reduce_fn != nullptr && pot_reduce == 0);
+  };
+
+  auto fail_doomed = [&](RunningJob* job) {
+    fail_job(job, Status::Unavailable(StrFormat(
+                      "no node that could run %s will ever come back "
+                      "(cluster permanently degraded)",
+                      job->spec->name.c_str())));
+  };
+
+  // A node dies: its slots leave the pool, every attempt running on it is
+  // killed (a kill, not a failure — the task re-queues without charging an
+  // attempt, Hadoop's KILLED vs FAILED), and the completed map outputs
+  // resident on it are invalidated for any map-reduce job that still needs
+  // them, regressing those jobs to the map phase for re-execution.
+  auto handle_node_crash = [&](int node, bool scripted) {
+    if (scripted) ++scripted_crashes_consumed_;
+    if (node < 0 || node >= num_nodes) return;
+    NodeState& ns = node_states_[node];
+    if (!ns.alive) return;  // Already down; nothing new to lose.
+    ns.alive = false;
+    ns.recover_at = config_.faults.node_recovery_ms > 0
+                        ? now_ + config_.faults.node_recovery_ms
+                        : -1;
+    if (ns.recover_at >= 0) {
+      Event rec{ns.recover_at, seq++, EventKind::kNodeRecover, -1};
+      rec.node = node;
+      events.push(rec);
+    }
+    --alive_nodes;
+    free_map_slots -= free_map[node];
+    free_reduce_slots -= free_reduce[node];
+    free_map[node] = 0;
+    free_reduce[node] = 0;
+    if (m_node_crashes != nullptr) m_node_crashes->Add();
+
+    // Kill the node's in-flight attempts, in launch (seq) order. Their
+    // slots went down with the node, so nothing is refunded; their pending
+    // completion events will find no registry entry and be ignored.
+    int killed = 0;
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      if (it->second.node != node) {
+        ++it;
+        continue;
+      }
+      const InFlightAttempt a = it->second;
+      it = in_flight.erase(it);
+      ++killed;
+      RunningJob& job = jobs[a.job_index];
+      if (a.is_map) {
+        --job.active_map_tasks;
+      } else {
+        --job.active_reduce_tasks;
+      }
+      auto& states = a.is_map ? job.map_states : job.reduce_states;
+      TaskRunState& st = states[a.task_id];
+      if (a.speculative) {
+        st.backup_in_flight = false;
+        st.speculated = false;  // Eligible for a fresh backup later.
+      } else {
+        st.primary_in_flight = false;
+      }
+      ++job.result.attempts_killed_by_node;
+      if (m_node_kills != nullptr) m_node_kills->Add();
+      if (!job.failed && !st.completed && !st.primary_in_flight &&
+          !st.backup_in_flight) {
+        auto& pending = a.is_map ? job.pending_map : job.pending_reduce;
+        pending.push_back({a.task_id, now_});
+      }
+    }
+
+    // Invalidate the completed map outputs that lived on the node, for
+    // every map-reduce job that still needs them. (Map-only outputs and
+    // reduce outputs model durable DFS writes and survive; a reduce phase
+    // with no reducer left to launch has already fetched everything.)
+    for (RunningJob& job : jobs) {
+      if (job.failed || job.Finished() || job.spec->reduce_fn == nullptr) {
+        continue;
+      }
+      bool needs_map_outputs =
+          job.phase == JobPhase::kMap || job.phase == JobPhase::kShuffle ||
+          (job.phase == JobPhase::kReduce && !job.pending_reduce.empty());
+      if (!needs_map_outputs) continue;
+      int invalidated = 0;
+      for (size_t t = 0; t < job.map_states.size(); ++t) {
+        TaskRunState& st = job.map_states[t];
+        if (!st.completed || st.node != node) continue;
+        // Any attempt of this task still racing elsewhere is killed too:
+        // the logical task is being reset, and a late completion would
+        // otherwise re-complete it against cleared data. These kills DO
+        // refund their (live-node) slots.
+        for (auto it = in_flight.begin(); it != in_flight.end();) {
+          const InFlightAttempt& a = it->second;
+          if (a.job_index != job.job_index || !a.is_map ||
+              a.task_id != static_cast<int>(t)) {
+            ++it;
+            continue;
+          }
+          ++free_map[a.node];
+          ++free_map_slots;
+          --job.active_map_tasks;
+          ++job.result.attempts_killed_by_node;
+          if (m_node_kills != nullptr) m_node_kills->Add();
+          it = in_flight.erase(it);
+        }
+        TaskData& d = job.map_data[t];
+        job.shuffled_bytes -= std::min(job.shuffled_bytes, d.emitted_bytes);
+        d = TaskData{};
+        int failures = st.failures;  // Real failures outlive the kill.
+        st = TaskRunState{};
+        st.failures = failures;
+        ++job.map_tasks_remaining;
+        job.pending_map.push_back({static_cast<int>(t), now_});
+        ++invalidated;
+      }
+      if (invalidated == 0) continue;
+      job.result.maps_invalidated += invalidated;
+      if (m_maps_invalidated != nullptr) m_maps_invalidated->Add(invalidated);
+      if (job.phase == JobPhase::kReduce) {
+        // The reducers still waiting to launch hit shuffle-fetch failures:
+        // they stay queued behind the re-shuffle of the re-executed maps.
+        int blocked = static_cast<int>(job.pending_reduce.size());
+        job.result.shuffle_fetch_retries += blocked;
+        if (m_shuffle_retries != nullptr) m_shuffle_retries->Add(blocked);
+        if (trace_ != nullptr) {
+          trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kEngine,
+                                         "mr", "shuffle_fetch_retry")
+                             .Arg("job", job.spec->name)
+                             .ArgInt("blocked_reducers", blocked)
+                             .ArgInt("node", node));
+        }
+      }
+      if (job.phase != JobPhase::kMap) ++job.shuffle_epoch;
+      job.phase = JobPhase::kMap;
+    }
+
+    for (RunningJob& job : jobs) {
+      if (!job.Finished() && !job.failed) {
+        ++job.result.node_crashes_observed;
+      }
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kEngine, "mr",
+                                     "node_crash")
+                         .ArgInt("node", node)
+                         .ArgBool("scripted", scripted)
+                         .ArgInt("attempts_killed", killed)
+                         .ArgInt("alive_nodes", alive_nodes));
+    }
+    // Permanent-failure classification: with no capacity left and none ever
+    // coming back, unfinished jobs can never run.
+    for (RunningJob& job : jobs) {
+      if (!job.failed && !job.Finished() && cluster_doomed_for(job)) {
+        fail_doomed(&job);
+      }
+    }
+    // Failed jobs whose last in-flight attempts were just killed have no
+    // completion event left to drain them.
+    for (RunningJob& job : jobs) {
+      if (job.failed) drain_failed_job(&job);
+    }
+  };
+
+  auto handle_node_recover = [&](const Event& ev) {
+    if (ev.node < 0 || ev.node >= num_nodes) return;
+    NodeState& ns = node_states_[ev.node];
+    if (ns.alive || ns.recover_at != ev.time) return;  // Stale event.
+    ns.alive = true;
+    ns.recover_at = 0;
+    ++alive_nodes;
+    // The node rejoins with empty disks: full slot capacity, no resident
+    // map outputs (those were invalidated at crash time).
+    free_map[ev.node] = node_capacity(config_.map_slots, ev.node);
+    free_reduce[ev.node] = node_capacity(config_.reduce_slots, ev.node);
+    free_map_slots += free_map[ev.node];
+    free_reduce_slots += free_reduce[ev.node];
+    if (m_node_recoveries != nullptr) m_node_recoveries->Add();
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kEngine, "mr",
+                                     "node_recover")
+                         .ArgInt("node", ev.node)
+                         .ArgInt("alive_nodes", alive_nodes));
+    }
+  };
+
   auto handle_event = [&](const Event& ev) {
+    // Node events carry no job index; dispatch them before binding one.
+    if (ev.kind == EventKind::kNodeCrash) {
+      handle_node_crash(ev.node, ev.scripted);
+      return;
+    }
+    if (ev.kind == EventKind::kNodeRecover) {
+      handle_node_recover(ev);
+      return;
+    }
     RunningJob& job = jobs[ev.job_index];
     switch (ev.kind) {
       case EventKind::kJobReady:
+        if (!job.failed && job.phase == JobPhase::kStartingUp &&
+            cluster_doomed_for(job)) {
+          // Submitted against a permanently dead cluster (every crash
+          // already classified the jobs it doomed; this catches jobs
+          // submitted afterwards).
+          fail_doomed(&job);
+          break;
+        }
         if (!job.failed && job.phase == JobPhase::kStartingUp) {
           // Check the broadcast memory budget at task-launch time: the build
           // side is loaded by the first task wave, which is when Jaql's
@@ -1052,6 +1517,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         }
         break;
       case EventKind::kMapDone: {
+        auto flight = in_flight.find(ev.seq);
+        if (flight == in_flight.end()) break;  // Killed by a node crash.
+        const int node = flight->second.node;
+        in_flight.erase(flight);
+        ++free_map[node];
         ++free_map_slots;
         --job.active_map_tasks;
         if (job.failed) {
@@ -1060,11 +1530,14 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         }
         TaskRunState& st = job.map_states[ev.task_id];
         if (ev.speculative) {
+          st.backup_in_flight = false;
           if (!st.completed) {
             // The backup beat its primary; the primary's own completion
             // event will only give back its slot.
             st.completed = true;
+            st.node = node;
             --job.map_tasks_remaining;
+            ++job.result.map_tasks_run;
             ++job.result.speculative_wins;
             if (m_spec_wins != nullptr) m_spec_wins->Add();
             if (trace_ != nullptr) {
@@ -1075,6 +1548,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                                  .ArgBool("map", true));
             }
             job.completed_map_ms.push_back(ev.attempt_duration);
+            apply_durable_completion(&job, /*is_map=*/true, ev.task_id);
           }
         } else if (ev.attempt_failed) {
           st.primary_in_flight = false;
@@ -1088,9 +1562,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                                st.last_error.ToString().c_str())));
             break;
           }
-          SimMillis backoff =
-              config_.faults.retry_backoff_ms *
-              (SimMillis{1} << std::min(st.failures - 1, 16));
+          SimMillis backoff = retry_backoff(&job, st.failures);
           job.pending_map.push_back({ev.task_id, now_ + backoff});
           if (backoff > 0) {
             events.push(
@@ -1100,8 +1572,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           st.primary_in_flight = false;
           if (!st.completed) {
             st.completed = true;
+            st.node = node;
             --job.map_tasks_remaining;
+            ++job.result.map_tasks_run;
             job.completed_map_ms.push_back(ev.attempt_duration);
+            apply_durable_completion(&job, /*is_map=*/true, ev.task_id);
           }
           // else: the primary lost its race against a faster backup; it
           // only held a slot until now.
@@ -1115,15 +1590,30 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         break;
       }
       case EventKind::kShuffleDone:
-        if (!job.failed) {
+        // A stale epoch means a node crash invalidated map outputs while
+        // this shuffle was in flight; the job re-entered the map phase and
+        // will re-shuffle when the re-executed maps drain.
+        if (!job.failed && ev.shuffle_epoch == job.shuffle_epoch &&
+            job.phase == JobPhase::kShuffle) {
           job.phase = JobPhase::kReduce;
-          job.reduce_start = now_;
-          for (int r = 0; r < job.num_reduce_tasks; ++r) {
-            job.pending_reduce.push_back({r, 0});
+          if (!job.reduce_opened) {
+            job.reduce_opened = true;
+            job.reduce_start = now_;
+            for (int r = 0; r < job.num_reduce_tasks; ++r) {
+              job.pending_reduce.push_back({r, 0});
+            }
           }
+          // else: re-shuffle after invalidation — the reducers that were
+          // blocked on the fetch failure are already queued in
+          // pending_reduce (and freshly re-bucketed); just resume them.
         }
         break;
       case EventKind::kReduceDone: {
+        auto flight = in_flight.find(ev.seq);
+        if (flight == in_flight.end()) break;  // Killed by a node crash.
+        const int node = flight->second.node;
+        in_flight.erase(flight);
+        ++free_reduce[node];
         ++free_reduce_slots;
         --job.active_reduce_tasks;
         if (job.failed) {
@@ -1132,9 +1622,12 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         }
         TaskRunState& st = job.reduce_states[ev.task_id];
         if (ev.speculative) {
+          st.backup_in_flight = false;
           if (!st.completed) {
             st.completed = true;
+            st.node = node;
             --job.reduce_tasks_remaining;
+            ++job.result.reduce_tasks_run;
             ++job.result.speculative_wins;
             if (m_spec_wins != nullptr) m_spec_wins->Add();
             if (trace_ != nullptr) {
@@ -1145,6 +1638,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                                  .ArgBool("map", false));
             }
             job.completed_reduce_ms.push_back(ev.attempt_duration);
+            apply_durable_completion(&job, /*is_map=*/false, ev.task_id);
           }
         } else if (ev.attempt_failed) {
           st.primary_in_flight = false;
@@ -1157,9 +1651,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                          st.last_error.ToString().c_str())));
             break;
           }
-          SimMillis backoff =
-              config_.faults.retry_backoff_ms *
-              (SimMillis{1} << std::min(st.failures - 1, 16));
+          SimMillis backoff = retry_backoff(&job, st.failures);
           job.pending_reduce.push_back({ev.task_id, now_ + backoff});
           if (backoff > 0) {
             events.push(
@@ -1169,8 +1661,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           st.primary_in_flight = false;
           if (!st.completed) {
             st.completed = true;
+            st.node = node;
             --job.reduce_tasks_remaining;
+            ++job.result.reduce_tasks_run;
             job.completed_reduce_ms.push_back(ev.attempt_duration);
+            apply_durable_completion(&job, /*is_map=*/false, ev.task_id);
           }
         }
         if (job.pending_reduce.empty() && job.reduce_tasks_remaining == 0 &&
@@ -1185,6 +1680,9 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         // Nothing to do: the point was to trigger the scheduling pass that
         // follows event handling at this timestamp.
         break;
+      case EventKind::kNodeCrash:
+      case EventKind::kNodeRecover:
+        break;  // Dispatched before the switch; unreachable here.
     }
   };
 

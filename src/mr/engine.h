@@ -1,6 +1,7 @@
 #ifndef DYNO_MR_ENGINE_H_
 #define DYNO_MR_ENGINE_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -40,8 +41,24 @@ class TraceSink;
 /// task failures with retry/backoff, straggler slowdowns, and speculative
 /// execution — whose draws all happen on the scheduler thread at launch
 /// time, preserving the bit-identical guarantee (DESIGN.md §6.2).
+///
+/// The cluster's nodes are fault domains (DESIGN.md §6.4): slots are
+/// divided across ClusterConfig::num_nodes, completed map outputs of
+/// map-reduce jobs are resident on the node that produced them, and a node
+/// crash (FaultConfig::node_failure_rate or a scripted crash) kills the
+/// node's running attempts, invalidates its resident map outputs, and
+/// forces dependent reducers through a shuffle re-fetch after the lost
+/// maps re-execute on surviving nodes. Node liveness persists across
+/// submissions (like the clock); set_config() re-provisions all nodes.
 class MapReduceEngine {
  public:
+  /// Liveness of one simulated node. `recover_at` < 0 means the node is
+  /// down for good (FaultConfig::node_recovery_ms <= 0).
+  struct NodeState {
+    bool alive = true;
+    SimMillis recover_at = 0;
+  };
+
   MapReduceEngine(Dfs* dfs, ClusterConfig config);
   ~MapReduceEngine();
 
@@ -67,9 +84,15 @@ class MapReduceEngine {
   const ClusterConfig& config() const { return config_; }
 
   /// Replaces the cluster configuration (used by benches that sweep rates).
+  /// Re-provisions the node fleet: every node comes back alive.
   void set_config(const ClusterConfig& config) {
     config_ = ResolveFaultEnv(config);
+    node_states_.assign(std::max(1, config_.num_nodes), NodeState{});
+    scripted_crashes_consumed_ = 0;
   }
+
+  /// Per-node liveness (index < ClusterConfig::num_nodes).
+  const std::vector<NodeState>& node_states() const { return node_states_; }
 
   /// Attaches an observability sink/registry (non-owning, may be null).
   /// The engine records job/phase/attempt spans into the sink and bumps
@@ -92,6 +115,10 @@ class MapReduceEngine {
   ClusterConfig config_;
   Coordinator coordinator_;
   SimMillis now_ = 0;
+  /// Node liveness, persisted across submissions like the clock.
+  std::vector<NodeState> node_states_;
+  /// How many FaultConfig::scripted_node_crashes already fired.
+  size_t scripted_crashes_consumed_ = 0;
   /// Lazily created when execution_threads > 1; resized on config change.
   std::unique_ptr<WorkerPool> pool_;
   obs::TraceSink* trace_ = nullptr;

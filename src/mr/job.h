@@ -146,6 +146,12 @@ struct JobResult {
   int speculative_launches = 0;    ///< Backup attempts started.
   int speculative_wins = 0;        ///< Backups that beat their primary.
 
+  /// Node fault-domain accounting (all zero without node crashes).
+  int node_crashes_observed = 0;   ///< Crashes while this job was running.
+  int attempts_killed_by_node = 0; ///< In-flight attempts lost to a crash.
+  int maps_invalidated = 0;        ///< Completed map outputs lost + re-run.
+  int shuffle_fetch_retries = 0;   ///< Reducers re-queued behind a re-shuffle.
+
   SimMillis Elapsed() const { return finish_time_ms - submit_time_ms; }
 };
 

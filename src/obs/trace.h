@@ -15,7 +15,10 @@ namespace dyno::obs {
 /// Bumped whenever the serialized trace layout or the meaning of an event
 /// field changes. Goldens record the version in their header line;
 /// scripts/check_goldens.sh fails CI if the two drift apart.
-inline constexpr int kTraceSchemaVersion = 1;
+/// v2: mr "job" spans gained node-fault args (node_attempt_kills,
+/// maps_invalidated, shuffle_fetch_retries); new node_crash / node_recover /
+/// shuffle_fetch_retry engine events; new driver checkpoint/resume events.
+inline constexpr int kTraceSchemaVersion = 2;
 
 /// Logical lanes events are grouped under in the Chrome trace_event export
 /// (one "thread" row per lane). Values are stable serialization constants.

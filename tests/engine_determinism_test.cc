@@ -13,12 +13,14 @@
 #include <gtest/gtest.h>
 
 #include "common/string_util.h"
+#include "dyno/driver.h"
 #include "expr/expr.h"
 #include "mr/engine.h"
 #include "obs/trace.h"
 #include "pilot/pilot_runner.h"
 #include "stats/table_stats.h"
 #include "storage/catalog.h"
+#include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
 namespace dyno {
@@ -54,6 +56,9 @@ std::string FingerprintJob(const JobResult& job) {
   out += StrFormat(" inj=%d retry=%d spec=%d specwin=%d",
                    job.task_failures_injected, job.task_retries,
                    job.speculative_launches, job.speculative_wins);
+  out += StrFormat(" ncrash=%d nkill=%d ninv=%d nshuf=%d",
+                   job.node_crashes_observed, job.attempts_killed_by_node,
+                   job.maps_invalidated, job.shuffle_fetch_retries);
   if (job.output != nullptr) {
     uint64_t h = 14695981039346656037ull;
     for (const Split& split : job.output->splits()) {
@@ -78,6 +83,8 @@ struct FaultTotals {
   int failures_injected = 0;
   int retries = 0;
   int speculative_launches = 0;
+  int node_crashes = 0;
+  int maps_invalidated = 0;
 };
 
 /// Builds a fresh cluster, runs the whole workload, and digests every
@@ -183,6 +190,8 @@ std::string RunWorkload(int threads, const FaultConfig* faults = nullptr,
       totals->failures_injected += job.task_failures_injected;
       totals->retries += job.task_retries;
       totals->speculative_launches += job.speculative_launches;
+      totals->node_crashes += job.node_crashes_observed;
+      totals->maps_invalidated += job.maps_invalidated;
     }
   }
   fp += "observer=" + observer_stats->Serialize() + "\n";
@@ -270,6 +279,99 @@ TEST(EngineDeterminismTest, IdenticalResultsUnderFaultInjection) {
 
   // And a faulty run is genuinely different from a clean one.
   EXPECT_NE(one, RunWorkload(1));
+}
+
+TEST(EngineDeterminismTest, IdenticalResultsUnderNodeCrashes) {
+  // Node crashes kill in-flight attempts, invalidate resident map outputs
+  // and trigger shuffle re-fetches — all decided on the scheduler thread,
+  // so a crash-heavy run must also be bit-identical across thread counts.
+  FaultConfig faults;
+  faults.seed = 99;
+  faults.node_failure_rate = 0.2;
+  faults.node_recovery_ms = 200;  // nodes rejoin: slow, never doomed
+  faults.retry_backoff_ms = 100;
+
+  FaultTotals totals;
+  std::string one = RunWorkload(1, &faults, &totals);
+  std::string four = RunWorkload(4, &faults);
+  std::string eight = RunWorkload(8, &faults);
+  EXPECT_EQ(one, four) << "1-thread and 4-thread crashy runs diverged";
+  EXPECT_EQ(one, eight) << "1-thread and 8-thread crashy runs diverged";
+
+  EXPECT_GT(totals.node_crashes, 0) << "no node crash fired at this rate";
+  EXPECT_GT(totals.maps_invalidated, 0)
+      << "no crash ever caught a completed map output";
+  EXPECT_NE(one, RunWorkload(1));
+}
+
+/// A driver run killed mid-query and resumed from its checkpoint, digested
+/// down to what recovery promises to preserve: result rows and records,
+/// job accounting and the checkpointed (signature, stats) pairs. DFS paths
+/// and the trace are excluded on purpose — they embed process-global
+/// instance ids that legitimately differ between runs in one process.
+std::string RunResumeWorkload(int threads) {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  ClusterConfig config;
+  config.job_startup_ms = 2000;
+  config.map_slots = 20;
+  config.reduce_slots = 10;
+  config.memory_per_task_bytes = 64 * 1024;
+  config.execution_threads = threads;
+  config.faults.use_env_defaults = false;
+  MapReduceEngine engine(&dfs, config);
+  TpchConfig tpch;
+  tpch.scale = 0.0005;
+  tpch.split_bytes = 8 * 1024;
+  EXPECT_TRUE(GenerateTpch(&catalog, tpch).ok());
+
+  DynoOptions options;
+  options.pilot.k = 256;
+  options.pilot.mode = PilotRunOptions::Mode::kParallel;
+  options.cost.max_memory_bytes = config.memory_per_task_bytes;
+  options.cost.memory_factor = 1.5;
+  options.checkpoint_path = "/ckpt/resume_fp";
+
+  Query query = MakeTpchQ10();
+  {
+    StatsStore store;
+    DynoOptions kill = options;
+    kill.abort_after_jobs = 1;
+    DynoDriver driver(&engine, &catalog, &store, kill);
+    auto report = driver.Execute(query);
+    EXPECT_FALSE(report.ok());
+  }
+  StatsStore store;
+  DynoDriver driver(&engine, &catalog, &store, options);
+  auto report = driver.Resume(query);
+  EXPECT_TRUE(report.ok());
+  if (!report.ok()) return report.status().ToString();
+
+  uint64_t h = 14695981039346656037ull;
+  for (const Split& split : report->result->splits()) h = Fnv1a(h, split.data);
+  std::string fp = StrFormat(
+      "rows=%llx records=%llu jobs=%d resumed=%d temp=%lld\n",
+      (unsigned long long)h, (unsigned long long)report->result_records,
+      report->jobs_run, report->resumed_steps,
+      static_cast<long long>(driver.manifest().temp_counter));
+  for (const CheckpointEntry& entry : driver.manifest().entries) {
+    fp += entry.signature + " " + entry.relation_id + " [";
+    for (const std::string& alias : entry.covered) fp += alias + ",";
+    fp += StrFormat("] card=%.17g rec=%.17g\n", entry.stats.cardinality,
+                    entry.stats.avg_record_size);
+  }
+  return fp;
+}
+
+TEST(EngineDeterminismTest, ResumedQueryIsDeterministicAcrossThreadCounts) {
+  std::string one = RunResumeWorkload(1);
+  std::string four = RunResumeWorkload(4);
+  std::string eight = RunResumeWorkload(8);
+  EXPECT_EQ(one, four) << "1-thread and 4-thread resumed runs diverged";
+  EXPECT_EQ(one, eight) << "1-thread and 8-thread resumed runs diverged";
+  EXPECT_NE(one.find("resumed="), std::string::npos);
+  EXPECT_EQ(one.find("resumed=0"), std::string::npos)
+      << "the resume must actually reuse a checkpointed step:\n" << one;
 }
 
 }  // namespace

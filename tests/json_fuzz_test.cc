@@ -4,11 +4,14 @@
 // storage layer leans on for every split read.
 
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "dyno/checkpoint.h"
 #include "json/value.h"
 
 namespace dyno {
@@ -129,6 +132,136 @@ TEST_P(CodecFuzzTest, GarbageBytesNeverCrashDecoder) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+/// A random but valid CheckpointManifest (driver recovery state).
+CheckpointManifest RandomManifest(Rng* rng) {
+  CheckpointManifest manifest;
+  manifest.temp_counter = static_cast<int64_t>(rng->Uniform(1000));
+  uint64_t entries = rng->Uniform(4);
+  for (uint64_t e = 0; e < entries; ++e) {
+    CheckpointEntry entry;
+    entry.signature = StrFormat("join(sig%llu)", (unsigned long long)e);
+    entry.relation_id = StrFormat("t%llu", (unsigned long long)rng->Uniform(50));
+    entry.path = StrFormat("/tmp/dyno/e%llu_out", (unsigned long long)e);
+    uint64_t covers = 1 + rng->Uniform(4);
+    for (uint64_t c = 0; c < covers; ++c) {
+      entry.covered.push_back(StrFormat("a%llu", (unsigned long long)c));
+    }
+    entry.stats.cardinality = rng->NextDouble() * 1e9;
+    entry.stats.avg_record_size = 1.0 + rng->NextDouble() * 500;
+    entry.stats.from_sample = rng->Bernoulli(0.5);
+    uint64_t cols = rng->Uniform(4);
+    for (uint64_t c = 0; c < cols; ++c) {
+      ColumnStats cs;
+      cs.ndv = rng->NextDouble() * 1e6;
+      if (rng->Bernoulli(0.5)) cs.min_value = RandomValue(rng, 4);
+      if (rng->Bernoulli(0.5)) cs.max_value = RandomValue(rng, 4);
+      entry.stats.columns[StrFormat("c%llu", (unsigned long long)c)] = cs;
+    }
+    manifest.entries.push_back(entry);
+  }
+  return manifest;
+}
+
+class ManifestFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ManifestFuzzTest, RandomManifestsRoundTrip) {
+  Rng rng(GetParam() * 7919 + 3);
+  const int iters = FuzzIters(100);
+  for (int i = 0; i < iters; ++i) {
+    CheckpointManifest manifest = RandomManifest(&rng);
+    // Through the Value layer and the binary codec, as WriteTo/ReadFrom do.
+    std::string buf;
+    manifest.ToValue().EncodeTo(&buf);
+    size_t offset = 0;
+    auto decoded = Value::Decode(buf, &offset);
+    ASSERT_TRUE(decoded.ok());
+    auto loaded = CheckpointManifest::FromValue(*decoded);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->temp_counter, manifest.temp_counter);
+    ASSERT_EQ(loaded->entries.size(), manifest.entries.size());
+    for (size_t e = 0; e < manifest.entries.size(); ++e) {
+      const CheckpointEntry& want = manifest.entries[e];
+      const CheckpointEntry& got = loaded->entries[e];
+      EXPECT_EQ(got.signature, want.signature);
+      EXPECT_EQ(got.relation_id, want.relation_id);
+      EXPECT_EQ(got.path, want.path);
+      EXPECT_EQ(got.covered, want.covered);
+      EXPECT_EQ(got.stats.cardinality, want.stats.cardinality);
+      EXPECT_EQ(got.stats.from_sample, want.stats.from_sample);
+      ASSERT_EQ(got.stats.columns.size(), want.stats.columns.size());
+      for (const auto& [name, cs] : want.stats.columns) {
+        auto it = got.stats.columns.find(name);
+        ASSERT_NE(it, got.stats.columns.end()) << name;
+        EXPECT_EQ(it->second.ndv, cs.ndv);
+        ASSERT_EQ(it->second.min_value.has_value(), cs.min_value.has_value());
+        if (cs.min_value.has_value()) {
+          EXPECT_EQ(it->second.min_value->Compare(*cs.min_value), 0);
+        }
+        ASSERT_EQ(it->second.max_value.has_value(), cs.max_value.has_value());
+        if (cs.max_value.has_value()) {
+          EXPECT_EQ(it->second.max_value->Compare(*cs.max_value), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ManifestFuzzTest, CorruptedManifestsFailCleanlyNeverCrash) {
+  // A corrupted checkpoint must degrade to "re-run from scratch": FromValue
+  // returns an error (or, when the corruption leaves a structurally valid
+  // manifest, a manifest) — it never crashes the resuming driver.
+  Rng rng(GetParam() * 104729 + 17);
+  const int iters = FuzzIters(150);
+  for (int i = 0; i < iters; ++i) {
+    CheckpointManifest manifest = RandomManifest(&rng);
+    std::string buf;
+    manifest.ToValue().EncodeTo(&buf);
+    if (buf.empty()) continue;
+    std::string corrupted = buf;
+    switch (rng.Uniform(3)) {
+      case 0:
+        corrupted[rng.Uniform(corrupted.size())] =
+            static_cast<char>(rng.Uniform(256));
+        break;
+      case 1:
+        corrupted.resize(rng.Uniform(corrupted.size()));
+        break;
+      default: {
+        uint64_t flips = 1 + rng.Uniform(8);
+        for (uint64_t f = 0; f < flips; ++f) {
+          corrupted[rng.Uniform(corrupted.size())] ^=
+              static_cast<char>(1 + rng.Uniform(255));
+        }
+        break;
+      }
+    }
+    size_t offset = 0;
+    auto decoded = Value::Decode(corrupted, &offset);
+    if (!decoded.ok()) continue;  // codec rejected it first — fine
+    auto loaded = CheckpointManifest::FromValue(*decoded);
+    if (!loaded.ok()) {
+      EXPECT_NE(loaded.status().ToString().find("checkpoint manifest"),
+                std::string::npos)
+          << loaded.status().ToString();
+    }
+  }
+}
+
+TEST_P(ManifestFuzzTest, ArbitraryValuesNeverCrashFromValue) {
+  Rng rng(GetParam() * 31337 + 29);
+  const int iters = FuzzIters(200);
+  for (int i = 0; i < iters; ++i) {
+    Value v = RandomValue(&rng, 0);
+    auto loaded = CheckpointManifest::FromValue(v);
+    // Random values are essentially never valid manifests; either way the
+    // call must return, not crash.
+    (void)loaded;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManifestFuzzTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21));
 
 TEST(CodecFuzzTest, DeepNestingBoundedRecursionRoundTrips) {

@@ -285,5 +285,159 @@ TEST(MrFaultTest, FailedAttemptIsBilledForItsPartialScan) {
       << "read time must scale with the bytes the attempt consumed";
 }
 
+TEST(MrFaultTest, BackoffCapBoundsRetryDelays) {
+  // Attempt n of a task waits min(retry_backoff_ms * 2^(n-1),
+  // max_backoff_ms): without the cap the exponential dominates the job
+  // tail as soon as any task fails a few times.
+  auto run = [](SimMillis max_backoff) {
+    Dfs dfs;
+    ClusterConfig config = BaseConfig();
+    config.faults.seed = 11;
+    config.faults.task_failure_rate = 0.5;
+    config.faults.max_task_attempts = 12;
+    config.faults.retry_backoff_ms = 500;
+    config.faults.retry_jitter_fraction = 0.0;
+    config.faults.max_backoff_ms = max_backoff;
+    MapReduceEngine engine(&dfs, config);
+    auto input = MakeInput(&dfs, 400, "/in");
+    auto result = engine.Submit(CountByGroup(input, "/out"));
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+    return std::move(*result);
+  };
+
+  JobResult capped = run(600);
+  JobResult uncapped = run(0);  // <= 0 disables the cap
+  EXPECT_GT(capped.task_retries, 0);
+  EXPECT_LT(capped.Elapsed(), uncapped.Elapsed())
+      << "the cap must shorten the retry tail";
+  // Backoff shapes timing only; the work done is the same.
+  EXPECT_EQ(capped.counters.map_input_records, 400u);
+  EXPECT_EQ(uncapped.counters.map_input_records, 400u);
+  EXPECT_EQ(capped.counters.output_records, uncapped.counters.output_records);
+}
+
+TEST(MrFaultTest, RetryJitterIsDeterministicPerConfig) {
+  auto run = [](double jitter) {
+    Dfs dfs;
+    ClusterConfig config = BaseConfig();
+    config.faults.seed = 7;
+    config.faults.task_failure_rate = 0.5;
+    config.faults.max_task_attempts = 12;
+    config.faults.retry_backoff_ms = 200;
+    config.faults.retry_jitter_fraction = jitter;
+    MapReduceEngine engine(&dfs, config);
+    auto input = MakeInput(&dfs, 400, "/in");
+    auto result = engine.Submit(CountByGroup(input, "/out"));
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+    return std::move(*result);
+  };
+
+  // The jitter is drawn from the seeded fault stream, not the wall clock:
+  // the same config replays to the millisecond.
+  JobResult a = run(0.25);
+  JobResult b = run(0.25);
+  EXPECT_EQ(a.Elapsed(), b.Elapsed());
+  EXPECT_EQ(a.task_retries, b.task_retries);
+  EXPECT_EQ(a.task_failures_injected, b.task_failures_injected);
+
+  // And it is engaged: turning it off changes retry timing but nothing
+  // observable about the output.
+  JobResult c = run(0.0);
+  EXPECT_NE(a.Elapsed(), c.Elapsed());
+  EXPECT_EQ(a.counters.output_records, c.counters.output_records);
+  EXPECT_EQ(a.output->num_records(), c.output->num_records());
+}
+
+TEST(MrFaultTest, ReduceExhaustionDrainsWhileConcurrentJobCompletes) {
+  Dfs dfs;
+  ClusterConfig config = BaseConfig();
+  config.faults.seed = 13;
+  config.faults.straggler_rate = 0.1;  // model on, no injected failures
+  config.faults.max_task_attempts = 3;
+  config.faults.retry_backoff_ms = 50;
+  MapReduceEngine engine(&dfs, config);
+
+  auto doomed_input = MakeInput(&dfs, 120, "/in_doomed");
+  JobSpec doomed = CountByGroup(doomed_input, "/out_doomed");
+  doomed.reduce_fn = [](const Value& key, const std::vector<Value>&,
+                        ReduceContext*) -> Status {
+    if (key.int_value() == 3) return Status::Internal("poisoned group");
+    return Status::OK();
+  };
+  auto healthy_input = MakeInput(&dfs, 120, "/in_healthy");
+  JobSpec healthy = CountByGroup(healthy_input, "/out_healthy");
+
+  auto results = engine.SubmitAll({doomed, healthy});
+  ASSERT_TRUE(results.ok());
+  const JobResult& failed = (*results)[0];
+  EXPECT_FALSE(failed.status.ok());
+  EXPECT_NE(failed.status.ToString().find("3 attempts"), std::string::npos)
+      << failed.status.ToString();
+  // Every reduce attempt after the first was a retry, and the drain reports
+  // no data counters: a failed job contributes nothing, not partial work.
+  EXPECT_GE(failed.task_retries, config.faults.max_task_attempts - 1);
+  EXPECT_EQ(failed.counters.map_input_records, 0u);
+  EXPECT_EQ(failed.counters.output_records, 0u);
+  // Failed-job drain: no output handle, no file, no partial rows.
+  EXPECT_EQ(failed.output, nullptr);
+  EXPECT_FALSE(dfs.Open("/out_doomed").ok());
+
+  const JobResult& ok = (*results)[1];
+  ASSERT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_EQ(ok.counters.map_input_records, 120u);
+  EXPECT_EQ(ok.output->num_records(), 7u);
+}
+
+TEST(MrFaultTest, ReduceRetryAfterShuffleFailureIsTransparent) {
+  // A node crash while reducers run (or wait) invalidates the maps resident
+  // on it: reducers hit shuffle-fetch failures and are re-queued behind the
+  // re-executed maps. The retried reducers must not double-count anything.
+  ClusterConfig config = BaseConfig();
+  config.num_nodes = 2;
+  config.reduce_slots = 2;
+  config.faults.retry_backoff_ms = 50;
+  config.faults.node_recovery_ms = 400;
+
+  auto run = [&config](std::vector<FaultConfig::ScriptedNodeCrash> crashes) {
+    Dfs dfs;
+    ClusterConfig c = config;
+    c.faults.scripted_node_crashes = std::move(crashes);
+    MapReduceEngine engine(&dfs, c);
+    auto input = MakeInput(&dfs, 400, "/in");
+    JobSpec spec = CountByGroup(input, "/out");
+    spec.num_reduce_tasks = 4;  // more reducers than slots -> pending ones
+    auto result = engine.Submit(spec);
+    EXPECT_TRUE(result.ok());
+    return std::move(*result);
+  };
+
+  JobResult clean = run({});
+  ASSERT_TRUE(clean.status.ok());
+
+  bool hit_reduce_phase = false;
+  for (int pct : {98, 96, 94, 92, 90, 85, 80}) {
+    SimMillis window = clean.Elapsed() - config.job_startup_ms;
+    JobResult faulty =
+        run({{config.job_startup_ms + window * pct / 100, 1}});
+    ASSERT_TRUE(faulty.status.ok())
+        << "crash at " << pct << "%: " << faulty.status.ToString();
+    EXPECT_EQ(faulty.counters.map_input_records,
+              clean.counters.map_input_records);
+    EXPECT_EQ(faulty.counters.map_output_records,
+              clean.counters.map_output_records);
+    EXPECT_EQ(faulty.counters.output_records, clean.counters.output_records);
+    EXPECT_EQ(faulty.output->num_records(), clean.output->num_records());
+    if (faulty.shuffle_fetch_retries > 0) {
+      EXPECT_GT(faulty.maps_invalidated, 0);
+      hit_reduce_phase = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(hit_reduce_phase)
+      << "no crash placement caught reducers behind a re-shuffle";
+}
+
 }  // namespace
 }  // namespace dyno

@@ -114,11 +114,12 @@ TEST(TraceTest, JsonlHeaderAndEventLayout) {
       TraceEvent(150, -1, TraceLane::kDriver, "driver", "checkpoint"));
   EXPECT_EQ(sink.size(), 2u);
   EXPECT_EQ(sink.SerializeJsonl(),
-            "{\"schema\":1,\"clock\":\"sim_ms\"}\n"
-            "{\"seq\":0,\"ts\":100,\"dur\":40,\"lane\":2,\"cat\":\"pilot\","
-            "\"name\":\"pilot_leaf\",\"args\":{\"alias\":\"l\",\"k\":128}}\n"
-            "{\"seq\":1,\"ts\":150,\"lane\":0,\"cat\":\"driver\","
-            "\"name\":\"checkpoint\",\"args\":{}}\n");
+            "{\"schema\":" + std::to_string(kTraceSchemaVersion) +
+                ",\"clock\":\"sim_ms\"}\n"
+                "{\"seq\":0,\"ts\":100,\"dur\":40,\"lane\":2,\"cat\":\"pilot\","
+                "\"name\":\"pilot_leaf\",\"args\":{\"alias\":\"l\",\"k\":128}}\n"
+                "{\"seq\":1,\"ts\":150,\"lane\":0,\"cat\":\"driver\","
+                "\"name\":\"checkpoint\",\"args\":{}}\n");
   sink.Clear();
   EXPECT_EQ(sink.size(), 0u);
 }
