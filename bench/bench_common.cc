@@ -10,14 +10,15 @@ namespace dyno::bench {
 
 namespace {
 
-/// Worker threads for task execution: DYNO_EXECUTION_THREADS when set,
-/// otherwise every hardware thread. Simulated results are identical either
-/// way; only bench wall-clock changes.
+/// Worker threads for task execution: DYNO_EXECUTION_THREADS when set
+/// (malformed values are fatal, like every DYNO_* knob), otherwise every
+/// hardware thread. Simulated results are identical either way; only bench
+/// wall-clock changes.
 int ExecutionThreads() {
   const char* env = std::getenv("DYNO_EXECUTION_THREADS");
   if (env != nullptr) {
-    int parsed = std::atoi(env);
-    return parsed >= 1 ? parsed : 1;
+    return static_cast<int>(
+        EnvInt64OrDie("DYNO_EXECUTION_THREADS", env, 1, 4096));
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? static_cast<int>(hw) : 1;
@@ -66,8 +67,8 @@ std::unique_ptr<Scenario> MakeScenario(const std::string& sf_name,
   // resident map outputs are divided across); the paper's testbed is 15.
   scenario->cluster.num_nodes = 15;
   if (const char* env = std::getenv("DYNO_NODES")) {
-    int parsed = std::atoi(env);
-    if (parsed >= 1) scenario->cluster.num_nodes = parsed;
+    scenario->cluster.num_nodes =
+        static_cast<int>(EnvInt64OrDie("DYNO_NODES", env, 1, 1000000));
   }
   scenario->cluster.map_slots = 140;
   scenario->cluster.reduce_slots = 84;
@@ -86,21 +87,29 @@ std::unique_ptr<Scenario> MakeScenario(const std::string& sf_name,
   scenario->cluster.execution_threads = ExecutionThreads();
   // Failure-regime runs: DYNO_FAULT_SEED / DYNO_TASK_FAILURE_RATE /
   // DYNO_STRAGGLER_RATE / DYNO_MAX_TASK_ATTEMPTS / DYNO_NODE_FAILURE_RATE /
-  // DYNO_NODE_RECOVERY_MS switch deterministic fault injection on (e.g.
-  // Fig. 5 under a 5% task failure rate, or a node-loss regime). Off when
-  // the variables are unset.
+  // DYNO_NODE_RECOVERY_MS / DYNO_BLOCK_CORRUPTION_RATE /
+  // DYNO_SHUFFLE_CORRUPTION_RATE / DYNO_POISON_RECORD_RATE /
+  // DYNO_MAX_SKIPPED_RECORDS switch deterministic fault injection on (e.g.
+  // Fig. 5 under a 5% task failure rate, a node-loss regime, or a 2%
+  // corruption regime). Off when the variables are unset.
   scenario->cluster.faults.ApplyEnvOverrides();
   if (scenario->cluster.faults.enabled()) {
     std::fprintf(stderr,
                  "fault injection: seed=%llu failure_rate=%.3f "
                  "straggler_rate=%.3f max_attempts=%d "
-                 "node_failure_rate=%.4f nodes=%d\n",
+                 "node_failure_rate=%.4f nodes=%d "
+                 "block_corruption=%.3f shuffle_corruption=%.3f "
+                 "poison_rate=%.4f max_skipped=%d\n",
                  (unsigned long long)scenario->cluster.faults.seed,
                  scenario->cluster.faults.task_failure_rate,
                  scenario->cluster.faults.straggler_rate,
                  scenario->cluster.faults.max_task_attempts,
                  scenario->cluster.faults.node_failure_rate,
-                 scenario->cluster.num_nodes);
+                 scenario->cluster.num_nodes,
+                 scenario->cluster.faults.block_corruption_rate,
+                 scenario->cluster.faults.shuffle_corruption_rate,
+                 scenario->cluster.faults.poison_record_rate,
+                 scenario->cluster.faults.max_skipped_records);
   }
   scenario->engine =
       std::make_unique<MapReduceEngine>(&scenario->dfs, scenario->cluster);

@@ -39,6 +39,23 @@ for golden in "${goldens[@]}"; do
   fi
 done
 
+# The corruption golden exists so the data-integrity event types stay
+# pinned in a checked-in trace: if a refactor stops emitting any of them,
+# this catches it without a build.
+corruption_golden="$golden_dir/q10_corruption.jsonl"
+if [ ! -e "$corruption_golden" ]; then
+  echo "check_goldens: missing $corruption_golden" >&2
+  echo "  regenerate with: DYNO_UPDATE_GOLDEN=1 build/tests/trace_golden_test" >&2
+  status=1
+else
+  for event in block_corruption shuffle_checksum_retry record_quarantined; do
+    if ! grep -q "\"name\":\"$event\"" "$corruption_golden"; then
+      echo "check_goldens: $corruption_golden has no '$event' event" >&2
+      status=1
+    fi
+  done
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "check_goldens: ${#goldens[@]} golden(s) match trace schema v$schema"
 fi

@@ -4,13 +4,18 @@
 #   tier-1      every test, default build (catches functional regressions)
 #   tsan        engine/obs suites under ThreadSanitizer (catches data races
 #               in the multi-threaded task executor)
+#   asan-ubsan  engine/driver/integrity suites under Address+UBSanitizer
+#               (catches memory and undefined-behavior bugs)
 #   faults      engine/driver suites with 5% injected task failures
 #   node-faults engine/driver suites with 2% node crashes + job-level retry
-#   fuzz-smoke  codec + checkpoint-manifest fuzzing, small fixed budget
+#   corruption  engine/driver suites with 2% block + shuffle corruption
+#   fuzz-smoke  codec + checkpoint-manifest + DFS-bit-rot fuzzing, small
+#               fixed budget
 #   goldens     checked-in traces match the current trace schema
 #
 # Usage: scripts/ci.sh
-# Requires cmake >= 3.20 (presets). Builds into build/ and build-tsan/.
+# Requires cmake >= 3.20 (presets). Builds into build/, build-tsan/ and
+# build-asan/.
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,11 +31,15 @@ run cmake --preset default
 run cmake --build --preset default -j "$(nproc)"
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$(nproc)"
+run cmake --preset asan-ubsan
+run cmake --build --preset asan-ubsan -j "$(nproc)"
 
 run ctest --preset default
 run ctest --preset tsan
+run ctest --preset asan-ubsan
 run ctest --preset faults
 run ctest --preset node-faults
+run ctest --preset corruption
 run ctest --preset fuzz-smoke
 
 run scripts/check_goldens.sh

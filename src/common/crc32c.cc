@@ -1,0 +1,41 @@
+#include "common/crc32c.h"
+
+namespace dyno {
+
+namespace {
+
+/// 256-entry lookup table for the reflected Castagnoli polynomial,
+/// generated once at startup (cheaper to audit than 256 literals and
+/// identical on every platform).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    constexpr uint32_t kPolyReflected = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Crc32cTable& table = Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace dyno

@@ -28,6 +28,12 @@ enum class StatusCode {
   /// The operation was deliberately stopped before completing (e.g. the
   /// driver was killed mid-query). Resumable via checkpoints.
   kCancelled,
+  /// Stored or in-flight bytes failed checksum verification and no intact
+  /// copy remains (every block replica corrupt, every shuffle re-fetch
+  /// corrupt, or the bad-record quarantine budget exhausted). Retryable at
+  /// the task/job level — a re-run re-reads or regenerates the data — but
+  /// permanent when it survives the whole retry ladder.
+  kDataLoss,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -71,6 +77,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

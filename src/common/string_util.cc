@@ -1,6 +1,10 @@
 #include "common/string_util.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace dyno {
 
@@ -44,6 +48,76 @@ std::string StrJoin(const std::vector<std::string>& parts,
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+/// strtol/strtod want NUL-terminated input and skip leading whitespace; we
+/// want neither, so stage through a std::string and pre-reject whitespace.
+bool PrepareNumeric(std::string_view s, std::string* buf) {
+  if (s.empty()) return false;
+  if (std::isspace(static_cast<unsigned char>(s.front())) != 0) return false;
+  buf->assign(s.data(), s.size());
+  return true;
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  std::string buf;
+  if (!PrepareNumeric(s, &buf)) {
+    return Status::InvalidArgument(StrFormat("not an integer: \"%s\"",
+                                             std::string(s).c_str()));
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument(
+        StrFormat("not an integer: \"%s\"", buf.c_str()));
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  std::string buf;
+  if (!PrepareNumeric(s, &buf)) {
+    return Status::InvalidArgument(StrFormat("not a number: \"%s\"",
+                                             std::string(s).c_str()));
+  }
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    return Status::InvalidArgument(
+        StrFormat("not a number: \"%s\"", buf.c_str()));
+  }
+  return parsed;
+}
+
+int64_t EnvInt64OrDie(const char* name, const char* value, int64_t lo,
+                      int64_t hi) {
+  auto parsed = ParseInt64(value);
+  if (!parsed.ok() || *parsed < lo || *parsed > hi) {
+    std::fprintf(stderr,
+                 "dyno: fatal: %s=\"%s\" is not an integer in [%lld, %lld]\n",
+                 name, value, (long long)lo, (long long)hi);
+    std::abort();
+  }
+  return *parsed;
+}
+
+double EnvDoubleOrDie(const char* name, const char* value, double lo,
+                      double hi) {
+  auto parsed = ParseDouble(value);
+  if (!parsed.ok() || *parsed < lo || *parsed > hi) {
+    std::fprintf(stderr,
+                 "dyno: fatal: %s=\"%s\" is not a number in [%g, %g]\n",
+                 name, value, lo, hi);
+    std::abort();
+  }
+  return *parsed;
 }
 
 }  // namespace dyno

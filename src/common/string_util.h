@@ -2,9 +2,12 @@
 #define DYNO_COMMON_STRING_UTIL_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace dyno {
 
@@ -21,6 +24,21 @@ std::string StrJoin(const std::vector<std::string>& parts,
 
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Strict numeric parsing: the entire string must be exactly one number —
+/// no leading/trailing whitespace, no trailing junk, no empty input, and
+/// for doubles no inf/nan. Returns InvalidArgument otherwise.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses the value of environment knob `name` (already fetched, non-null)
+/// and range-checks it against [lo, hi]. A malformed or out-of-range value
+/// aborts with a fatal message: a mistyped `DYNO_*` knob silently falling
+/// back to a default would invalidate whole benchmark/fault campaigns.
+int64_t EnvInt64OrDie(const char* name, const char* value, int64_t lo,
+                      int64_t hi);
+double EnvDoubleOrDie(const char* name, const char* value, double lo,
+                      double hi);
 
 }  // namespace dyno
 

@@ -127,9 +127,17 @@ Value CheckpointManifest::ToValue() const {
     f.emplace_back("stats", StatsToValue(entry.stats));
     rows.push_back(Value::Struct(std::move(f)));
   }
+  ArrayElements leaves;
+  for (const auto& [alias, signature] : leaf_signatures) {
+    StructFields lf;
+    lf.emplace_back("alias", Value::String(alias));
+    lf.emplace_back("signature", Value::String(signature));
+    leaves.push_back(Value::Struct(std::move(lf)));
+  }
   StructFields f;
   f.emplace_back("version", Value::Int(kVersion));
   f.emplace_back("temp_counter", Value::Int(temp_counter));
+  f.emplace_back("leaf_signatures", Value::Array(std::move(leaves)));
   f.emplace_back("entries", Value::Array(std::move(rows)));
   return Value::Struct(std::move(f));
 }
@@ -150,6 +158,25 @@ Result<CheckpointManifest> CheckpointManifest::FromValue(const Value& value) {
       RequireField(value, "temp_counter", Value::Type::kInt));
   manifest.temp_counter = counter->int_value();
   if (manifest.temp_counter < 0) return Corrupt("negative temp_counter");
+  DYNO_ASSIGN_OR_RETURN(
+      const Value* leaves,
+      RequireField(value, "leaf_signatures", Value::Type::kArray));
+  for (const Value& leaf : leaves->array()) {
+    if (leaf.type() != Value::Type::kStruct) {
+      return Corrupt("leaf signature is not a struct");
+    }
+    DYNO_ASSIGN_OR_RETURN(const Value* alias,
+                          RequireField(leaf, "alias", Value::Type::kString));
+    DYNO_ASSIGN_OR_RETURN(
+        const Value* sig,
+        RequireField(leaf, "signature", Value::Type::kString));
+    if (alias->string_value().empty()) return Corrupt("empty leaf alias");
+    if (!manifest.leaf_signatures
+             .emplace(alias->string_value(), sig->string_value())
+             .second) {
+      return Corrupt("duplicate leaf alias '" + alias->string_value() + "'");
+    }
+  }
   DYNO_ASSIGN_OR_RETURN(const Value* entries,
                         RequireField(value, "entries", Value::Type::kArray));
   for (const Value& row : entries->array()) {
@@ -160,6 +187,19 @@ Result<CheckpointManifest> CheckpointManifest::FromValue(const Value& value) {
 }
 
 Status CheckpointManifest::WriteTo(Dfs* dfs, const std::string& path) const {
+  // Two-generation scheme: the old manifest becomes `<path>.prev` before
+  // the live one is replaced, so a driver death between the Delete and the
+  // WriteRows (a torn write) still leaves a recoverable generation.
+  if (auto old = dfs->Open(path); old.ok()) {
+    const std::string prev = path + kPrevSuffix;
+    dfs->Delete(prev);
+    if (auto copy = dfs->Create(prev); copy.ok()) {
+      for (const Split& split : (*old)->splits()) {
+        Split duplicate = split;
+        (*copy)->AppendSplit(std::move(duplicate));  // Re-stamps the CRC.
+      }
+    }
+  }
   // DFS files are immutable; checkpointing replaces the whole manifest.
   dfs->Delete(path);
   DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file,
@@ -171,9 +211,23 @@ Status CheckpointManifest::WriteTo(Dfs* dfs, const std::string& path) const {
 Result<CheckpointManifest> CheckpointManifest::ReadFrom(
     const Dfs& dfs, const std::string& path) {
   DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file, dfs.Open(path));
+  // ReadAllRows verifies every split's CRC32C, so a bit-flipped or torn
+  // manifest surfaces as DataLoss here rather than as parsed garbage.
   DYNO_ASSIGN_OR_RETURN(std::vector<Value> rows, ReadAllRows(*file));
   if (rows.size() != 1) return Corrupt("expected exactly one manifest row");
   return FromValue(rows[0]);
+}
+
+Result<CheckpointManifest> CheckpointManifest::ReadWithFallback(
+    const Dfs& dfs, const std::string& path, bool* used_fallback) {
+  if (used_fallback != nullptr) *used_fallback = false;
+  auto live = ReadFrom(dfs, path);
+  if (live.ok()) return live;
+  auto prev = ReadFrom(dfs, path + kPrevSuffix);
+  if (prev.ok() && used_fallback != nullptr) *used_fallback = true;
+  // When both generations are gone/corrupt, report the live manifest's
+  // error: it names the path the caller actually configured.
+  return prev.ok() ? std::move(prev) : std::move(live);
 }
 
 }  // namespace dyno

@@ -2,6 +2,7 @@
 #define DYNO_DYNO_CHECKPOINT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -33,12 +34,25 @@ struct CheckpointEntry {
 /// field fails FromValue, and Resume() treats that as "no checkpoint"
 /// (re-run from scratch) rather than trusting partial state.
 struct CheckpointManifest {
-  static constexpr int64_t kVersion = 1;
+  static constexpr int64_t kVersion = 2;
+
+  /// Suffix of the previous-generation manifest kept beside the live one:
+  /// WriteTo() moves the old manifest to `<path>.prev` before replacing it,
+  /// so a write torn by a driver death mid-rewrite still leaves one intact,
+  /// checksum-verified generation for ReadWithFallback().
+  static constexpr char kPrevSuffix[] = ".prev";
 
   /// Executor temp-id high-water mark at checkpoint time. Resume
   /// fast-forwards its executor past this so continuation relation ids
   /// (and therefore subtree signatures) match the uninterrupted run.
   int64_t temp_counter = 0;
+
+  /// Leaf signature (table + local filter) of every base alias of the query
+  /// the manifest was written for, sorted by alias. Resume() refuses (with
+  /// InvalidArgument) to substitute checkpoints into a query whose text no
+  /// longer matches these — silently reusing materializations of different
+  /// predicates would produce wrong answers.
+  std::map<std::string, std::string> leaf_signatures;
 
   std::vector<CheckpointEntry> entries;
 
@@ -46,13 +60,21 @@ struct CheckpointManifest {
   static Result<CheckpointManifest> FromValue(const Value& value);
 
   /// Persists the manifest as a single-row DFS file, replacing any
-  /// previous version at `path`.
+  /// previous version at `path` (after preserving it at `path + kPrevSuffix`).
   Status WriteTo(Dfs* dfs, const std::string& path) const;
 
   /// Loads and validates a manifest. Missing file, wrong version or any
-  /// corruption yields a non-OK status (never crashes).
+  /// corruption — including a block-checksum mismatch from a torn or
+  /// bit-flipped write — yields a non-OK status (never crashes).
   static Result<CheckpointManifest> ReadFrom(const Dfs& dfs,
                                              const std::string& path);
+
+  /// ReadFrom(path), falling back to the previous generation at
+  /// `path + kPrevSuffix` when the live manifest is missing or corrupt.
+  /// `used_fallback` (optional) reports which generation was returned.
+  static Result<CheckpointManifest> ReadWithFallback(const Dfs& dfs,
+                                                     const std::string& path,
+                                                     bool* used_fallback);
 };
 
 }  // namespace dyno

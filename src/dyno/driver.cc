@@ -108,6 +108,9 @@ void AddFaultCounters(const JobResult& job, QueryRunReport* report) {
   report->attempts_killed_by_node += job.attempts_killed_by_node;
   report->maps_invalidated += job.maps_invalidated;
   report->shuffle_fetch_retries += job.shuffle_fetch_retries;
+  report->block_corruptions += job.block_corruptions;
+  report->checksum_refetches += job.checksum_refetches;
+  report->records_quarantined += job.records_quarantined;
 }
 
 void AddFaultCounters(const JobResult& job, StaticRunResult* result) {
@@ -119,6 +122,9 @@ void AddFaultCounters(const JobResult& job, StaticRunResult* result) {
   result->attempts_killed_by_node += job.attempts_killed_by_node;
   result->maps_invalidated += job.maps_invalidated;
   result->shuffle_fetch_retries += job.shuffle_fetch_retries;
+  result->block_corruptions += job.block_corruptions;
+  result->checksum_refetches += job.checksum_refetches;
+  result->records_quarantined += job.records_quarantined;
 }
 
 /// How many permanent job failures one block tolerates (each triggers a
@@ -216,9 +222,10 @@ Result<QueryRunReport> DynoDriver::Execute(const Query& query) {
 Result<QueryRunReport> DynoDriver::Resume(const Query& query) {
   CheckpointManifest manifest;
   bool from_scratch = true;
+  bool used_fallback = false;
   if (!options_.checkpoint_path.empty()) {
-    auto loaded =
-        CheckpointManifest::ReadFrom(*engine_->dfs(), options_.checkpoint_path);
+    auto loaded = CheckpointManifest::ReadWithFallback(
+        *engine_->dfs(), options_.checkpoint_path, &used_fallback);
     if (loaded.ok()) {
       manifest = std::move(*loaded);
       from_scratch = manifest.entries.empty();
@@ -230,11 +237,24 @@ Result<QueryRunReport> DynoDriver::Resume(const Query& query) {
                       .ArgBool("from_scratch", from_scratch)
                       .ArgInt("checkpointed_steps",
                               static_cast<int64_t>(manifest.entries.size())));
+    if (used_fallback) {
+      trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                    obs::TraceLane::kDriver, "driver",
+                                    "manifest_fallback")
+                        .Arg("path", options_.checkpoint_path)
+                        .ArgInt("recovered_steps",
+                                static_cast<int64_t>(manifest.entries.size())));
+    }
   }
   if (obs::MetricsRegistry* metrics = engine_->metrics()) {
     metrics->GetCounter("driver.recovery_resumes")->Add();
+    if (used_fallback) {
+      metrics->GetCounter("driver.manifest_fallbacks")->Add();
+    }
   }
-  return ExecuteInternal(query, from_scratch ? nullptr : &manifest);
+  auto report = ExecuteInternal(query, from_scratch ? nullptr : &manifest);
+  if (report.ok() && used_fallback) ++report->manifest_fallbacks;
+  return report;
 }
 
 Result<QueryRunReport> DynoDriver::ExecuteInternal(
@@ -488,7 +508,49 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
   std::map<std::string, std::set<std::string>> base_cover;
   for (const LeafExpr& leaf : leaves) base_cover[leaf.alias] = {leaf.alias};
 
+  // Record the query's leaf signatures in the manifest, so a later Resume
+  // can prove the checkpoints were written for this exact query text.
+  if (!options_.checkpoint_path.empty()) {
+    for (const LeafExpr& leaf : leaves) {
+      manifest_.leaf_signatures.insert_or_assign(leaf.alias,
+                                                 LeafSignature(leaf));
+    }
+  }
+
   if (resume != nullptr) {
+    // Refuse to substitute checkpoints into a changed query: every base
+    // alias a manifest entry covers must still exist with the same leaf
+    // signature (table + local filter). Silently reusing a materialization
+    // of different predicates would return wrong rows, so a mismatch is an
+    // error, not a skip.
+    std::map<std::string, std::string> current_sigs;
+    for (const LeafExpr& leaf : leaves) {
+      current_sigs[leaf.alias] = LeafSignature(leaf);
+    }
+    for (const CheckpointEntry& entry : resume->entries) {
+      for (const std::string& alias : entry.covered) {
+        auto current = current_sigs.find(alias);
+        if (current == current_sigs.end()) {
+          return Status::InvalidArgument(StrFormat(
+              "checkpoint manifest covers leaf '%s', which the resumed "
+              "query does not have — the query text changed since the "
+              "checkpoint was written",
+              alias.c_str()));
+        }
+        auto recorded = resume->leaf_signatures.find(alias);
+        if (recorded == resume->leaf_signatures.end() ||
+            recorded->second != current->second) {
+          return Status::InvalidArgument(StrFormat(
+              "checkpoint manifest was written for a different definition "
+              "of leaf '%s' (recorded signature \"%s\", current \"%s\")",
+              alias.c_str(),
+              recorded == resume->leaf_signatures.end()
+                  ? "<missing>"
+                  : recorded->second.c_str(),
+              current->second.c_str()));
+        }
+      }
+    }
     int applied = 0;
     for (const CheckpointEntry& entry : resume->entries) {
       std::set<std::string> want(entry.covered.begin(), entry.covered.end());
@@ -590,6 +652,11 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     if (unit.map_only) ++report->map_only_jobs;
     report->stats_overhead_ms += step.job.observer_overhead_ms;
     AddFaultCounters(step.job, report);
+    if (step.job.records_quarantined > 0 && metrics != nullptr) {
+      metrics->GetCounter("driver.quarantine_records")
+          ->Add(static_cast<int64_t>(step.job.records_quarantined));
+      metrics->GetCounter("driver.quarantine_steps")->Add();
+    }
     store_->Put(step.subtree_signature, step.stats);
     // Fold the new relation's base-leaf cover and checkpoint the step.
     std::set<std::string> base;
@@ -693,6 +760,9 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     report->task_retries += run.task_retries;
     report->speculative_launches += run.speculative_launches;
     report->speculative_wins += run.speculative_wins;
+    report->block_corruptions += run.block_corruptions;
+    report->checksum_refetches += run.checksum_refetches;
+    report->records_quarantined += run.records_quarantined;
     return run.output;
   }
 

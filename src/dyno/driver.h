@@ -110,9 +110,18 @@ struct QueryRunReport {
   int attempts_killed_by_node = 0;
   int maps_invalidated = 0;
   int shuffle_fetch_retries = 0;
+  /// Data-integrity totals (see JobResult; DESIGN.md §6.5).
+  int block_corruptions = 0;
+  int checksum_refetches = 0;
+  /// Records excluded from every output and statistic by bad-record
+  /// quarantine — observed checkpoint stats count these as excluded.
+  uint64_t records_quarantined = 0;
   /// Driver-level recovery accounting.
   int job_retries = 0;    ///< Whole-job re-submissions after a failure.
   int resumed_steps = 0;  ///< Steps satisfied from a checkpoint manifest.
+  /// Resume() reads that had to fall back to the previous manifest
+  /// generation after a torn/corrupt live manifest.
+  int manifest_fallbacks = 0;
   std::vector<PlanEvent> plan_history;
   std::shared_ptr<DfsFile> result;
   uint64_t result_records = 0;
@@ -204,6 +213,10 @@ struct StaticRunResult {
   int attempts_killed_by_node = 0;
   int maps_invalidated = 0;
   int shuffle_fetch_retries = 0;
+  /// Data-integrity totals (see JobResult).
+  int block_corruptions = 0;
+  int checksum_refetches = 0;
+  uint64_t records_quarantined = 0;
 };
 
 /// Executes `plan` as-is on `executor` (whose bindings must cover every

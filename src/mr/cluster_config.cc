@@ -1,32 +1,50 @@
 #include "mr/cluster_config.h"
 
 #include <cstdlib>
+#include <limits>
+
+#include "common/string_util.h"
 
 namespace dyno {
 
+namespace {
+
+/// Env-knob readers: absent leaves the field untouched; present-but-
+/// malformed (or out of range) aborts via EnvDoubleOrDie/EnvInt64OrDie — a
+/// typo'd fault campaign must never silently run with default knobs.
+void EnvRate(const char* name, double* out) {
+  if (const char* env = std::getenv(name)) {
+    *out = EnvDoubleOrDie(name, env, 0.0, 1.0);
+  }
+}
+
+void EnvInt(const char* name, int64_t lo, int64_t hi, int* out) {
+  if (const char* env = std::getenv(name)) {
+    *out = static_cast<int>(EnvInt64OrDie(name, env, lo, hi));
+  }
+}
+
+}  // namespace
+
 void FaultConfig::ApplyEnvOverrides() {
   if (const char* env = std::getenv("DYNO_FAULT_SEED")) {
-    seed = std::strtoull(env, nullptr, 10);
+    seed = static_cast<uint64_t>(EnvInt64OrDie(
+        "DYNO_FAULT_SEED", env, 0, std::numeric_limits<int64_t>::max()));
   }
-  if (const char* env = std::getenv("DYNO_TASK_FAILURE_RATE")) {
-    double parsed = std::strtod(env, nullptr);
-    if (parsed >= 0.0 && parsed <= 1.0) task_failure_rate = parsed;
-  }
-  if (const char* env = std::getenv("DYNO_STRAGGLER_RATE")) {
-    double parsed = std::strtod(env, nullptr);
-    if (parsed >= 0.0 && parsed <= 1.0) straggler_rate = parsed;
-  }
-  if (const char* env = std::getenv("DYNO_MAX_TASK_ATTEMPTS")) {
-    int parsed = std::atoi(env);
-    if (parsed >= 1) max_task_attempts = parsed;
-  }
-  if (const char* env = std::getenv("DYNO_NODE_FAILURE_RATE")) {
-    double parsed = std::strtod(env, nullptr);
-    if (parsed >= 0.0 && parsed <= 1.0) node_failure_rate = parsed;
-  }
+  EnvRate("DYNO_TASK_FAILURE_RATE", &task_failure_rate);
+  EnvRate("DYNO_STRAGGLER_RATE", &straggler_rate);
+  EnvInt("DYNO_MAX_TASK_ATTEMPTS", 1, 1000, &max_task_attempts);
+  EnvRate("DYNO_NODE_FAILURE_RATE", &node_failure_rate);
   if (const char* env = std::getenv("DYNO_NODE_RECOVERY_MS")) {
-    node_recovery_ms = std::strtoll(env, nullptr, 10);
+    node_recovery_ms = EnvInt64OrDie(
+        "DYNO_NODE_RECOVERY_MS", env, std::numeric_limits<int64_t>::min(),
+        std::numeric_limits<int64_t>::max());
   }
+  EnvRate("DYNO_BLOCK_CORRUPTION_RATE", &block_corruption_rate);
+  EnvRate("DYNO_SHUFFLE_CORRUPTION_RATE", &shuffle_corruption_rate);
+  EnvRate("DYNO_POISON_RECORD_RATE", &poison_record_rate);
+  EnvInt("DYNO_MAX_SKIPPED_RECORDS", -1, std::numeric_limits<int>::max(),
+         &max_skipped_records);
 }
 
 }  // namespace dyno

@@ -2,6 +2,7 @@
 #define DYNO_MR_CLUSTER_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -72,12 +73,57 @@ struct FaultConfig {
   };
   std::vector<ScriptedNodeCrash> scripted_node_crashes;
 
+  /// --- Data-integrity faults (DESIGN.md §6.5). ---
+  /// Probability that one replica read of a map-input block comes back
+  /// corrupt (checksum mismatch). The attempt re-reads the next replica,
+  /// billing a full block read per bad copy; all `DfsFile::replicas()`
+  /// copies bad fails the attempt with DataLoss.
+  double block_corruption_rate = 0.0;
+
+  /// Probability that one shuffle fetch of a reduce attempt's bucket is
+  /// corrupt in flight. The attempt re-fetches up to
+  /// `max_shuffle_fetch_retries` more times; exhausting them is DataLoss.
+  double shuffle_corruption_rate = 0.0;
+
+  /// Probability that any given input record is a poison record: the map
+  /// function "throws" on it. Positions are drawn once per logical map task
+  /// (they are a property of the data, identical across attempts and
+  /// replicas). After two poison-record attempt failures the task re-runs
+  /// in skip mode, quarantining poison records instead of failing.
+  double poison_record_rate = 0.0;
+
+  /// Per-job budget of quarantined records; exceeding it fails the job with
+  /// a permanent DataLoss (mirrors Hadoop's skip-mode record budget).
+  /// < 0 means unlimited.
+  int max_skipped_records = 100;
+
+  /// Extra shuffle fetches allowed per reduce attempt after a checksum
+  /// mismatch before the attempt fails with DataLoss.
+  int max_shuffle_fetch_retries = 3;
+
+  /// Test/chaos hook: force corrupt replica reads / shuffle fetches onto an
+  /// exact (job, task, attempt) without consuming fault-stream draws.
+  /// `count` is the number of corrupt copies (block: replicas, capped at the
+  /// file's replica count; shuffle: fetches, capped at
+  /// max_shuffle_fetch_retries + 1).
+  struct ScriptedCorruption {
+    enum class Target { kBlock, kShuffle };
+    Target target = Target::kBlock;
+    std::string job;  ///< Exact JobSpec name.
+    int task_id = 0;
+    int attempt = 1;  ///< 1-based attempt index the corruption hits.
+    int count = 1;
+  };
+  std::vector<ScriptedCorruption> scripted_corruptions;
+
   /// When no injection is configured explicitly, the engine fills this
   /// struct from DYNO_FAULT_SEED / DYNO_TASK_FAILURE_RATE /
   /// DYNO_STRAGGLER_RATE / DYNO_MAX_TASK_ATTEMPTS / DYNO_NODE_FAILURE_RATE
-  /// / DYNO_NODE_RECOVERY_MS (see ApplyEnvOverrides), which is how the
-  /// bench and the `faults` / `node-faults` ctest presets switch the fault
-  /// path on without touching code.
+  /// / DYNO_NODE_RECOVERY_MS / DYNO_BLOCK_CORRUPTION_RATE /
+  /// DYNO_SHUFFLE_CORRUPTION_RATE / DYNO_POISON_RECORD_RATE /
+  /// DYNO_MAX_SKIPPED_RECORDS (see ApplyEnvOverrides), which is how the
+  /// bench and the `faults` / `node-faults` / `corruption` ctest presets
+  /// switch the fault path on without touching code.
   bool use_env_defaults = true;
 
   /// True when node crashes (random or scripted) are possible.
@@ -85,11 +131,19 @@ struct FaultConfig {
     return node_failure_rate > 0.0 || !scripted_node_crashes.empty();
   }
 
+  /// True when data-path corruption or poison records (random or scripted)
+  /// are possible.
+  bool data_faults() const {
+    return block_corruption_rate > 0.0 || shuffle_corruption_rate > 0.0 ||
+           poison_record_rate > 0.0 || !scripted_corruptions.empty();
+  }
+
   /// True when any fault injection is active. Retries of *real* task errors
   /// (failing map/reduce functions) are also gated on this, preserving the
   /// legacy fail-fast behavior when the model is off.
   bool enabled() const {
-    return task_failure_rate > 0.0 || straggler_rate > 0.0 || node_faults();
+    return task_failure_rate > 0.0 || straggler_rate > 0.0 || node_faults() ||
+           data_faults();
   }
 
   /// Overwrites fields from the DYNO_* environment variables above.

@@ -10,6 +10,7 @@
 #include <queue>
 #include <utility>
 
+#include "common/crc32c.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -60,6 +61,14 @@ struct TaskRunState {
   SimMillis base_duration = 0;    ///< Its duration before straggler factor.
   int node = -1;                  ///< Node hosting the completed output.
   Status last_error;              ///< Most recent attempt failure.
+
+  /// Poison-record state (map tasks only; survives node-crash resets — the
+  /// records are a property of the data, not of any attempt). Positions are
+  /// drawn once, at the task's first launch.
+  bool poison_drawn = false;
+  std::vector<uint64_t> poison;  ///< Sorted poison record indexes.
+  int poison_failures = 0;       ///< Attempts that died on a poison record.
+  bool skip_mode = false;        ///< Re-running with record skipping on.
 };
 
 /// One logical task's staged data: everything its successful attempt
@@ -74,6 +83,8 @@ struct TaskData {
   std::vector<std::pair<Value, Value>> emissions;  ///< Map of a reduce job.
   uint64_t emitted_bytes = 0;
   double observer_charge = 0.0;  ///< CPU units the observer replay costs.
+  Split quarantine;   ///< Poison records skipped by this (map) task.
+  std::vector<uint64_t> quarantine_indexes;  ///< Their record indexes.
 };
 
 /// Execution state for one concurrently running job.
@@ -124,6 +135,11 @@ struct RunningJob {
   double observer_cpu_units = 0.0;
   bool failed = false;
 
+  /// Running total of quarantined poison records across completed map
+  /// tasks (checked against the max_skipped_records budget; decremented
+  /// when a node crash invalidates a completed task).
+  uint64_t records_quarantined = 0;
+
   bool Finished() const { return phase == JobPhase::kDone; }
 };
 
@@ -146,6 +162,7 @@ struct Event {
   int job_index;
   int task_id = -1;               ///< Logical task (kMapDone/kReduceDone).
   bool attempt_failed = false;    ///< The attempt died (injected or real).
+  bool poison_failure = false;    ///< It died on a poison record.
   bool speculative = false;       ///< This is a backup attempt finishing.
   SimMillis attempt_duration = 0;
   int node = -1;           ///< kNodeCrash/kNodeRecover target.
@@ -173,6 +190,9 @@ struct TaskOutcome {
   uint64_t reduce_input_records = 0;
   uint64_t reduce_input_bytes = 0;
   double cpu_units = 0.0;  ///< Excludes observer charges (added at commit).
+  bool poison_failure = false;  ///< The attempt died on a poison record.
+  Split quarantine;  ///< Poison records skipped in skip mode.
+  std::vector<uint64_t> quarantine_indexes;
 };
 
 /// One launched task: the inputs decided by the scheduler plus the outcome
@@ -201,6 +221,20 @@ struct TaskLaunch {
   double slowdown = 1.0;
   bool crash_node = false;
   double crash_fraction = 0.0;
+  /// Data-integrity draws (also decided at launch on the scheduler thread).
+  /// A map attempt re-reads its input block once per corrupt replica; all
+  /// `replicas` copies corrupt is `block_data_loss` (no data flow runs). A
+  /// reduce attempt re-fetches its bucket once per corrupt fetch; more
+  /// corrupt fetches than max_shuffle_fetch_retries is `shuffle_data_loss`.
+  int replicas = 1;
+  int corrupt_replica_reads = 0;
+  bool block_data_loss = false;
+  int corrupt_fetches = 0;
+  bool shuffle_data_loss = false;
+  /// Poison-record plan for this map attempt (points into the logical
+  /// task's TaskRunState, stable for the wave's lifetime).
+  const std::vector<uint64_t>* poison = nullptr;
+  bool skip_mode = false;
   TaskOutcome outcome;
 };
 
@@ -273,9 +307,22 @@ SimMillis CeilDiv(double amount, double rate) {
 /// functions may still touch shared state of their own — e.g. Coordinator
 /// counters — which must be internally synchronized and commutative.)
 void ExecuteMapTask(const MapInput& input, const Split& split,
-                    int task_index, TaskOutcome* out) {
+                    int task_index, const std::vector<uint64_t>* poison,
+                    bool skip_mode, TaskOutcome* out) {
+  // Verified read: the block checksum is checked before any record is
+  // decoded (as HDFS does). At-rest corruption of the stored bytes
+  // surfaces here as DataLoss, never as silently wrong rows.
+  {
+    Status verify = VerifySplit(split);
+    if (!verify.ok()) {
+      out->status = verify;
+      return;
+    }
+  }
   TaskMapContext ctx(out, task_index);
   SplitReader reader(&split);
+  size_t poison_next = 0;
+  uint64_t record_index = 0;
   while (!reader.AtEnd()) {
     Result<Value> record = reader.Next();
     if (!record.ok()) {
@@ -287,6 +334,28 @@ void ExecuteMapTask(const MapInput& input, const Split& split,
     // time for the failed attempt).
     out->input_bytes = reader.offset();
     out->input_records += 1;
+    if (poison != nullptr && poison_next < poison->size() &&
+        (*poison)[poison_next] == record_index) {
+      ++poison_next;
+      if (!skip_mode) {
+        // The map function "throws" on this record, killing the attempt.
+        out->cpu_units += 1.0;
+        out->poison_failure = true;
+        out->status = Status::Internal(
+            StrFormat("map function threw on poison record %llu",
+                      (unsigned long long)record_index));
+        return;
+      }
+      // Skip mode: the record is read (and billed) but never reaches the
+      // map function; it goes to the quarantine instead of any output.
+      out->cpu_units += 1.0;
+      record->EncodeTo(&out->quarantine.data);
+      out->quarantine.num_records += 1;
+      out->quarantine_indexes.push_back(record_index);
+      ++record_index;
+      continue;
+    }
+    ++record_index;
     out->cpu_units += 1.0 + input.cpu_per_record;
     Status st = input.map_fn(*record, &ctx);
     if (!st.ok()) {
@@ -387,6 +456,10 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
   obs::Counter* m_node_kills = nullptr;
   obs::Counter* m_maps_invalidated = nullptr;
   obs::Counter* m_shuffle_retries = nullptr;
+  obs::Counter* m_block_corruptions = nullptr;
+  obs::Counter* m_checksum_refetches = nullptr;
+  obs::Counter* m_quarantined = nullptr;
+  obs::Counter* m_integrity_failures = nullptr;
   obs::Histogram* h_map_ms = nullptr;
   obs::Histogram* h_reduce_ms = nullptr;
   obs::Histogram* h_job_ms = nullptr;
@@ -403,6 +476,12 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     m_node_kills = metrics_->GetCounter("mr.node_attempt_kills");
     m_maps_invalidated = metrics_->GetCounter("mr.maps_invalidated");
     m_shuffle_retries = metrics_->GetCounter("mr.shuffle_fetch_retries");
+    m_block_corruptions = metrics_->GetCounter("mr.integrity_block_corruptions");
+    m_checksum_refetches =
+        metrics_->GetCounter("mr.integrity_shuffle_refetches");
+    m_quarantined = metrics_->GetCounter("mr.integrity_records_quarantined");
+    m_integrity_failures =
+        metrics_->GetCounter("mr.integrity_data_loss_failures");
     h_map_ms = metrics_->GetHistogram("mr.map_attempt_ms");
     h_reduce_ms = metrics_->GetHistogram("mr.reduce_attempt_ms");
     h_job_ms = metrics_->GetHistogram("mr.job_ms");
@@ -603,6 +682,12 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                                job->result.maps_invalidated)
                        .ArgInt("shuffle_fetch_retries",
                                job->result.shuffle_fetch_retries)
+                       .ArgInt("block_corruptions",
+                               job->result.block_corruptions)
+                       .ArgInt("checksum_refetches",
+                               job->result.checksum_refetches)
+                       .ArgInt("records_quarantined",
+                               (int64_t)job->result.records_quarantined)
                        .ArgInt("output_records",
                                (int64_t)job->result.counters.output_records));
   };
@@ -632,12 +717,16 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     // in — so job outputs stay byte-identical even when node crashes forced
     // out-of-order re-execution of some tasks.
     Counters& totals = job->result.counters;
+    std::vector<Split> quarantine_splits;
     for (TaskData& d : job->map_data) {
       if (!d.valid) continue;
       totals.MergeFrom(d.counters);
       if (!job->spec->reduce_fn && d.output.num_records > 0) {
         totals.output_bytes += d.output.num_bytes();
         job->output->AppendSplit(std::move(d.output));
+      }
+      if (d.quarantine.num_records > 0) {
+        quarantine_splits.push_back(std::move(d.quarantine));
       }
       d = TaskData{};
     }
@@ -650,6 +739,23 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
       }
       d = TaskData{};
     }
+    if (!quarantine_splits.empty()) {
+      // The per-job quarantine file: poison records in map-task order, a
+      // durable sibling of the job output (Hadoop's skip mode keeps them
+      // under "_logs/skip"). Replaces any leftover from a previous run of
+      // a re-submitted job. Assembled in task-id order, so its bytes are
+      // as deterministic as the output's.
+      std::string qpath = job->spec->output_path + ".quarantine";
+      dfs_->Delete(qpath).ok();
+      auto qfile = dfs_->Create(qpath);
+      if (qfile.ok()) {
+        for (Split& s : quarantine_splits) {
+          (*qfile)->AppendSplit(std::move(s));
+        }
+        job->result.quarantine_path = qpath;
+      }
+    }
+    job->result.records_quarantined = job->records_quarantined;
     job->phase = JobPhase::kDone;
     job->result.finish_time_ms = now_;
     job->result.observer_overhead_ms = static_cast<SimMillis>(
@@ -701,6 +807,73 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
       // crash time is computed at commit, once the duration is known.
       launch->crash_node = true;
       launch->crash_fraction = job->fault_rng->NextDouble();
+    }
+    // --- Data-integrity draws (consume stream draws only when the
+    // corruption knobs are on, so corruption-free runs keep the exact draw
+    // sequence of earlier engine versions). ---
+    if (launch->is_map) {
+      launch->replicas = std::max(
+          1,
+          job->spec->inputs[launch->map_ref.input_index].file->replicas());
+      if (f.block_corruption_rate > 0.0) {
+        // Sequential replica reads: each independently corrupt with the
+        // configured rate; stop at the first clean copy.
+        int bad = 0;
+        while (bad < launch->replicas &&
+               job->fault_rng->Bernoulli(f.block_corruption_rate)) {
+          ++bad;
+        }
+        launch->corrupt_replica_reads = bad;
+      }
+      if (f.poison_record_rate > 0.0) {
+        TaskRunState& mst = job->map_states[launch->task_id];
+        if (!mst.poison_drawn) {
+          mst.poison_drawn = true;
+          for (uint64_t r = 0; r < launch->split->num_records; ++r) {
+            if (job->fault_rng->Bernoulli(f.poison_record_rate)) {
+              mst.poison.push_back(r);
+            }
+          }
+        }
+      }
+    } else if (f.shuffle_corruption_rate > 0.0 &&
+               !job->partitions[launch->task_id].empty()) {
+      const int tries = 1 + std::max(0, f.max_shuffle_fetch_retries);
+      int bad = 0;
+      while (bad < tries &&
+             job->fault_rng->Bernoulli(f.shuffle_corruption_rate)) {
+        ++bad;
+      }
+      launch->corrupt_fetches = bad;
+    }
+    // Scripted corruption (exact placement for tests, no draws consumed).
+    if (!f.scripted_corruptions.empty()) {
+      const TaskRunState& st = launch->is_map
+                                   ? job->map_states[launch->task_id]
+                                   : job->reduce_states[launch->task_id];
+      for (const auto& sc : f.scripted_corruptions) {
+        const bool is_block =
+            sc.target == FaultConfig::ScriptedCorruption::Target::kBlock;
+        if (is_block != launch->is_map || sc.job != job->spec->name ||
+            sc.task_id != launch->task_id || sc.attempt != st.failures + 1) {
+          continue;
+        }
+        if (launch->is_map) {
+          launch->corrupt_replica_reads =
+              std::clamp(sc.count, 0, launch->replicas);
+        } else if (!job->partitions[launch->task_id].empty()) {
+          launch->corrupt_fetches = std::clamp(
+              sc.count, 0, 1 + std::max(0, f.max_shuffle_fetch_retries));
+        }
+      }
+    }
+    if (launch->is_map && launch->corrupt_replica_reads > 0 &&
+        launch->corrupt_replica_reads >= launch->replicas) {
+      launch->block_data_loss = true;
+    }
+    if (!launch->is_map &&
+        launch->corrupt_fetches > std::max(0, f.max_shuffle_fetch_retries)) {
+      launch->shuffle_data_loss = true;
     }
   };
 
@@ -817,8 +990,40 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
   // after committing never double-applies when the task re-runs.
   auto apply_durable_completion = [&](RunningJob* job, bool is_map,
                                       int task_id) {
-    if (is_map && job->spec->reduce_fn) return;  // Volatile until job end.
     TaskData& d = is_map ? job->map_data[task_id] : job->reduce_data[task_id];
+    // Quarantined records become durable with the completing task (even for
+    // map tasks of map-reduce jobs, whose *output* stays volatile until job
+    // end); a node crash that invalidates the task un-accounts them. They
+    // never reach the output or the observer — excluded, not emitted.
+    if (is_map && d.valid && d.quarantine.num_records > 0) {
+      job->records_quarantined += d.quarantine.num_records;
+      job->result.records_quarantined = job->records_quarantined;
+      if (m_quarantined != nullptr) {
+        m_quarantined->Add(static_cast<int64_t>(d.quarantine.num_records));
+      }
+      if (trace_ != nullptr) {
+        for (uint64_t idx : d.quarantine_indexes) {
+          trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kTasks,
+                                         "mr", "record_quarantined")
+                             .Arg("job", job->spec->name)
+                             .ArgInt("task", task_id)
+                             .ArgInt("record", static_cast<int64_t>(idx)));
+        }
+      }
+      const int budget = config_.faults.max_skipped_records;
+      if (budget >= 0 &&
+          job->records_quarantined > static_cast<uint64_t>(budget)) {
+        if (m_integrity_failures != nullptr) m_integrity_failures->Add();
+        fail_job(job,
+                 Status::DataLoss(StrFormat(
+                     "job %s quarantined %llu records, over the "
+                     "max_skipped_records budget of %d",
+                     job->spec->name.c_str(),
+                     (unsigned long long)job->records_quarantined, budget)));
+        return;
+      }
+    }
+    if (is_map && job->spec->reduce_fn) return;  // Volatile until job end.
     if (d.valid && job->spec->output_observer && d.output.num_records > 0) {
       SplitReader reader(&d.output);
       while (!reader.AtEnd()) {
@@ -879,7 +1084,8 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     RunningJob* job = t.job;
     TaskOutcome& o = t.outcome;
     bool already_failed = job->failed;
-    bool attempt_ok = !t.inject_failure && o.status.ok();
+    bool attempt_ok = !t.inject_failure && !t.block_data_loss &&
+                      !t.shuffle_data_loss && o.status.ok();
     TaskRunState& st =
         t.is_map ? job->map_states[t.task_id] : job->reduce_states[t.task_id];
     double cpu = o.cpu_units;
@@ -910,15 +1116,28 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
             1, static_cast<SimMillis>(
                    std::ceil(static_cast<double>(full) * t.fail_fraction)));
         ++job->result.task_failures_injected;
+      } else if (t.block_data_loss) {
+        // Every replica of the input block read back corrupt: the attempt
+        // billed one full block read per replica tried, verified each
+        // against its checksum, and has nothing left to fall back to.
+        duration = std::max<SimMillis>(
+            1, t.setup_ms +
+                   static_cast<SimMillis>(t.replicas) *
+                       CeilDiv(static_cast<double>(t.split->num_bytes()),
+                               config_.map_read_bytes_per_ms));
       } else {
         // An errored attempt scanned only `input_bytes` of its split and
-        // its partial spill is discarded, not written.
+        // its partial spill is discarded, not written. Corrupt-but-healed
+        // replica reads each bill one extra full block read.
         uint64_t written_bytes = 0;
         if (o.status.ok()) {
           written_bytes =
               job->spec->reduce_fn ? o.emitted_bytes : o.output.num_bytes();
         }
         duration = t.setup_ms +
+                   static_cast<SimMillis>(t.corrupt_replica_reads) *
+                       CeilDiv(static_cast<double>(t.split->num_bytes()),
+                               config_.map_read_bytes_per_ms) +
                    CeilDiv(static_cast<double>(o.input_bytes),
                            config_.map_read_bytes_per_ms) +
                    CeilDiv(cpu, config_.cpu_units_per_ms) +
@@ -937,6 +1156,8 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           d.emissions = std::move(o.emissions);
           d.output = std::move(o.output);
           d.observer_charge = obs_charge;
+          d.quarantine = std::move(o.quarantine);
+          d.quarantine_indexes = std::move(o.quarantine_indexes);
         }
       }
     } else {
@@ -957,9 +1178,25 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
             1, static_cast<SimMillis>(
                    std::ceil(static_cast<double>(full) * t.fail_fraction)));
         ++job->result.task_failures_injected;
+      } else if (t.shuffle_data_loss) {
+        // Every shuffle fetch of the bucket (the first plus each allowed
+        // re-fetch) came back corrupt; each transfer is billed. The bucket
+        // stayed in place for the retry.
+        const auto& bucket = job->partitions[t.task_id];
+        uint64_t bucket_bytes = 0;
+        for (const auto& [key, value] : bucket) {
+          bucket_bytes += key.EncodedSize() + value.EncodedSize();
+        }
+        duration = std::max<SimMillis>(
+            1, static_cast<SimMillis>(t.corrupt_fetches) *
+                   CeilDiv(static_cast<double>(bucket_bytes),
+                           config_.reduce_read_bytes_per_ms));
       } else {
         uint64_t written_bytes = o.status.ok() ? o.output.num_bytes() : 0;
-        duration = CeilDiv(static_cast<double>(o.reduce_input_bytes),
+        duration = static_cast<SimMillis>(t.corrupt_fetches) *
+                       CeilDiv(static_cast<double>(o.reduce_input_bytes),
+                               config_.reduce_read_bytes_per_ms) +
+                   CeilDiv(static_cast<double>(o.reduce_input_bytes),
                            config_.reduce_read_bytes_per_ms) +
                    CeilDiv(cpu, config_.cpu_units_per_ms) +
                    CeilDiv(static_cast<double>(written_bytes),
@@ -987,14 +1224,63 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     st.node = t.node;
     if (attempt_ok) {
       st.data_committed = true;
+    } else if (t.inject_failure) {
+      st.last_error = Status::Internal(StrFormat(
+          "injected failure: %s task %d of %s, attempt %d",
+          t.is_map ? "map" : "reduce", t.task_id, job->spec->name.c_str(),
+          st.failures + 1));
+    } else if (t.block_data_loss) {
+      st.last_error = Status::DataLoss(StrFormat(
+          "all %d replicas of the input block for map task %d of %s failed "
+          "checksum verification (attempt %d)",
+          t.replicas, t.task_id, job->spec->name.c_str(), st.failures + 1));
+    } else if (t.shuffle_data_loss) {
+      st.last_error = Status::DataLoss(StrFormat(
+          "shuffle fetch for reduce task %d of %s failed checksum "
+          "verification %d times, exhausting %d re-fetches (attempt %d)",
+          t.task_id, job->spec->name.c_str(), t.corrupt_fetches,
+          std::max(0, config_.faults.max_shuffle_fetch_retries),
+          st.failures + 1));
     } else {
-      st.last_error =
-          t.inject_failure
-              ? Status::Internal(StrFormat(
-                    "injected failure: %s task %d of %s, attempt %d",
-                    t.is_map ? "map" : "reduce", t.task_id,
-                    job->spec->name.c_str(), st.failures + 1))
-              : o.status;
+      st.last_error = o.status;
+    }
+    // Data-integrity accounting: corrupt replica reads and shuffle
+    // re-fetches are counted whether or not the attempt survived them.
+    if (t.corrupt_replica_reads > 0) {
+      job->result.block_corruptions += t.corrupt_replica_reads;
+      if (m_block_corruptions != nullptr) {
+        m_block_corruptions->Add(t.corrupt_replica_reads);
+      }
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kTasks, "mr",
+                                       "block_corruption")
+                           .Arg("job", job->spec->name)
+                           .ArgInt("task", t.task_id)
+                           .ArgInt("attempt", st.failures + 1)
+                           .ArgInt("bad_replicas", t.corrupt_replica_reads)
+                           .ArgBool("healed", !t.block_data_loss));
+      }
+    }
+    if (t.corrupt_fetches > 0) {
+      int refetches = std::min(
+          t.corrupt_fetches, std::max(0, config_.faults.max_shuffle_fetch_retries));
+      job->result.checksum_refetches += refetches;
+      job->result.shuffle_fetch_retries += refetches;
+      if (m_checksum_refetches != nullptr && refetches > 0) {
+        m_checksum_refetches->Add(refetches);
+      }
+      if (m_shuffle_retries != nullptr && refetches > 0) {
+        m_shuffle_retries->Add(refetches);
+      }
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kTasks, "mr",
+                                       "shuffle_checksum_retry")
+                           .Arg("job", job->spec->name)
+                           .ArgInt("task", t.task_id)
+                           .ArgInt("attempt", st.failures + 1)
+                           .ArgInt("refetches", refetches)
+                           .ArgBool("exhausted", t.shuffle_data_loss));
+      }
     }
     if (t.is_map) {
       if (m_map_attempts != nullptr) m_map_attempts->Add();
@@ -1032,6 +1318,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                job->job_index};
     done.task_id = t.task_id;
     done.attempt_failed = !attempt_ok;
+    done.poison_failure = o.poison_failure;
     done.attempt_duration = duration;
     in_flight[done.seq] = InFlightAttempt{job->job_index, t.is_map, t.task_id,
                                           /*speculative=*/false, t.node};
@@ -1170,6 +1457,14 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
             if (m_retries != nullptr) m_retries->Add();
           }
           draw_faults(&job, &launch);
+          {
+            // Poison positions are a property of the split's data: every
+            // attempt of this logical task sees the same plan. Skip mode is
+            // per-task state flipped after repeated poison failures.
+            const TaskRunState& mst = job.map_states[next.task_id];
+            if (!mst.poison.empty()) launch.poison = &mst.poison;
+            launch.skip_mode = mst.skip_mode;
+          }
           // free_map_slots > 0 guarantees some alive node has a free slot.
           launch.node = pick_node(/*is_map=*/true, /*exclude=*/-1);
           --free_map[launch.node];
@@ -1248,9 +1543,38 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
       // its side effects (Coordinator counters), which real retried tasks
       // do too, but would break the simulator's exactly-once accounting.
       if (t.inject_failure) return;
+      // Drawn corruption is exercised against the *real* checksum machinery:
+      // each corrupt copy is modeled by flipping one byte of a scratch copy
+      // of the payload and verifying the stored CRC rejects it. The shared
+      // split / bucket is never mutated, so healed re-reads decode the
+      // intact original bytes.
+      if (t.corrupt_replica_reads > 0 && t.is_map && t.split != nullptr &&
+          !t.split->data.empty()) {
+        Split corrupt = *t.split;
+        corrupt.data[0] ^= 0x01;
+        if (VerifySplit(corrupt).ok()) {
+          t.outcome.status = Status::Internal(
+              "checksum failed to detect a corrupted block replica");
+          return;
+        }
+      }
+      if (t.corrupt_fetches > 0 && !t.is_map && !t.bucket.empty()) {
+        std::string frame;
+        t.bucket.front().first.EncodeTo(&frame);
+        t.bucket.front().second.EncodeTo(&frame);
+        const uint32_t sent = Crc32c(frame);
+        frame[0] ^= 0x01;
+        if (Crc32c(frame) == sent) {
+          t.outcome.status = Status::Internal(
+              "checksum failed to detect a corrupted shuffle frame");
+          return;
+        }
+      }
+      // Data-loss attempts never get a clean copy: no data flow runs.
+      if (t.block_data_loss || t.shuffle_data_loss) return;
       if (t.is_map) {
         ExecuteMapTask(t.job->spec->inputs[t.map_ref.input_index], *t.split,
-                       t.task_index, &t.outcome);
+                       t.task_index, t.poison, t.skip_mode, &t.outcome);
       } else {
         ExecuteReduceTask(*t.job->spec, std::move(t.bucket), &t.outcome);
       }
@@ -1398,10 +1722,27 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         }
         TaskData& d = job.map_data[t];
         job.shuffled_bytes -= std::min(job.shuffled_bytes, d.emitted_bytes);
+        // Quarantined records accounted by the lost attempt are un-counted;
+        // the re-run re-quarantines (and re-accounts) the same positions.
+        uint64_t unquarantined = d.quarantine_indexes.size();
+        job.records_quarantined -=
+            std::min(job.records_quarantined, unquarantined);
+        job.result.records_quarantined = job.records_quarantined;
         d = TaskData{};
-        int failures = st.failures;  // Real failures outlive the kill.
+        // Real failures outlive the kill, and so does the poison plan: the
+        // positions are a property of the split's data, and skip mode is a
+        // decision already made for this logical task.
+        int failures = st.failures;
+        bool poison_drawn = st.poison_drawn;
+        std::vector<uint64_t> poison = std::move(st.poison);
+        int poison_failures = st.poison_failures;
+        bool skip_mode = st.skip_mode;
         st = TaskRunState{};
         st.failures = failures;
+        st.poison_drawn = poison_drawn;
+        st.poison = std::move(poison);
+        st.poison_failures = poison_failures;
+        st.skip_mode = skip_mode;
         ++job.map_tasks_remaining;
         job.pending_map.push_back({static_cast<int>(t), now_});
         ++invalidated;
@@ -1553,13 +1894,27 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
         } else if (ev.attempt_failed) {
           st.primary_in_flight = false;
           ++st.failures;
+          if (ev.poison_failure) {
+            // A map function "threw" on a poison record. After two such
+            // attempt deaths the task re-runs in skip mode, quarantining
+            // the poison records instead of failing (Hadoop skip mode).
+            ++st.poison_failures;
+            if (st.poison_failures >= 2) st.skip_mode = true;
+          }
           if (st.failures >= max_attempts) {
-            fail_job(&job, Status::Internal(StrFormat(
-                               "map task %d of %s failed %d attempts; last: "
-                               "%s",
-                               ev.task_id, job.spec->name.c_str(),
-                               st.failures,
-                               st.last_error.ToString().c_str())));
+            // A DataLoss last error keeps its code through the job failure:
+            // it is the signal that lets the driver's retry ladder classify
+            // the failure as data corruption, not engine logic.
+            std::string detail = StrFormat(
+                "map task %d of %s failed %d attempts; last: %s", ev.task_id,
+                job.spec->name.c_str(), st.failures,
+                st.last_error.ToString().c_str());
+            if (st.last_error.code() == StatusCode::kDataLoss) {
+              if (m_integrity_failures != nullptr) m_integrity_failures->Add();
+              fail_job(&job, Status::DataLoss(std::move(detail)));
+            } else {
+              fail_job(&job, Status::Internal(std::move(detail)));
+            }
             break;
           }
           SimMillis backoff = retry_backoff(&job, st.failures);
@@ -1581,10 +1936,12 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           // else: the primary lost its race against a faster backup; it
           // only held a slot until now.
         }
-        if (job.pending_map.empty() && job.map_tasks_remaining == 0 &&
-            job.phase == JobPhase::kMap) {
+        // fail_job can fire inside apply_durable_completion (quarantine
+        // budget); a failed job must not advance phases.
+        if (!job.failed && job.pending_map.empty() &&
+            job.map_tasks_remaining == 0 && job.phase == JobPhase::kMap) {
           on_map_phase_complete(&job);
-        } else {
+        } else if (!job.failed) {
           push_speculation_wakeup(&job, /*is_map=*/true);
         }
         break;
@@ -1644,11 +2001,16 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
           st.primary_in_flight = false;
           ++st.failures;
           if (st.failures >= max_attempts) {
-            fail_job(&job,
-                     Status::Internal(StrFormat(
-                         "reduce task %d of %s failed %d attempts; last: %s",
-                         ev.task_id, job.spec->name.c_str(), st.failures,
-                         st.last_error.ToString().c_str())));
+            std::string detail = StrFormat(
+                "reduce task %d of %s failed %d attempts; last: %s",
+                ev.task_id, job.spec->name.c_str(), st.failures,
+                st.last_error.ToString().c_str());
+            if (st.last_error.code() == StatusCode::kDataLoss) {
+              if (m_integrity_failures != nullptr) m_integrity_failures->Add();
+              fail_job(&job, Status::DataLoss(std::move(detail)));
+            } else {
+              fail_job(&job, Status::Internal(std::move(detail)));
+            }
             break;
           }
           SimMillis backoff = retry_backoff(&job, st.failures);

@@ -152,6 +152,14 @@ struct JobResult {
   int maps_invalidated = 0;        ///< Completed map outputs lost + re-run.
   int shuffle_fetch_retries = 0;   ///< Reducers re-queued behind a re-shuffle.
 
+  /// Data-integrity accounting (all zero without corruption/poison faults).
+  int block_corruptions = 0;       ///< Corrupt replica reads detected.
+  int checksum_refetches = 0;      ///< Shuffle fetches redone after mismatch.
+  uint64_t records_quarantined = 0;///< Poison records skipped + quarantined.
+  /// DFS path of the per-job quarantine file (empty when no record was
+  /// quarantined). Holds the poison records, in map-task order.
+  std::string quarantine_path;
+
   SimMillis Elapsed() const { return finish_time_ms - submit_time_ms; }
 };
 

@@ -18,7 +18,11 @@ namespace dyno::obs {
 /// v2: mr "job" spans gained node-fault args (node_attempt_kills,
 /// maps_invalidated, shuffle_fetch_retries); new node_crash / node_recover /
 /// shuffle_fetch_retry engine events; new driver checkpoint/resume events.
-inline constexpr int kTraceSchemaVersion = 2;
+/// v3: data-integrity layer — mr "job" spans gained block_corruptions /
+/// checksum_refetches / records_quarantined args; new block_corruption,
+/// shuffle_checksum_retry and record_quarantined task events; new driver
+/// manifest_fallback event.
+inline constexpr int kTraceSchemaVersion = 3;
 
 /// Logical lanes events are grouped under in the Chrome trace_event export
 /// (one "thread" row per lane). Values are stable serialization constants.

@@ -2,12 +2,42 @@
 
 #include <utility>
 
+#include "common/crc32c.h"
+#include "common/string_util.h"
+
 namespace dyno {
 
+Status VerifySplit(const Split& split) {
+  if (Crc32c(split.data) != split.crc32c) {
+    return Status::DataLoss(
+        StrFormat("split checksum mismatch (%llu bytes, stored crc %08x)",
+                  (unsigned long long)split.num_bytes(), split.crc32c));
+  }
+  return Status::OK();
+}
+
 void DfsFile::AppendSplit(Split split) {
+  split.crc32c = Crc32c(split.data);
   num_records_ += split.num_records;
   num_bytes_ += split.num_bytes();
   splits_.push_back(std::move(split));
+}
+
+Status DfsFile::CorruptByteForTesting(size_t split_index, size_t byte_offset,
+                                      uint8_t mask) {
+  if (split_index >= splits_.size()) {
+    return Status::InvalidArgument("corrupt: split index out of range");
+  }
+  Split& split = splits_[split_index];
+  if (byte_offset >= split.data.size()) {
+    return Status::InvalidArgument("corrupt: byte offset out of range");
+  }
+  if (mask == 0) {
+    return Status::InvalidArgument("corrupt: mask must flip at least one bit");
+  }
+  split.data[byte_offset] = static_cast<char>(
+      static_cast<uint8_t>(split.data[byte_offset]) ^ mask);
+  return Status::OK();
 }
 
 Result<std::shared_ptr<DfsFile>> Dfs::Create(const std::string& path) {
@@ -90,6 +120,7 @@ Result<std::vector<Value>> ReadAllRows(const DfsFile& file) {
   std::vector<Value> rows;
   rows.reserve(file.num_records());
   for (const Split& split : file.splits()) {
+    DYNO_RETURN_IF_ERROR(VerifySplit(split));
     SplitReader reader(&split);
     while (!reader.AtEnd()) {
       DYNO_ASSIGN_OR_RETURN(Value row, reader.Next());

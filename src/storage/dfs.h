@@ -17,20 +17,36 @@ namespace dyno {
 struct Split {
   std::string data;       ///< Concatenated Value encodings.
   uint64_t num_records = 0;
+  /// CRC32C of `data`, stamped by DfsFile::AppendSplit when the block is
+  /// committed (HDFS writes the block checksum alongside the block). Readers
+  /// verify via VerifySplit; a mismatch is DataLoss, never a wrong answer.
+  uint32_t crc32c = 0;
 
   uint64_t num_bytes() const { return data.size(); }
 };
+
+/// Verifies `split.data` against its stored checksum. Returns DataLoss on
+/// mismatch.
+Status VerifySplit(const Split& split);
 
 /// A file in the simulated DFS: an ordered list of splits. Files are
 /// immutable once sealed (MapReduce semantics — jobs write whole files).
 class DfsFile {
  public:
+  /// Replication factor a file is created with (the HDFS default). Each
+  /// replica is an independent chance to read a block back intact; the
+  /// engine re-reads the next replica on checksum mismatch.
+  static constexpr int kDefaultReplicas = 3;
+
   explicit DfsFile(std::string path) : path_(std::move(path)) {}
 
   const std::string& path() const { return path_; }
   const std::vector<Split>& splits() const { return splits_; }
   uint64_t num_records() const { return num_records_; }
   uint64_t num_bytes() const { return num_bytes_; }
+
+  int replicas() const { return replicas_; }
+  void set_replicas(int replicas) { replicas_ = replicas >= 1 ? replicas : 1; }
 
   /// Average encoded record size in bytes (0 for an empty file). This is
   /// the `rec_size_avg` statistic of the paper (§4.3).
@@ -42,13 +58,22 @@ class DfsFile {
   }
 
   /// Appends a raw split (used by writers and by job output committers).
+  /// The split's checksum is (re)stamped here: whatever bytes are committed
+  /// are the bytes the checksum covers.
   void AppendSplit(Split split);
+
+  /// Test/fault-injection hook: XORs `mask` into one stored byte WITHOUT
+  /// restamping the checksum, modelling at-rest bit rot. The next verified
+  /// read of the split must surface DataLoss. `mask` must be nonzero.
+  Status CorruptByteForTesting(size_t split_index, size_t byte_offset,
+                               uint8_t mask);
 
  private:
   std::string path_;
   std::vector<Split> splits_;
   uint64_t num_records_ = 0;
   uint64_t num_bytes_ = 0;
+  int replicas_ = kDefaultReplicas;
 };
 
 /// The simulated distributed filesystem: a flat namespace of immutable
@@ -124,7 +149,8 @@ class SplitReader {
 };
 
 /// Reads an entire file into a row vector (test/debug helper; real scans go
-/// through map tasks).
+/// through map tasks). Every split is checksum-verified first; a corrupt
+/// split surfaces as DataLoss.
 Result<std::vector<Value>> ReadAllRows(const DfsFile& file);
 
 /// Writes `rows` as a new file on `dfs`.

@@ -187,6 +187,51 @@ TEST(StringUtilTest, StartsWith) {
   EXPECT_FALSE(StartsWith("/tm", "/tmp/"));
 }
 
+TEST(StringUtilTest, ParseInt64IsStrict) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  // Whole-string parses only: junk, whitespace, floats and overflow are
+  // all InvalidArgument, never a silent partial parse.
+  for (const char* bad :
+       {"", " 5", "5 ", "5x", "x5", "1.5", "1e3", "0x10", "--1", "+ 1",
+        "99999999999999999999", "-99999999999999999999"}) {
+    auto parsed = ParseInt64(bad);
+    EXPECT_FALSE(parsed.ok()) << "\"" << bad << "\" parsed as " << *parsed;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(StringUtilTest, ParseDoubleIsStrict) {
+  EXPECT_EQ(*ParseDouble("0.5"), 0.5);
+  EXPECT_EQ(*ParseDouble("-2"), -2.0);
+  EXPECT_EQ(*ParseDouble("1e3"), 1000.0);
+  for (const char* bad :
+       {"", " 0.5", "0.5 ", "0.5x", "x", "inf", "-inf", "nan", "1e999",
+        "0..5"}) {
+    auto parsed = ParseDouble(bad);
+    EXPECT_FALSE(parsed.ok()) << "\"" << bad << "\" parsed as " << *parsed;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(StringUtilDeathTest, MalformedEnvKnobsAbortLoudly) {
+  // A mistyped DYNO_* knob must kill the process with a message naming the
+  // knob — silently falling back to a default would invalidate whole
+  // benchmark or fault campaigns (DESIGN.md §6.5).
+  EXPECT_EQ(EnvInt64OrDie("DYNO_TEST_KNOB", "7", 0, 10), 7);
+  EXPECT_EQ(EnvDoubleOrDie("DYNO_TEST_KNOB", "0.25", 0.0, 1.0), 0.25);
+  EXPECT_DEATH(EnvInt64OrDie("DYNO_TEST_KNOB", "7x", 0, 10),
+               "DYNO_TEST_KNOB");
+  EXPECT_DEATH(EnvInt64OrDie("DYNO_TEST_KNOB", "50", 0, 10),
+               "not an integer in");
+  EXPECT_DEATH(EnvDoubleOrDie("DYNO_TEST_KNOB", "abc", 0.0, 1.0),
+               "DYNO_TEST_KNOB");
+  EXPECT_DEATH(EnvDoubleOrDie("DYNO_TEST_KNOB", "2.5", 0.0, 1.0),
+               "not a number in");
+}
+
 TEST(SimTimeTest, Formatting) {
   EXPECT_EQ(FormatSimMillis(500), "500 ms");
   EXPECT_EQ(FormatSimMillis(12345), "12.345 s");

@@ -59,6 +59,10 @@ std::string FingerprintJob(const JobResult& job) {
   out += StrFormat(" ncrash=%d nkill=%d ninv=%d nshuf=%d",
                    job.node_crashes_observed, job.attempts_killed_by_node,
                    job.maps_invalidated, job.shuffle_fetch_retries);
+  out += StrFormat(" bcorr=%d refetch=%d quar=%llu qpath=%s",
+                   job.block_corruptions, job.checksum_refetches,
+                   (unsigned long long)job.records_quarantined,
+                   job.quarantine_path.c_str());
   if (job.output != nullptr) {
     uint64_t h = 14695981039346656037ull;
     for (const Split& split : job.output->splits()) {
@@ -85,6 +89,9 @@ struct FaultTotals {
   int speculative_launches = 0;
   int node_crashes = 0;
   int maps_invalidated = 0;
+  int block_corruptions = 0;
+  int checksum_refetches = 0;
+  uint64_t records_quarantined = 0;
 };
 
 /// Builds a fresh cluster, runs the whole workload, and digests every
@@ -167,6 +174,10 @@ std::string RunWorkload(int threads, const FaultConfig* faults = nullptr,
     };
     group.inputs = {std::move(input)};
   }
+  // Pin the reducer count: auto-sizing from emitted bytes would give this
+  // small shuffle a single reducer, leaving corruption-regime tests only
+  // one draw per attempt for the shuffle-checksum path.
+  group.num_reduce_tasks = 4;
   group.reduce_fn = [](const Value& key, const std::vector<Value>& values,
                        ReduceContext* ctx) -> Status {
     ctx->Output(MakeRow({{"g", key},
@@ -192,6 +203,9 @@ std::string RunWorkload(int threads, const FaultConfig* faults = nullptr,
       totals->speculative_launches += job.speculative_launches;
       totals->node_crashes += job.node_crashes_observed;
       totals->maps_invalidated += job.maps_invalidated;
+      totals->block_corruptions += job.block_corruptions;
+      totals->checksum_refetches += job.checksum_refetches;
+      totals->records_quarantined += job.records_quarantined;
     }
   }
   fp += "observer=" + observer_stats->Serialize() + "\n";
@@ -301,6 +315,34 @@ TEST(EngineDeterminismTest, IdenticalResultsUnderNodeCrashes) {
   EXPECT_GT(totals.node_crashes, 0) << "no node crash fired at this rate";
   EXPECT_GT(totals.maps_invalidated, 0)
       << "no crash ever caught a completed map output";
+  EXPECT_NE(one, RunWorkload(1));
+}
+
+TEST(EngineDeterminismTest, IdenticalResultsUnderDataCorruption) {
+  // Corruption draws (bad replica reads, corrupt shuffle fetches, poison
+  // record positions) are all made on the scheduler thread from the per-job
+  // fault stream, so a corruption-heavy run — skip-mode re-runs, quarantine
+  // files and integrity trace events included — must be bit-identical
+  // across thread counts.
+  FaultConfig faults;
+  faults.seed = 77;
+  faults.block_corruption_rate = 0.15;
+  faults.shuffle_corruption_rate = 0.5;
+  faults.poison_record_rate = 0.005;
+  faults.max_skipped_records = -1;
+  faults.retry_backoff_ms = 100;
+
+  FaultTotals totals;
+  std::string one = RunWorkload(1, &faults, &totals);
+  std::string four = RunWorkload(4, &faults);
+  std::string eight = RunWorkload(8, &faults);
+  EXPECT_EQ(one, four) << "1-thread and 4-thread corrupt runs diverged";
+  EXPECT_EQ(one, eight) << "1-thread and 8-thread corrupt runs diverged";
+
+  // The comparison only means something if each corruption path fired.
+  EXPECT_GT(totals.block_corruptions, 0);
+  EXPECT_GT(totals.checksum_refetches, 0);
+  EXPECT_GT(totals.records_quarantined, 0u);
   EXPECT_NE(one, RunWorkload(1));
 }
 

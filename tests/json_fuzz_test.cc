@@ -13,6 +13,8 @@
 #include "common/string_util.h"
 #include "dyno/checkpoint.h"
 #include "json/value.h"
+#include "mr/engine.h"
+#include "storage/dfs.h"
 
 namespace dyno {
 namespace {
@@ -134,10 +136,109 @@ TEST_P(CodecFuzzTest, GarbageBytesNeverCrashDecoder) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21));
 
+// ---------------------------------------------------------------------------
+// DFS blocks and quarantine files under bit rot: every corruption must
+// surface as DataLoss, never as a crash or a silently wrong answer.
+// ---------------------------------------------------------------------------
+
+class DfsRotFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DfsRotFuzzTest, BitFlippedBlocksAlwaysReadAsDataLoss) {
+  Rng rng(GetParam() * 6151 + 7);
+  const int iters = FuzzIters(60);
+  Dfs dfs;
+  std::vector<Value> rows;
+  for (int i = 0; i < 200; ++i) rows.push_back(RandomValue(&rng, 2));
+  auto file = WriteRows(&dfs, "/fuzz", rows, /*target_split_bytes=*/256);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(ReadAllRows(**file).ok());
+  for (int i = 0; i < iters; ++i) {
+    size_t split = rng.Uniform((*file)->splits().size());
+    size_t size = (*file)->splits()[split].data.size();
+    if (size == 0) continue;
+    size_t offset = rng.Uniform(size);
+    uint8_t mask = static_cast<uint8_t>(1 + rng.Uniform(255));
+    ASSERT_TRUE((*file)->CorruptByteForTesting(split, offset, mask).ok());
+    // Whatever byte rotted, the CRC catches it before any row is decoded.
+    auto read = ReadAllRows(**file);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kDataLoss)
+        << read.status().ToString();
+    EXPECT_FALSE(VerifySplit((*file)->splits()[split]).ok());
+    // XOR-ing the same mask back restores the block exactly.
+    ASSERT_TRUE((*file)->CorruptByteForTesting(split, offset, mask).ok());
+    ASSERT_TRUE(ReadAllRows(**file).ok());
+  }
+}
+
+TEST_P(DfsRotFuzzTest, BitFlippedQuarantineFilesAlwaysReadAsDataLoss) {
+  // Quarantine files are written by the engine's skip mode; they get the
+  // same CRC framing as every DFS file, so rot in the quarantined records
+  // themselves is detected, not re-ingested as garbage.
+  Rng rng(GetParam() * 13007 + 3);
+  Dfs dfs;
+  ClusterConfig config;
+  config.job_startup_ms = 500;
+  config.map_slots = 4;
+  config.reduce_slots = 2;
+  config.faults.use_env_defaults = false;
+  config.faults.seed = 5;
+  config.faults.poison_record_rate = 0.05;
+  config.faults.max_skipped_records = -1;
+  config.faults.retry_backoff_ms = 100;
+  MapReduceEngine engine(&dfs, config);
+  std::vector<Value> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back(Value::Struct({{"id", Value::Int(i)}}));
+  }
+  auto input = WriteRows(&dfs, "/in", rows, /*target_split_bytes=*/128);
+  ASSERT_TRUE(input.ok());
+  JobSpec spec;
+  spec.name = "scan";
+  spec.output_path = "/out";
+  MapInput mi;
+  mi.file = *input;
+  mi.map_fn = [](const Value& record, MapContext* ctx) -> Status {
+    ctx->Output(record);
+    return Status::OK();
+  };
+  spec.inputs = {std::move(mi)};
+  auto result = engine.Submit(spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  ASSERT_GT(result->records_quarantined, 0u);
+  auto qfile = dfs.Open(result->quarantine_path);
+  ASSERT_TRUE(qfile.ok());
+
+  const int iters = FuzzIters(60);
+  for (int i = 0; i < iters; ++i) {
+    size_t split = rng.Uniform((*qfile)->splits().size());
+    size_t size = (*qfile)->splits()[split].data.size();
+    if (size == 0) continue;
+    size_t offset = rng.Uniform(size);
+    uint8_t mask = static_cast<uint8_t>(1 + rng.Uniform(255));
+    ASSERT_TRUE((*qfile)->CorruptByteForTesting(split, offset, mask).ok());
+    auto read = ReadAllRows(**qfile);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kDataLoss)
+        << read.status().ToString();
+    ASSERT_TRUE((*qfile)->CorruptByteForTesting(split, offset, mask).ok());
+    ASSERT_TRUE(ReadAllRows(**qfile).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfsRotFuzzTest, ::testing::Values(1, 2, 3));
+
 /// A random but valid CheckpointManifest (driver recovery state).
 CheckpointManifest RandomManifest(Rng* rng) {
   CheckpointManifest manifest;
   manifest.temp_counter = static_cast<int64_t>(rng->Uniform(1000));
+  uint64_t leaves = rng->Uniform(4);
+  for (uint64_t l = 0; l < leaves; ++l) {
+    manifest.leaf_signatures.emplace(
+        StrFormat("a%llu", (unsigned long long)l),
+        StrFormat("table%llu|filter", (unsigned long long)rng->Uniform(8)));
+  }
   uint64_t entries = rng->Uniform(4);
   for (uint64_t e = 0; e < entries; ++e) {
     CheckpointEntry entry;
@@ -180,6 +281,7 @@ TEST_P(ManifestFuzzTest, RandomManifestsRoundTrip) {
     auto loaded = CheckpointManifest::FromValue(*decoded);
     ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
     EXPECT_EQ(loaded->temp_counter, manifest.temp_counter);
+    EXPECT_EQ(loaded->leaf_signatures, manifest.leaf_signatures);
     ASSERT_EQ(loaded->entries.size(), manifest.entries.size());
     for (size_t e = 0; e < manifest.entries.size(); ++e) {
       const CheckpointEntry& want = manifest.entries[e];

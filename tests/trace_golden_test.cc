@@ -117,7 +117,8 @@ struct TracedRun {
 /// model's broadcast probe constant (used to prove the harness catches
 /// cost-model drift).
 TracedRun RunCanonicalQuery(int threads, bool faults,
-                            double c_probe_scale = 1.0) {
+                            double c_probe_scale = 1.0,
+                            bool corruption = false) {
   TracedRun out;
   Dfs dfs;
   Catalog catalog(&dfs);
@@ -136,6 +137,17 @@ TracedRun RunCanonicalQuery(int threads, bool faults,
     config.faults.straggler_rate = 0.10;
     config.faults.straggler_slowdown = 4.0;
     config.faults.speculative_slowness_threshold = 1.5;
+    config.faults.retry_backoff_ms = 200;
+  }
+  if (corruption) {
+    // A corruption-heavy regime: plenty of healed replica re-reads and
+    // shuffle re-fetches, a sprinkle of quarantined poison records, but
+    // rates low enough that the query still succeeds (all replicas corrupt
+    // at 0.05^3 per read is vanishingly rare at this scale).
+    config.faults.seed = 42;
+    config.faults.block_corruption_rate = 0.05;
+    config.faults.shuffle_corruption_rate = 0.4;
+    config.faults.poison_record_rate = 0.001;
     config.faults.retry_backoff_ms = 200;
   }
   MapReduceEngine engine(&dfs, config);
@@ -158,6 +170,11 @@ TracedRun RunCanonicalQuery(int threads, bool faults,
   options.cost.max_memory_bytes = config.memory_per_task_bytes;
   options.cost.memory_factor = 1.5;
   options.cost.c_probe *= c_probe_scale;
+  // At this tiny scale every build side fits in memory, so Q10 plans as
+  // pure map-only broadcast chains — which would leave the corruption
+  // regime no shuffle to corrupt. Force repartition joins there so the
+  // golden pins the shuffle-checksum path too.
+  if (corruption) options.cost.enable_broadcast = false;
   DynoDriver driver(&engine, &catalog, &store, options);
   auto report = driver.Execute(MakeTpchQ10());
   EXPECT_TRUE(report.ok()) << report.status().ToString();
@@ -214,6 +231,33 @@ TEST(TraceGoldenTest, FaultyTraceBitIdenticalAcrossThreadsAndMatchesGolden) {
   CompareWithGolden("q10_faults.jsonl", one.trace_jsonl);
 }
 
+TEST(TraceGoldenTest,
+     CorruptionTraceBitIdenticalAcrossThreadsAndMatchesGolden) {
+  TracedRun one =
+      RunCanonicalQuery(1, /*faults=*/false, 1.0, /*corruption=*/true);
+  TracedRun four =
+      RunCanonicalQuery(4, /*faults=*/false, 1.0, /*corruption=*/true);
+  TracedRun eight =
+      RunCanonicalQuery(8, /*faults=*/false, 1.0, /*corruption=*/true);
+  EXPECT_TRUE(one.trace_jsonl == four.trace_jsonl)
+      << DescribeFirstDivergence(one.trace_jsonl, four.trace_jsonl);
+  EXPECT_TRUE(one.trace_jsonl == eight.trace_jsonl)
+      << DescribeFirstDivergence(one.trace_jsonl, eight.trace_jsonl);
+  EXPECT_EQ(one.metrics_text, four.metrics_text);
+  EXPECT_EQ(one.metrics_text, eight.metrics_text);
+  // The golden is only interesting if every integrity path genuinely fired
+  // (this also guarantees scripts/check_goldens.sh can grep the events).
+  EXPECT_GT(one.report.block_corruptions, 0);
+  EXPECT_GT(one.report.checksum_refetches, 0);
+  EXPECT_GT(one.report.records_quarantined, 0u);
+  for (const char* name :
+       {"\"name\":\"block_corruption\"", "\"name\":\"shuffle_checksum_retry\"",
+        "\"name\":\"record_quarantined\""}) {
+    EXPECT_NE(one.trace_jsonl.find(name), std::string::npos) << name;
+  }
+  CompareWithGolden("q10_corruption.jsonl", one.trace_jsonl);
+}
+
 TEST(TraceGoldenTest, TraceCoversTheWholeQueryLifecycle) {
   TracedRun run = RunCanonicalQuery(1, /*faults=*/false);
   for (const char* name :
@@ -255,7 +299,8 @@ TEST(TraceGoldenTest, GoldenHeadersCarryCurrentSchemaVersion) {
   if (std::getenv("DYNO_UPDATE_GOLDEN") != nullptr) GTEST_SKIP();
   std::string expected_header = StrFormat(
       "{\"schema\":%d,\"clock\":\"sim_ms\"}", obs::kTraceSchemaVersion);
-  for (const char* name : {"q10_clean.jsonl", "q10_faults.jsonl"}) {
+  for (const char* name :
+       {"q10_clean.jsonl", "q10_faults.jsonl", "q10_corruption.jsonl"}) {
     std::string contents;
     ASSERT_TRUE(ReadFileToString(GoldenPath(name), &contents)) << name;
     std::vector<std::string> lines = SplitLines(contents);
