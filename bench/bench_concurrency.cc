@@ -1,0 +1,164 @@
+// Concurrency sweep over the multi-query service (DESIGN.md §6.6): a fixed
+// batch of 8 TPC-H query sessions with a seeded arrival schedule is run
+// through the QueryService at increasing admission concurrency (1 → 8
+// sessions at once) on the paper's SF100 cluster. Reports per-query latency
+// (p50/p99 of arrival→finish) and cluster-slot utilization, and writes the
+// whole sweep to BENCH_concurrency.json (override the path with
+// DYNO_BENCH_CONCURRENCY_OUT). Expected shape: admitting more sessions
+// raises slot utilization and cuts p50 latency sharply — the cluster is
+// far wider than one query's parallelism — while p99 falls more slowly
+// (the last arrivals still queue behind everyone at low concurrency).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/query_service.h"
+
+using namespace dyno;
+using namespace dyno::bench;
+
+namespace {
+
+struct SweepPoint {
+  int concurrency = 0;
+  SimMillis p50_ms = 0;
+  SimMillis p99_ms = 0;
+  SimMillis makespan_ms = 0;
+  double utilization = 0.0;
+  int completed = 0;
+};
+
+SimMillis Percentile(std::vector<SimMillis> sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+SweepPoint RunAtConcurrency(int concurrency) {
+  auto scenario = MakeScenario("SF100");
+
+  StatsStore store;
+  QueryServiceOptions options;
+  options.max_concurrent = concurrency;
+  options.admission_queue_limit = 64;
+  options.seed = 2024;
+  options.arrival_window_ms = 60000;
+  options.ApplyEnvOverrides();
+  QueryService service(scenario->engine.get(), scenario->catalog.get(),
+                       &store, options);
+
+  const std::vector<std::pair<std::string, Query>> mix = {
+      {"Q10", MakeTpchQ10()}, {"Q2", MakeTpchQ2()},
+      {"Q8p", MakeTpchQ8Prime()}, {"Q9p", MakeTpchQ9Prime()},
+  };
+  const int kQueries = 8;
+  for (int i = 0; i < kQueries; ++i) {
+    QuerySubmission sub;
+    sub.query_id = mix[i % mix.size()].first + "-" + std::to_string(i);
+    sub.tenant = (i % 2 == 0) ? "alpha" : "beta";
+    sub.query = mix[i % mix.size()].second;
+    sub.options.cost = scenario->cost;
+    sub.options.pilot.k = 128;
+    sub.arrival_offset_ms = -1;  // seeded service RNG stream
+    Status status = service.Enqueue(std::move(sub));
+    if (!status.ok()) {
+      std::fprintf(stderr, "enqueue failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  const SimMillis start = scenario->engine->now();
+  std::vector<QueryOutcome> outcomes = service.RunAll();
+  const SimMillis elapsed = scenario->engine->now() - start;
+
+  SweepPoint point;
+  point.concurrency = concurrency;
+  std::vector<SimMillis> latencies;
+  SimMillis slot_ms = 0;
+  SimMillis last_finish = 0;
+  for (const QueryOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", outcome.query_id.c_str(),
+                   outcome.status.ToString().c_str());
+      continue;
+    }
+    ++point.completed;
+    latencies.push_back(outcome.Latency());
+    slot_ms += outcome.slot_ms;
+    last_finish = std::max(last_finish, outcome.finish_ms);
+  }
+  point.p50_ms = Percentile(latencies, 0.50);
+  point.p99_ms = Percentile(latencies, 0.99);
+  point.makespan_ms = last_finish - start;
+  const ClusterConfig& cluster = scenario->engine->config();
+  const double total_slots =
+      static_cast<double>(cluster.map_slots + cluster.reduce_slots);
+  if (elapsed > 0 && total_slots > 0) {
+    point.utilization =
+        static_cast<double>(slot_ms) / (static_cast<double>(elapsed) *
+                                        total_slots);
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Concurrency sweep: 8 TPC-H sessions, SF100",
+              {"p50 s", "p99 s", "makespan s", "util %", "done"});
+  std::vector<SweepPoint> sweep;
+  for (int concurrency : {1, 2, 4, 8}) {
+    SweepPoint point = RunAtConcurrency(concurrency);
+    sweep.push_back(point);
+    std::printf("N=%d  p50=%.1fs  p99=%.1fs  makespan=%.1fs  util=%.1f%%  "
+                "done=%d/8\n",
+                point.concurrency, point.p50_ms / 1000.0,
+                point.p99_ms / 1000.0, point.makespan_ms / 1000.0,
+                point.utilization * 100.0, point.completed);
+  }
+
+  const char* out_path = std::getenv("DYNO_BENCH_CONCURRENCY_OUT");
+  if (out_path == nullptr) out_path = "BENCH_concurrency.json";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\":\"concurrency\",\"queries\":8,"
+                  "\"cluster\":\"SF100\",\"sweep\":[\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& point = sweep[i];
+    std::fprintf(
+        f,
+        "  {\"concurrency\":%d,\"p50_latency_ms\":%lld,"
+        "\"p99_latency_ms\":%lld,\"makespan_ms\":%lld,"
+        "\"slot_utilization\":%.4f,\"completed\":%d}%s\n",
+        point.concurrency, (long long)point.p50_ms, (long long)point.p99_ms,
+        (long long)point.makespan_ms, point.utilization, point.completed,
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  // Sanity for CI: every query must complete at every concurrency, and
+  // added concurrency must not make the batch slower end to end.
+  for (const SweepPoint& point : sweep) {
+    if (point.completed != 8) {
+      std::fprintf(stderr, "FAIL: only %d/8 queries completed at N=%d\n",
+                   point.completed, point.concurrency);
+      return 1;
+    }
+  }
+  if (sweep.back().makespan_ms > sweep.front().makespan_ms) {
+    std::fprintf(stderr, "FAIL: makespan at N=8 exceeds N=1\n");
+    return 1;
+  }
+  return 0;
+}

@@ -9,6 +9,10 @@
 #   faults      engine/driver suites with 5% injected task failures
 #   node-faults engine/driver suites with 2% node crashes + job-level retry
 #   corruption  engine/driver suites with 2% block + shuffle corruption
+#   concurrency service/engine suites with the multi-query service knobs
+#               (DYNO_CONCURRENCY/DYNO_TENANT_SLOTS/DYNO_ADMISSION_QUEUE)
+#               driven through the environment, plus a bench_concurrency
+#               smoke run (8 concurrent TPC-H sessions, sweep 1 -> 8)
 #   fuzz-smoke  codec + checkpoint-manifest + DFS-bit-rot fuzzing, small
 #               fixed budget
 #   goldens     checked-in traces match the current trace schema
@@ -40,7 +44,14 @@ run ctest --preset asan-ubsan
 run ctest --preset faults
 run ctest --preset node-faults
 run ctest --preset corruption
+run ctest --preset concurrency
 run ctest --preset fuzz-smoke
+
+# bench_concurrency doubles as an integration smoke: it fails unless all 8
+# sessions complete at every concurrency level and the sweep's makespan
+# improves end to end.
+run env DYNO_BENCH_CONCURRENCY_OUT=build/BENCH_concurrency.json \
+  build/bench/bench_concurrency
 
 run scripts/check_goldens.sh
 

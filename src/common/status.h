@@ -28,6 +28,10 @@ enum class StatusCode {
   /// The operation was deliberately stopped before completing (e.g. the
   /// driver was killed mid-query). Resumable via checkpoints.
   kCancelled,
+  /// A capacity limit was hit (e.g. the query service's admission queue is
+  /// full). The caller should shed load or retry later; distinct from
+  /// kOutOfMemory, which is a per-task budget violation inside a job.
+  kResourceExhausted,
   /// Stored or in-flight bytes failed checksum verification and no intact
   /// copy remains (every block replica corrupt, every shuffle re-fetch
   /// corrupt, or the bad-record quarantine budget exhausted). Retryable at
@@ -77,6 +81,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));

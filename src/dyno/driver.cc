@@ -30,9 +30,11 @@ Result<JobResult> RunScanFilterJob(MapReduceEngine* engine,
                                    std::shared_ptr<DfsFile> file,
                                    const ExprPtr& filter,
                                    const std::vector<std::string>& projection,
-                                   const std::string& output_path) {
+                                   const std::string& output_path,
+                                   const std::string& query_id) {
   JobSpec spec;
   spec.name = "scan";
+  spec.query_id = query_id;
   spec.output_path = output_path;
   MapInput input;
   input.file = std::move(file);
@@ -269,22 +271,24 @@ Result<QueryRunReport> DynoDriver::ExecuteInternal(
   std::shared_ptr<DfsFile> current = std::move(joined);
   if (query.group_by.has_value()) {
     std::string path =
-        StrFormat("%s/gb_%lld", options_.exec.temp_prefix.c_str(),
+        StrFormat("%s/gb_%lld", options_.exec.ScopedTempPrefix().c_str(),
                   static_cast<long long>(engine_->now()));
     DYNO_ASSIGN_OR_RETURN(
         JobResult job,
-        RunGroupBy(engine_, current, *query.group_by, path));
+        RunGroupBy(engine_, current, *query.group_by, path,
+                   /*use_combiner=*/true, options_.exec.query_id));
     current = job.output;
     ++report.jobs_run;
     AddFaultCounters(job, &report);
   }
   if (query.order_by.has_value()) {
     std::string path =
-        StrFormat("%s/ob_%lld", options_.exec.temp_prefix.c_str(),
+        StrFormat("%s/ob_%lld", options_.exec.ScopedTempPrefix().c_str(),
                   static_cast<long long>(engine_->now()));
     DYNO_ASSIGN_OR_RETURN(
         JobResult job,
-        RunOrderBy(engine_, current, *query.order_by, path));
+        RunOrderBy(engine_, current, *query.order_by, path,
+                   options_.exec.query_id));
     current = job.output;
     ++report.jobs_run;
     AddFaultCounters(job, &report);
@@ -330,6 +334,26 @@ Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
     return deps;
   };
 
+  // Catalog names for block outputs. The catalog is shared by every driver
+  // on the engine, so a concurrent query defining an identically-named
+  // block must not collide: a query-scoped driver registers (and reads)
+  // block outputs under "@block:<query_id>/<name>" instead of the bare
+  // legacy "@block:<name>".
+  auto scoped_block_name = [&](const std::string& bare) {
+    return options_.exec.query_id.empty()
+               ? kBlockRefPrefix + bare
+               : kBlockRefPrefix + options_.exec.query_id + "/" + bare;
+  };
+  auto scope_block_refs = [&](const JoinBlock& jb) {
+    JoinBlock scoped = jb;
+    for (TableRef& ref : scoped.tables) {
+      if (!StartsWith(ref.table, kBlockRefPrefix)) continue;
+      ref.table =
+          scoped_block_name(ref.table.substr(sizeof(kBlockRefPrefix) - 1));
+    }
+    return scoped;
+  };
+
   // Execute in dependency order (Kahn-style over declaration order).
   std::set<std::string> done;
   std::vector<const MultiBlockQuery::Block*> pending;
@@ -352,23 +376,25 @@ Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
         continue;
       }
       const MultiBlockQuery::Block& block = **it;
+      JoinBlock scoped_join_block = scope_block_refs(block.join_block);
       DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> joined,
-                            RunJoinBlock(block.join_block, &report, nullptr));
+                            RunJoinBlock(scoped_join_block, &report, nullptr));
       std::shared_ptr<DfsFile> output = std::move(joined);
       if (block.group_by.has_value()) {
         std::string path =
-            StrFormat("%s/mb_gb_%lld", options_.exec.temp_prefix.c_str(),
+            StrFormat("%s/mb_gb_%lld", options_.exec.ScopedTempPrefix().c_str(),
                       static_cast<long long>(engine_->now()));
         DYNO_ASSIGN_OR_RETURN(
             JobResult job,
-            RunGroupBy(engine_, output, *block.group_by, path));
+            RunGroupBy(engine_, output, *block.group_by, path,
+                       /*use_combiner=*/true, options_.exec.query_id));
         output = job.output;
         ++report.jobs_run;
         AddFaultCounters(job, &report);
       }
       // Expose the block's output to downstream blocks through the catalog.
       DYNO_RETURN_IF_ERROR(catalog_->RegisterTable(
-          kBlockRefPrefix + block.name, output->path()));
+          scoped_block_name(block.name), output->path()));
       done.insert(block.name);
       last_output = std::move(output);
       it = pending.erase(it);
@@ -381,11 +407,12 @@ Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
 
   if (query.final_order_by.has_value()) {
     std::string path =
-        StrFormat("%s/mb_ob_%lld", options_.exec.temp_prefix.c_str(),
+        StrFormat("%s/mb_ob_%lld", options_.exec.ScopedTempPrefix().c_str(),
                   static_cast<long long>(engine_->now()));
     DYNO_ASSIGN_OR_RETURN(
         JobResult job,
-        RunOrderBy(engine_, last_output, *query.final_order_by, path));
+        RunOrderBy(engine_, last_output, *query.final_order_by, path,
+                   options_.exec.query_id));
     last_output = job.output;
     ++report.jobs_run;
     AddFaultCounters(job, &report);
@@ -435,7 +462,13 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
   // pilot is ablated away. ---
   BlockState state;
   if (options_.use_pilot_runs) {
-    PilotRunner pilot(engine_, catalog_, store_, options_.pilot);
+    // Pilot jobs inherit the query scope so identically-aliased leaves of
+    // concurrent queries keep independent engine fault streams.
+    PilotRunOptions pilot_options = options_.pilot;
+    if (pilot_options.query_id.empty()) {
+      pilot_options.query_id = options_.exec.query_id;
+    }
+    PilotRunner pilot(engine_, catalog_, store_, pilot_options);
     DYNO_ASSIGN_OR_RETURN(PilotRunReport pilot_report, pilot.Run(leaves));
     report->pilot_ms += pilot_report.elapsed_ms;
     for (const LeafExpr& leaf : leaves) {
@@ -473,12 +506,13 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     DYNO_ASSIGN_OR_RETURN(RelationBinding binding,
                           executor.GetBinding(leaves[0].alias));
     std::string path =
-        StrFormat("%s/scan_%lld", options_.exec.temp_prefix.c_str(),
+        StrFormat("%s/scan_%lld", options_.exec.ScopedTempPrefix().c_str(),
                   static_cast<long long>(engine_->now()));
     DYNO_ASSIGN_OR_RETURN(
         JobResult job,
         RunScanFilterJob(engine_, binding.file, binding.scan_filter,
-                         block.output_columns, path));
+                         block.output_columns, path,
+                         options_.exec.query_id));
     ++report->jobs_run;
     ++report->map_only_jobs;
     AddFaultCounters(job, report);

@@ -199,9 +199,11 @@ Result<JobResult> RunGroupBy(MapReduceEngine* engine,
                              std::shared_ptr<DfsFile> input,
                              const GroupBySpec& spec,
                              const std::string& output_path,
-                             bool use_combiner) {
+                             bool use_combiner,
+                             const std::string& query_id) {
   JobSpec job;
   job.name = "groupby";
+  job.query_id = query_id;
   job.output_path = output_path;
   MapInput map_input;
   map_input.file = std::move(input);
@@ -270,9 +272,11 @@ Result<JobResult> RunGroupBy(MapReduceEngine* engine,
 Result<JobResult> RunOrderBy(MapReduceEngine* engine,
                              std::shared_ptr<DfsFile> input,
                              const OrderBySpec& spec,
-                             const std::string& output_path) {
+                             const std::string& output_path,
+                             const std::string& query_id) {
   JobSpec job;
   job.name = "orderby";
+  job.query_id = query_id;
   job.output_path = output_path;
   job.num_reduce_tasks = 1;  // Global order needs a single reducer.
   MapInput map_input;

@@ -21,14 +21,16 @@ Result<JobResult> RunGroupBy(MapReduceEngine* engine,
                              std::shared_ptr<DfsFile> input,
                              const GroupBySpec& spec,
                              const std::string& output_path,
-                             bool use_combiner = true);
+                             bool use_combiner = true,
+                             const std::string& query_id = std::string());
 
 /// Runs ORDER BY (with optional LIMIT) over `input` as a single-reducer
 /// map-reduce job.
 Result<JobResult> RunOrderBy(MapReduceEngine* engine,
                              std::shared_ptr<DfsFile> input,
                              const OrderBySpec& spec,
-                             const std::string& output_path);
+                             const std::string& output_path,
+                             const std::string& query_id = std::string());
 
 }  // namespace dyno
 

@@ -182,7 +182,8 @@ Status PlanExecutor::MaterializeFilteredLeaf(const std::string& id) {
   JobSpec spec;
   ++temp_counter_;
   spec.name = StrFormat("filter:%s", id.c_str());
-  spec.output_path = options_.temp_prefix +
+  spec.query_id = options_.query_id;
+  spec.output_path = options_.ScopedTempPrefix() +
                      StrFormat("/e%d_f%d_%s", instance_id_, temp_counter_,
                                id.c_str());
   MapInput input;
@@ -236,7 +237,8 @@ Result<std::vector<StepResult>> PlanExecutor::Execute(
     p.output_id = StrFormat("t%d", temp_counter_);
     p.signature = root.ToString();
     p.spec.name = p.output_id;
-    p.spec.output_path = options_.temp_prefix +
+    p.spec.query_id = options_.query_id;
+    p.spec.output_path = options_.ScopedTempPrefix() +
                          StrFormat("/e%d_%s", instance_id_,
                                    p.output_id.c_str());
 

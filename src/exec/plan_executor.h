@@ -38,6 +38,19 @@ struct ExecOptions {
   int kmv_k = 1024;
   /// DFS directory for intermediate results.
   std::string temp_prefix = "/tmp/dyno";
+  /// Unique id of the query these jobs belong to. Empty (the default)
+  /// keeps single-query behavior: intermediates go directly under
+  /// temp_prefix and job specs are unscoped. When set, every intermediate
+  /// lands under ScopedTempPrefix() and every JobSpec carries the id, so
+  /// concurrent queries — even two with identical text — never collide on
+  /// DFS paths or share engine fault streams.
+  std::string query_id;
+
+  /// temp_prefix, extended with a per-query subdirectory when query_id is
+  /// set ("<temp_prefix>/q/<query_id>").
+  std::string ScopedTempPrefix() const {
+    return query_id.empty() ? temp_prefix : temp_prefix + "/q/" + query_id;
+  }
 };
 
 /// One input of a job unit: either a bound relation (leaf of the plan) or

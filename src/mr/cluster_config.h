@@ -113,6 +113,11 @@ struct FaultConfig {
     int task_id = 0;
     int attempt = 1;  ///< 1-based attempt index the corruption hits.
     int count = 1;
+    /// Exact JobSpec::query_id the corruption applies to. Empty matches any
+    /// query — the legacy behavior, which is ambiguous once two concurrent
+    /// queries run identically-named jobs; scope scripted corruptions by
+    /// query id in multi-query tests.
+    std::string query;
   };
   std::vector<ScriptedCorruption> scripted_corruptions;
 

@@ -437,6 +437,12 @@ Result<JobResult> MapReduceEngine::Submit(const JobSpec& spec) {
 
 Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     const std::vector<JobSpec>& specs) {
+  if (submit_gate_) return submit_gate_(specs);
+  return SubmitAllDirect(specs);
+}
+
+Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
+    const std::vector<JobSpec>& specs) {
   // Whether failed task attempts are retried (Hadoop semantics) instead of
   // failing the whole job at the first error (legacy fail-fast).
   const bool retries_enabled = config_.faults.enabled();
@@ -530,7 +536,15 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
       job.pending_map.push_back({static_cast<int>(t), 0});
     }
     if (retries_enabled) {
-      job.fault_rng.emplace(HashBytes(spec.name, Mix64(config_.faults.seed)));
+      // Per-job fault stream. Jobs are identified by name for legacy
+      // submissions; when a query id is present it salts the seed so two
+      // concurrent queries submitting identically-named jobs (e.g. "scan")
+      // draw independent faults instead of sharing one RNG stream.
+      uint64_t fault_seed = HashBytes(spec.name, Mix64(config_.faults.seed));
+      if (!spec.query_id.empty()) {
+        fault_seed = HashBytes(spec.query_id, fault_seed);
+      }
+      job.fault_rng.emplace(fault_seed);
     }
     auto output = dfs_->Create(spec.output_path);
     if (!output.ok()) return output.status();
@@ -539,11 +553,18 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
 
   if (trace_ != nullptr) {
     for (const RunningJob& job : jobs) {
-      trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kEngine, "mr",
-                                     "job_submit")
-                         .Arg("job", job.spec->name)
-                         .ArgInt("map_tasks", (int64_t)job.map_defs.size())
-                         .ArgBool("map_only", job.spec->reduce_fn == nullptr));
+      obs::TraceEvent ev =
+          obs::TraceEvent(now_, -1, obs::TraceLane::kEngine, "mr",
+                          "job_submit")
+              .Arg("job", job.spec->name)
+              .ArgInt("map_tasks", (int64_t)job.map_defs.size())
+              .ArgBool("map_only", job.spec->reduce_fn == nullptr);
+      // The query tag is appended last and only for query-scoped jobs, so
+      // legacy (empty query_id) traces keep their exact historical bytes.
+      if (!job.spec->query_id.empty()) {
+        ev = std::move(ev).Arg("query", job.spec->query_id);
+      }
+      trace_->Record(std::move(ev));
     }
   }
 
@@ -660,9 +681,14 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     SimMillis elapsed = now_ - job->result.submit_time_ms;
     if (h_job_ms != nullptr) h_job_ms->Observe(elapsed);
     if (m_jobs != nullptr) m_jobs->Add();
+    if (!job->spec->query_id.empty()) {
+      query_slot_ms_[job->spec->query_id] +=
+          job->result.map_slot_ms + job->result.reduce_slot_ms;
+    }
     if (trace_ == nullptr) return;
-    trace_->Record(obs::TraceEvent(job->result.submit_time_ms, elapsed,
-                                   obs::TraceLane::kEngine, "mr", "job")
+    obs::TraceEvent ev =
+        obs::TraceEvent(job->result.submit_time_ms, elapsed,
+                        obs::TraceLane::kEngine, "mr", "job")
                        .Arg("job", job->spec->name)
                        .ArgBool("ok", job->result.status.ok())
                        .ArgInt("map_tasks_run", job->result.map_tasks_run)
@@ -689,7 +715,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
                        .ArgInt("records_quarantined",
                                (int64_t)job->result.records_quarantined)
                        .ArgInt("output_records",
-                               (int64_t)job->result.counters.output_records));
+                               (int64_t)job->result.counters.output_records);
+    if (!job->spec->query_id.empty()) {
+      ev = std::move(ev).Arg("query", job->spec->query_id);
+    }
+    trace_->Record(std::move(ev));
   };
 
   auto drain_failed_job = [&](RunningJob* job) {
@@ -858,6 +888,9 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
             sc.task_id != launch->task_id || sc.attempt != st.failures + 1) {
           continue;
         }
+        // An unscoped script matches any query (single-driver legacy); a
+        // scoped one only hits the query it names.
+        if (!sc.query.empty() && sc.query != job->spec->query_id) continue;
         if (launch->is_map) {
           launch->corrupt_replica_reads =
               std::clamp(sc.count, 0, launch->replicas);
@@ -1285,9 +1318,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
     if (t.is_map) {
       if (m_map_attempts != nullptr) m_map_attempts->Add();
       if (h_map_ms != nullptr) h_map_ms->Observe(duration);
+      job->result.map_slot_ms += duration;
     } else {
       if (m_reduce_attempts != nullptr) m_reduce_attempts->Add();
       if (h_reduce_ms != nullptr) h_reduce_ms->Observe(duration);
+      job->result.reduce_slot_ms += duration;
     }
     if (t.inject_failure && m_injected != nullptr) m_injected->Add();
     if (trace_ != nullptr) {

@@ -2,7 +2,10 @@
 #define DYNO_MR_ENGINE_H_
 
 #include <algorithm>
+#include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -69,8 +72,27 @@ class MapReduceEngine {
 
   /// Runs several jobs concurrently, sharing cluster slots (the paper's
   /// PILR_MT and the MO/two-at-a-time execution strategies). Results are in
-  /// spec order.
+  /// spec order. When a submit gate is installed (see set_submit_gate) the
+  /// call is routed through it instead of executing directly.
   Result<std::vector<JobResult>> SubmitAll(const std::vector<JobSpec>& specs);
+
+  /// Executes a batch immediately, bypassing any installed submit gate.
+  /// This is the gate owner's path back into the engine: the QueryService
+  /// intercepts per-driver SubmitAll calls, merges the batches of every
+  /// waiting session into one combined wave, and runs that wave here so
+  /// jobs from different queries genuinely share cluster slots.
+  Result<std::vector<JobResult>> SubmitAllDirect(
+      const std::vector<JobSpec>& specs);
+
+  /// Scheduling hook for a multi-query service: when set, Submit/SubmitAll
+  /// hand the batch to the gate and return whatever it returns. The gate
+  /// runs on the submitting thread; it is expected to eventually execute
+  /// the jobs via SubmitAllDirect (possibly merged with other sessions'
+  /// batches) and hand each session its own results back, in spec order.
+  using SubmitGate =
+      std::function<Result<std::vector<JobResult>>(std::vector<JobSpec>)>;
+  void set_submit_gate(SubmitGate gate) { submit_gate_ = std::move(gate); }
+  bool has_submit_gate() const { return static_cast<bool>(submit_gate_); }
 
   /// Current simulated cluster time.
   SimMillis now() const { return now_; }
@@ -106,6 +128,16 @@ class MapReduceEngine {
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Per-query slot accounting: total committed attempt time (map + reduce
+  /// slot occupancy, SimMillis) keyed by JobSpec::query_id, accumulated
+  /// when jobs finish. Jobs with an empty query_id are not tracked. Read by
+  /// the QueryService's least-attained fair-share policy and by
+  /// bench_concurrency's utilization figure; updated only on the scheduler
+  /// thread.
+  const std::map<std::string, SimMillis>& query_slot_ms() const {
+    return query_slot_ms_;
+  }
+
  private:
   /// Fills config.faults from DYNO_* env vars when the caller did not
   /// configure injection explicitly (FaultConfig::use_env_defaults).
@@ -123,6 +155,9 @@ class MapReduceEngine {
   std::unique_ptr<WorkerPool> pool_;
   obs::TraceSink* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  SubmitGate submit_gate_;
+  /// Committed slot time per JobSpec::query_id (see query_slot_ms()).
+  std::map<std::string, SimMillis> query_slot_ms_;
 };
 
 }  // namespace dyno

@@ -85,6 +85,13 @@ struct MapInput {
 /// Full specification of one MapReduce job.
 struct JobSpec {
   std::string name;
+  /// Identifier of the query (driver session) this job belongs to. Empty
+  /// for standalone submissions — the engine then behaves exactly as it
+  /// always has. When set, the per-job fault stream is salted with it (two
+  /// queries submitting identically-named jobs draw independent faults),
+  /// job trace events carry a "query" tag, and committed slot time is
+  /// accounted to the query (MapReduceEngine::query_slot_ms).
+  std::string query_id;
   std::vector<MapInput> inputs;
 
   /// Absent for map-only jobs.
@@ -139,6 +146,13 @@ struct JobResult {
   int reduce_tasks_run = 0;
   /// Simulated time attributable to the output observer (stats collection).
   SimMillis observer_overhead_ms = 0;
+
+  /// Slot occupancy: summed simulated duration of every committed map /
+  /// reduce attempt (including failed, speculative and retried attempts —
+  /// they all held a slot). The service's fair-share scheduler and the
+  /// concurrency bench derive cluster utilization from these.
+  SimMillis map_slot_ms = 0;
+  SimMillis reduce_slot_ms = 0;
 
   /// Fault-model accounting (all zero when fault injection is off).
   int task_failures_injected = 0;  ///< Attempts killed by injection.

@@ -111,8 +111,8 @@ std::string TraceSink::SerializeChromeTrace() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   static const char* kLaneNames[] = {"driver", "optimizer", "pilot", "engine",
-                                     "tasks"};
-  for (size_t lane = 0; lane < 5; ++lane) {
+                                     "tasks",  "service"};
+  for (size_t lane = 0; lane < 6; ++lane) {
     out += StrFormat(
         "{\"ph\":\"M\",\"pid\":0,\"tid\":%zu,\"name\":\"thread_name\","
         "\"args\":{\"name\":\"%s\"}},\n",

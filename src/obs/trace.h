@@ -32,6 +32,11 @@ enum class TraceLane : int {
   kPilot = 2,
   kEngine = 3,
   kTasks = 4,
+  /// Multi-query service scheduling decisions (admission, waves,
+  /// cancellation). A new lane value extends the schema without changing
+  /// the layout of existing events, so goldens recorded before it stay
+  /// byte-stable.
+  kService = 5,
 };
 
 /// One typed span (or instant, when dur_ms < 0) event, stamped exclusively

@@ -62,9 +62,11 @@ PilotJob MakePilotJob(const LeafExpr& leaf, std::shared_ptr<DfsFile> file,
                       std::vector<int> split_indexes, int kmv_k,
                       Coordinator* coordinator,
                       const std::string& counter_key, int k_target,
-                      const std::string& output_path) {
+                      const std::string& output_path,
+                      const std::string& query_id) {
   PilotJob job;
   job.spec.name = "pilr:" + leaf.alias;
+  job.spec.query_id = query_id;
   job.spec.output_path = output_path;
   job.per_task = std::make_shared<PerTaskStats>();
 
@@ -196,7 +198,7 @@ Result<PilotRunReport> PilotRunner::RunSerial(
     PilotJob pilot =
         MakePilotJob(leaf, file, /*split_indexes=*/{}, options_.kmv_k,
                      engine_->coordinator(), counter_key, options_.k,
-                     output_path);
+                     output_path, options_.query_id);
     DYNO_ASSIGN_OR_RETURN(JobResult job, engine_->Submit(pilot.spec));
     if (!job.status.ok()) return job.status;
     DYNO_ASSIGN_OR_RETURN(
@@ -339,7 +341,7 @@ Result<PilotRunReport> PilotRunner::RunParallel(
       PilotJob pilot = MakePilotJob(
           *state.leaf, state.table_file, std::move(split_indexes),
           options_.kmv_k, engine_->coordinator(), state.counter_key,
-          options_.k, output_path);
+          options_.k, output_path, options_.query_id);
       // Follow-up batches extend the already-running sampling job with
       // fresh splits (situation-aware mappers, [38]) — no startup latency.
       pilot.spec.reuse_warm_containers = batch > 0;

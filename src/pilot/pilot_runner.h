@@ -36,6 +36,11 @@ struct PilotRunOptions {
   bool reuse_stats = true;
   /// Seed for random split selection.
   uint64_t seed = 42;
+  /// Query scope stamped onto every pilot JobSpec (JobSpec::query_id).
+  /// Empty keeps legacy single-query behavior. Pilot job names are
+  /// "pilr:<alias>", so without the scope two concurrent queries piloting
+  /// the same alias would share one engine fault stream.
+  std::string query_id;
 };
 
 /// What one pilot run produced for one leaf expression.

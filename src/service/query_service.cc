@@ -1,0 +1,541 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dyno {
+
+void QueryServiceOptions::ApplyEnvOverrides() {
+  if (const char* env = std::getenv("DYNO_CONCURRENCY")) {
+    max_concurrent =
+        static_cast<int>(EnvInt64OrDie("DYNO_CONCURRENCY", env, 1, 1 << 20));
+  }
+  if (const char* env = std::getenv("DYNO_TENANT_SLOTS")) {
+    tenant_slots =
+        static_cast<int>(EnvInt64OrDie("DYNO_TENANT_SLOTS", env, 0, 1 << 20));
+  }
+  if (const char* env = std::getenv("DYNO_ADMISSION_QUEUE")) {
+    admission_queue_limit = static_cast<int>(
+        EnvInt64OrDie("DYNO_ADMISSION_QUEUE", env, 0, 1 << 20));
+  }
+}
+
+/// All mutable state is guarded by QueryService::mu_; the baton protocol
+/// guarantees at most one thread (scheduler or one session) touches it at a
+/// time, and every handoff is a condvar edge (happens-before), so the
+/// whole service is data-race-free by construction.
+struct QueryService::Session {
+  enum class State {
+    kQueued,         ///< Not yet admitted; no thread exists.
+    kRunning,        ///< Holds the baton (driver code executing).
+    kWaitingSubmit,  ///< Parked in the submit gate with pending_specs set.
+    kDone,           ///< Driver returned (or the session never started).
+  };
+
+  QuerySubmission sub;
+  /// Driver options after query scoping (exec.query_id, checkpoint path).
+  DynoOptions scoped_options;
+  int enqueue_seq = 0;
+  SimMillis arrival_offset = 0;  ///< Relative to RunAll start.
+  SimMillis arrival_ms = 0;      ///< Absolute, fixed at RunAll start.
+  int admit_seq = -1;
+  SimMillis admit_ms = -1;
+  SimMillis finish_ms = -1;
+
+  State state = State::kQueued;
+  bool started = false;        ///< Thread launched.
+  bool start_granted = false;  ///< First baton handoff.
+  bool cancelled = false;
+  std::optional<SimMillis> cancel_at;
+  bool reaped = false;  ///< Outcome collected, thread joined.
+
+  /// Set by the gate while kWaitingSubmit; consumed by the scheduler.
+  std::vector<JobSpec> pending_specs;
+  /// Set by the scheduler to resume a parked session: its slice of the
+  /// wave results, or an error (e.g. Cancelled).
+  std::optional<Result<std::vector<JobResult>>> grant;
+  /// Posted by SessionMain when the driver returns.
+  std::optional<Result<QueryRunReport>> driver_result;
+
+  std::thread thread;
+};
+
+QueryService::QueryService(MapReduceEngine* engine, Catalog* catalog,
+                           StatsStore* store, QueryServiceOptions options)
+    : engine_(engine),
+      catalog_(catalog),
+      store_(store),
+      options_(options),
+      rng_(Mix64(options.seed)) {}
+
+QueryService::~QueryService() {
+  // Defensive teardown for a service destroyed mid-run (RunAll normally
+  // joins everything): unblock any parked or unstarted session with
+  // Cancelled and join its thread.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& session : sessions_) {
+      session->cancelled = true;
+      if (session->state == Session::State::kWaitingSubmit) {
+        session->grant = Result<std::vector<JobResult>>(
+            Status::Cancelled("query service shut down"));
+      }
+      session->start_granted = true;
+      if (session->thread.joinable()) {
+        to_join.push_back(std::move(session->thread));
+      }
+    }
+    cv_.notify_all();
+  }
+  for (std::thread& t : to_join) t.join();
+}
+
+Status QueryService::Enqueue(QuerySubmission submission) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (submission.query_id.empty()) {
+    return Status::InvalidArgument("submission has no query id");
+  }
+  if (run_active_) {
+    return Status::FailedPrecondition(
+        "cannot enqueue while RunAll is in progress");
+  }
+  int queued = 0;
+  for (const auto& session : sessions_) {
+    if (session->sub.query_id == submission.query_id) {
+      return Status::InvalidArgument("duplicate query id: " +
+                                     submission.query_id);
+    }
+    if (session->state == Session::State::kQueued) ++queued;
+  }
+  if (queued >= std::max(0, options_.admission_queue_limit)) {
+    if (obs::MetricsRegistry* metrics = engine_->metrics()) {
+      metrics->GetCounter("service.rejected_queue_full")->Add();
+    }
+    return Status::ResourceExhausted(
+        StrFormat("admission queue full (%d queued, limit %d)", queued,
+                  options_.admission_queue_limit));
+  }
+
+  auto session = std::make_unique<Session>();
+  session->enqueue_seq = static_cast<int>(sessions_.size());
+  // Arrival schedule: explicit offsets are taken verbatim; everything else
+  // draws from the service RNG stream in Enqueue order, which makes the
+  // whole schedule a pure function of (seed, enqueue sequence).
+  if (submission.arrival_offset_ms >= 0) {
+    session->arrival_offset = submission.arrival_offset_ms;
+  } else if (options_.arrival_window_ms > 0) {
+    session->arrival_offset = static_cast<SimMillis>(
+        rng_.Uniform(static_cast<uint64_t>(options_.arrival_window_ms) + 1));
+  }
+  session->sub = std::move(submission);
+  if (obs::MetricsRegistry* metrics = engine_->metrics()) {
+    metrics->GetCounter("service.enqueued")->Add();
+  }
+  sessions_.push_back(std::move(session));
+  return Status::OK();
+}
+
+Status QueryService::Cancel(const std::string& query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& session : sessions_) {
+    if (session->sub.query_id != query_id) continue;
+    if (session->state == Session::State::kDone) {
+      return Status::NotFound("query already finished: " + query_id);
+    }
+    session->cancelled = true;
+    return Status::OK();
+  }
+  return Status::NotFound("unknown query id: " + query_id);
+}
+
+Status QueryService::CancelAt(const std::string& query_id, SimMillis at_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& session : sessions_) {
+    if (session->sub.query_id != query_id) continue;
+    if (session->state == Session::State::kDone) {
+      return Status::NotFound("query already finished: " + query_id);
+    }
+    session->cancel_at = at_ms;
+    return Status::OK();
+  }
+  return Status::NotFound("unknown query id: " + query_id);
+}
+
+void QueryService::ApplyTimedCancels() {
+  const SimMillis now = engine_->now();
+  for (auto& session : sessions_) {
+    if (session->cancel_at.has_value() && now >= *session->cancel_at &&
+        session->state != Session::State::kDone) {
+      session->cancelled = true;
+    }
+  }
+}
+
+Result<std::vector<JobResult>> QueryService::SubmitFromSession(
+    std::vector<JobSpec> specs) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Session* session = running_session_;
+  if (session == nullptr || !run_active_) {
+    // A submission from outside any session (not expected while the gate
+    // is installed, but harmless): execute directly.
+    lock.unlock();
+    return engine_->SubmitAllDirect(specs);
+  }
+  if (session->cancelled) {
+    return Status::Cancelled("query " + session->sub.query_id + " cancelled");
+  }
+  session->pending_specs = std::move(specs);
+  session->state = Session::State::kWaitingSubmit;
+  cv_.notify_all();  // Baton back to the scheduler.
+  cv_.wait(lock, [&] { return session->grant.has_value(); });
+  Result<std::vector<JobResult>> out = std::move(*session->grant);
+  session->grant.reset();
+  return out;
+}
+
+void QueryService::SessionMain(Session* session) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return session->start_granted; });
+    session->start_granted = false;
+  }
+  DynoDriver driver(engine_, catalog_, store_, session->scoped_options);
+  Result<QueryRunReport> result = driver.Execute(session->sub.query);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session->finish_ms = engine_->now();
+    session->driver_result.emplace(std::move(result));
+    session->state = Session::State::kDone;
+    cv_.notify_all();  // Baton back to the scheduler.
+  }
+}
+
+void QueryService::RunSessionUntilBlocked(Session* session,
+                                          std::unique_lock<std::mutex>* lock) {
+  running_session_ = session;
+  session->state = Session::State::kRunning;
+  cv_.notify_all();
+  cv_.wait(*lock, [&] {
+    return session->state == Session::State::kWaitingSubmit ||
+           session->state == Session::State::kDone;
+  });
+  running_session_ = nullptr;
+}
+
+std::vector<QueryOutcome> QueryService::RunAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  run_active_ = true;
+  const int max_concurrent = std::max(1, options_.max_concurrent);
+  const SimMillis run_start = engine_->now();
+
+  obs::TraceSink* trace = engine_->trace();
+  obs::MetricsRegistry* metrics = engine_->metrics();
+  obs::Counter* m_admitted = nullptr;
+  obs::Counter* m_completed = nullptr;
+  obs::Counter* m_cancelled = nullptr;
+  obs::Counter* m_failed = nullptr;
+  obs::Counter* m_waves = nullptr;
+  obs::Counter* m_wave_jobs = nullptr;
+  obs::Gauge* g_running = nullptr;
+  obs::Histogram* h_latency = nullptr;
+  obs::Histogram* h_queue_wait = nullptr;
+  if (metrics != nullptr) {
+    m_admitted = metrics->GetCounter("service.admitted");
+    m_completed = metrics->GetCounter("service.completed");
+    m_cancelled = metrics->GetCounter("service.cancelled");
+    m_failed = metrics->GetCounter("service.failed");
+    m_waves = metrics->GetCounter("service.waves");
+    m_wave_jobs = metrics->GetCounter("service.wave_jobs");
+    g_running = metrics->GetGauge("service.running");
+    h_latency = metrics->GetHistogram("service.query_latency_ms");
+    h_queue_wait = metrics->GetHistogram("service.queue_wait_ms");
+  }
+
+  // The cohort this call runs: everything still queued. Absolute arrivals
+  // are fixed now, against the current cluster clock.
+  std::vector<Session*> cohort;
+  for (auto& session : sessions_) {
+    if (session->state != Session::State::kQueued) continue;
+    session->arrival_ms = run_start + session->arrival_offset;
+    cohort.push_back(session.get());
+  }
+
+  engine_->set_submit_gate([this](std::vector<JobSpec> specs) {
+    return SubmitFromSession(std::move(specs));
+  });
+
+  int running = 0;  ///< Admitted, not yet reaped.
+  std::map<std::string, int> tenant_running;
+
+  auto committed_slot_ms = [&](Session* session) -> SimMillis {
+    const auto& per_query = engine_->query_slot_ms();
+    auto it = per_query.find(session->scoped_options.exec.query_id);
+    return it == per_query.end() ? 0 : it->second;
+  };
+
+  // Finalizes a session that never started (cancelled while queued).
+  auto finalize_unstarted = [&](Session* session) {
+    session->state = Session::State::kDone;
+    session->finish_ms = engine_->now();
+    session->driver_result.emplace(Result<QueryRunReport>(
+        Status::Cancelled("query " + session->sub.query_id +
+                          " cancelled before admission")));
+    session->reaped = true;  // No thread, no slot accounting.
+    if (m_cancelled != nullptr) m_cancelled->Add();
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                    obs::TraceLane::kService, "service",
+                                    "query_cancelled")
+                        .Arg("query", session->sub.query_id)
+                        .ArgBool("admitted", false));
+    }
+  };
+
+  // Joins finished session threads and releases their capacity.
+  auto reap_finished = [&] {
+    for (Session* session : cohort) {
+      if (session->state != Session::State::kDone || session->reaped) {
+        continue;
+      }
+      if (session->thread.joinable()) session->thread.join();
+      session->reaped = true;
+      --running;
+      --tenant_running[session->sub.tenant];
+      if (g_running != nullptr) g_running->Set(running);
+      const Status& st = session->driver_result->status();
+      if (st.ok()) {
+        if (m_completed != nullptr) m_completed->Add();
+      } else if (st.code() == StatusCode::kCancelled) {
+        if (m_cancelled != nullptr) m_cancelled->Add();
+      } else {
+        if (m_failed != nullptr) m_failed->Add();
+      }
+      if (h_latency != nullptr) {
+        h_latency->Observe(session->finish_ms - session->arrival_ms);
+      }
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEvent(session->finish_ms, -1,
+                                      obs::TraceLane::kService, "service",
+                                      "query_finished")
+                          .Arg("query", session->sub.query_id)
+                          .ArgBool("ok", st.ok())
+                          .ArgInt("latency_ms",
+                                  session->finish_ms - session->arrival_ms));
+      }
+    }
+  };
+
+  // Admits due arrivals in (arrival, enqueue) order, respecting the
+  // service-wide concurrency cap and per-tenant slot quotas, and runs each
+  // new session until its first park. A tenant at quota is skipped, not a
+  // head-of-line blocker.
+  auto admit_due = [&] {
+    std::vector<Session*> due;
+    for (Session* session : cohort) {
+      if (session->state == Session::State::kQueued) due.push_back(session);
+    }
+    std::sort(due.begin(), due.end(), [](Session* a, Session* b) {
+      if (a->arrival_ms != b->arrival_ms) return a->arrival_ms < b->arrival_ms;
+      return a->enqueue_seq < b->enqueue_seq;
+    });
+    for (Session* session : due) {
+      if (session->cancelled) {
+        finalize_unstarted(session);
+        continue;
+      }
+      if (session->arrival_ms > engine_->now()) break;
+      if (running >= max_concurrent) break;
+      if (options_.tenant_slots > 0 &&
+          tenant_running[session->sub.tenant] >= options_.tenant_slots) {
+        continue;  // Quota; later arrivals of other tenants may still fit.
+      }
+      session->admit_seq = next_admit_seq_++;
+      session->admit_ms = engine_->now();
+      // The driver inherits the submission's query id: it scopes DFS temp
+      // paths, quarantine files, engine fault streams and trace tags. A
+      // checkpoint path, if configured, becomes per-query for the same
+      // reason (manifest + ".prev" must never be shared across queries).
+      session->scoped_options = session->sub.options;
+      if (session->scoped_options.exec.query_id.empty()) {
+        session->scoped_options.exec.query_id = session->sub.query_id;
+      }
+      if (!session->scoped_options.checkpoint_path.empty()) {
+        session->scoped_options.checkpoint_path +=
+            "/q/" + session->sub.query_id;
+      }
+      ++running;
+      ++tenant_running[session->sub.tenant];
+      if (m_admitted != nullptr) m_admitted->Add();
+      if (g_running != nullptr) g_running->Set(running);
+      if (h_queue_wait != nullptr) {
+        h_queue_wait->Observe(session->admit_ms - session->arrival_ms);
+      }
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEvent(session->admit_ms, -1,
+                                      obs::TraceLane::kService, "service",
+                                      "query_admitted")
+                          .Arg("query", session->sub.query_id)
+                          .Arg("tenant", session->sub.tenant)
+                          .ArgInt("queue_wait_ms",
+                                  session->admit_ms - session->arrival_ms));
+      }
+      session->started = true;
+      session->start_granted = true;
+      session->thread = std::thread(&QueryService::SessionMain, this, session);
+      RunSessionUntilBlocked(session, &lock);
+    }
+  };
+
+  // Hands Cancelled to every cancelled session parked at a submit; each
+  // unwinds its driver stack and finishes.
+  auto cancel_parked = [&] {
+    for (Session* session : cohort) {
+      if (session->state != Session::State::kWaitingSubmit ||
+          !session->cancelled) {
+        continue;
+      }
+      session->pending_specs.clear();
+      session->grant = Result<std::vector<JobResult>>(
+          Status::Cancelled("query " + session->sub.query_id + " cancelled"));
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                      obs::TraceLane::kService, "service",
+                                      "query_cancelled")
+                          .Arg("query", session->sub.query_id)
+                          .ArgBool("admitted", true));
+      }
+      RunSessionUntilBlocked(session, &lock);
+    }
+  };
+
+  // One combined wave: the batches of every parked session, ordered by
+  // fair share — least attained committed slot time first, admission
+  // sequence breaking ties. The engine grants scarce slots FIFO across the
+  // batch, so wave order IS the fairness policy.
+  auto run_wave = [&] {
+    std::vector<Session*> waiting;
+    for (Session* session : cohort) {
+      if (session->state == Session::State::kWaitingSubmit) {
+        waiting.push_back(session);
+      }
+    }
+    if (waiting.empty()) return false;
+    std::sort(waiting.begin(), waiting.end(), [&](Session* a, Session* b) {
+      SimMillis sa = committed_slot_ms(a);
+      SimMillis sb = committed_slot_ms(b);
+      if (sa != sb) return sa < sb;
+      return a->admit_seq < b->admit_seq;
+    });
+    std::vector<JobSpec> specs;
+    std::vector<std::pair<Session*, size_t>> parts;
+    for (Session* session : waiting) {
+      parts.emplace_back(session, session->pending_specs.size());
+      for (JobSpec& spec : session->pending_specs) {
+        specs.push_back(std::move(spec));
+      }
+      session->pending_specs.clear();
+    }
+    if (m_waves != nullptr) m_waves->Add();
+    if (m_wave_jobs != nullptr) m_wave_jobs->Add(specs.size());
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                    obs::TraceLane::kService, "service",
+                                    "wave")
+                        .ArgInt("sessions", (int64_t)parts.size())
+                        .ArgInt("jobs", (int64_t)specs.size()));
+    }
+    // The engine runs on this (scheduler) thread; every session is parked,
+    // so dropping the lock for the duration is safe and keeps the gate
+    // callable by... nobody, which is the point.
+    lock.unlock();
+    Result<std::vector<JobResult>> wave = engine_->SubmitAllDirect(specs);
+    lock.lock();
+    size_t offset = 0;
+    std::vector<Result<std::vector<JobResult>>> slices;
+    slices.reserve(parts.size());
+    for (const auto& [session, count] : parts) {
+      (void)session;
+      if (wave.ok()) {
+        slices.emplace_back(std::vector<JobResult>(
+            wave->begin() + offset, wave->begin() + offset + count));
+      } else {
+        slices.emplace_back(wave.status());
+      }
+      offset += count;
+    }
+    // Resume in the same fair-share order, one at a time (granting all at
+    // once would wake every parked thread and break the baton).
+    for (size_t i = 0; i < parts.size(); ++i) {
+      parts[i].first->grant = std::move(slices[i]);
+      RunSessionUntilBlocked(parts[i].first, &lock);
+    }
+    return true;
+  };
+
+  for (;;) {
+    ApplyTimedCancels();
+    reap_finished();
+    admit_due();
+    cancel_parked();
+    reap_finished();
+    if (run_wave()) continue;
+
+    // Nothing parked. Anything still pending is a future arrival (or a
+    // queued session blocked on capacity freed by the reap above — retry).
+    bool any_done_unreaped = false;
+    SimMillis next_arrival = -1;
+    bool any_queued = false;
+    for (Session* session : cohort) {
+      if (session->state == Session::State::kDone && !session->reaped) {
+        any_done_unreaped = true;
+      }
+      if (session->state == Session::State::kQueued) {
+        any_queued = true;
+        if (next_arrival < 0 || session->arrival_ms < next_arrival) {
+          next_arrival = session->arrival_ms;
+        }
+      }
+    }
+    if (any_done_unreaped) continue;
+    if (any_queued) {
+      if (next_arrival > engine_->now()) {
+        engine_->AdvanceClock(next_arrival - engine_->now());
+      }
+      // A due-but-quota-blocked arrival unblocks when a running session of
+      // its tenant finishes; with nothing running and nothing parked the
+      // next admission pass must make progress.
+      continue;
+    }
+    break;
+  }
+
+  engine_->set_submit_gate(nullptr);
+  run_active_ = false;
+
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(cohort.size());
+  for (Session* session : cohort) {
+    QueryOutcome outcome;
+    outcome.query_id = session->sub.query_id;
+    outcome.tenant = session->sub.tenant;
+    outcome.status = session->driver_result->status();
+    if (session->driver_result->ok()) {
+      outcome.report = session->driver_result->value();
+    }
+    outcome.arrival_ms = session->arrival_ms;
+    outcome.admit_ms = session->admit_ms;
+    outcome.finish_ms = session->finish_ms;
+    outcome.slot_ms = committed_slot_ms(session);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace dyno

@@ -1,0 +1,181 @@
+#ifndef DYNO_SERVICE_QUERY_SERVICE_H_
+#define DYNO_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "dyno/driver.h"
+#include "lang/query.h"
+#include "mr/engine.h"
+
+namespace dyno {
+
+/// Capacity and fairness knobs of the multi-query service.
+struct QueryServiceOptions {
+  /// Maximum sessions executing at once; arrivals beyond this wait in the
+  /// admission queue. Must be >= 1.
+  int max_concurrent = 4;
+
+  /// Per-tenant slot quota: maximum concurrently admitted sessions a single
+  /// tenant may hold. <= 0 means unlimited. A tenant at quota does not
+  /// block other tenants' admissions behind it in the queue.
+  int tenant_slots = 0;
+
+  /// Bound on queued-but-not-admitted submissions. Enqueue rejects with
+  /// Status::ResourceExhausted once the queue is full (backpressure).
+  int admission_queue_limit = 16;
+
+  /// Service-level RNG stream seed; draws arrival offsets for submissions
+  /// that do not pin one explicitly.
+  uint64_t seed = 42;
+
+  /// Width of the arrival window: a submission without an explicit
+  /// arrival_offset_ms draws uniform in [0, arrival_window_ms]. 0 makes
+  /// every drawn arrival immediate.
+  SimMillis arrival_window_ms = 0;
+
+  /// Fills the knobs from DYNO_CONCURRENCY / DYNO_TENANT_SLOTS /
+  /// DYNO_ADMISSION_QUEUE. Absent variables leave fields untouched;
+  /// malformed values abort (same contract as FaultConfig).
+  void ApplyEnvOverrides();
+};
+
+/// One query session handed to the service.
+struct QuerySubmission {
+  /// Unique query id. Scopes every DFS artifact of the session (temp
+  /// paths, quarantine files, checkpoint manifests), its engine fault
+  /// streams and its trace tags.
+  std::string query_id;
+  /// Tenant for quota accounting; empty is the anonymous shared tenant.
+  std::string tenant;
+  Query query;
+  /// Per-session driver configuration. The service stamps exec.query_id
+  /// (when empty) and rewrites a non-empty checkpoint_path to a per-query
+  /// subpath, so callers may reuse one options template across sessions.
+  DynoOptions options;
+  /// Arrival time as an offset (SimMillis) from the schedule start. < 0
+  /// draws from the service RNG stream (see QueryServiceOptions).
+  SimMillis arrival_offset_ms = -1;
+};
+
+/// Everything the service knows about one finished session.
+struct QueryOutcome {
+  std::string query_id;
+  std::string tenant;
+  /// OK when the driver ran to completion; Cancelled for cancelled
+  /// sessions; otherwise the driver's error.
+  Status status;
+  /// Valid only when status.ok().
+  QueryRunReport report;
+  SimMillis arrival_ms = 0;
+  /// -1 when the session was cancelled before admission.
+  SimMillis admit_ms = -1;
+  SimMillis finish_ms = -1;
+  /// Committed cluster slot time attributed to this query.
+  SimMillis slot_ms = 0;
+
+  /// Queueing + execution latency (finish - arrival).
+  SimMillis Latency() const { return finish_ms - arrival_ms; }
+};
+
+/// Runs many concurrent query sessions — one DynoDriver each — against one
+/// shared MapReduceEngine, multiplexing their jobs through a fair-share
+/// scheduler with admission control (DESIGN.md §6.6).
+///
+/// Concurrency model: each session runs on its own thread, but the threads
+/// are strictly baton-serialized — at any instant at most one of {service
+/// scheduler, one session} executes, and every handoff is a mutex/condvar
+/// edge. Session threads are coroutines in all but name; real parallelism
+/// lives only inside the engine's worker pool, which already guarantees
+/// bit-identical results across thread counts. Every driver Submit/
+/// SubmitAll is intercepted by an engine submit gate: the session parks,
+/// and once every runnable session has quiesced the scheduler concatenates
+/// the parked batches of all waiting sessions — ordered by fair share:
+/// least attained committed slot time first, ties broken by admission
+/// sequence — into one combined SubmitAllDirect wave, so jobs of different
+/// queries genuinely share cluster slots in simulated time. Results are
+/// split back per session and sessions are resumed in the same order.
+///
+/// Determinism: scheduling state is touched only between handoffs, arrival
+/// times come from a seeded service RNG stream in Enqueue order, and waves
+/// execute on the scheduler thread. Per-query results, checkpoint stats
+/// and serialized traces are therefore bit-identical at any
+/// ClusterConfig::execution_threads.
+class QueryService {
+ public:
+  QueryService(MapReduceEngine* engine, Catalog* catalog, StatsStore* store,
+               QueryServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Queues a session for the next RunAll. Fails with ResourceExhausted
+  /// when the admission queue is full, InvalidArgument on an empty or
+  /// duplicate query id.
+  Status Enqueue(QuerySubmission submission);
+
+  /// Cancels a session: a queued one never starts; a running one is handed
+  /// Status::Cancelled at its next submission point (mid-flight
+  /// cancellation — already-running cluster jobs complete their wave).
+  /// NotFound if the id is unknown or already finished.
+  Status Cancel(const std::string& query_id);
+
+  /// Deterministic cancellation at a simulated time: applied by the
+  /// scheduler once the cluster clock reaches `at_ms`.
+  Status CancelAt(const std::string& query_id, SimMillis at_ms);
+
+  /// Runs every queued session to completion (or cancellation) and returns
+  /// their outcomes in enqueue order. Installs the submit gate on the
+  /// engine for the duration of the call and removes it before returning.
+  std::vector<QueryOutcome> RunAll();
+
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  struct Session;
+
+  /// Engine submit gate; runs on the calling session's thread.
+  Result<std::vector<JobResult>> SubmitFromSession(
+      std::vector<JobSpec> specs);
+
+  /// Session thread body: waits for the first baton grant, runs the
+  /// driver, posts the outcome.
+  void SessionMain(Session* session);
+
+  /// Hands the baton to `session` (start or grant) and blocks until it
+  /// parks at a submission or finishes. Call with `lock` held.
+  void RunSessionUntilBlocked(Session* session,
+                              std::unique_lock<std::mutex>* lock);
+
+  /// Applies due CancelAt requests; call with the lock held.
+  void ApplyTimedCancels();
+
+  MapReduceEngine* engine_;
+  Catalog* catalog_;
+  StatsStore* store_;
+  QueryServiceOptions options_;
+  Rng rng_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Session>> sessions_;  ///< Enqueue order.
+  /// Session currently holding the baton (null while the scheduler does).
+  Session* running_session_ = nullptr;
+  /// Monotonic admission sequence (fair-share tie-break).
+  int next_admit_seq_ = 0;
+  bool run_active_ = false;
+};
+
+}  // namespace dyno
+
+#endif  // DYNO_SERVICE_QUERY_SERVICE_H_

@@ -16,8 +16,10 @@
 #include "dyno/driver.h"
 #include "expr/expr.h"
 #include "mr/engine.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pilot/pilot_runner.h"
+#include "service/query_service.h"
 #include "stats/table_stats.h"
 #include "storage/catalog.h"
 #include "tpch/dbgen.h"
@@ -403,6 +405,129 @@ std::string RunResumeWorkload(int threads) {
                     entry.stats.avg_record_size);
   }
   return fp;
+}
+
+/// The concurrent workload: eight TPC-H query sessions with a seeded
+/// arrival schedule, multiplexed through the QueryService over one cluster
+/// with task faults AND data corruption switched on. The fingerprint
+/// digests every per-query outcome (status, admission/finish times, result
+/// bytes, slot accounting, fault totals), the service metrics and the full
+/// serialized trace — all of which must be bit-identical across execution
+/// thread counts.
+std::string RunConcurrentWorkload(int threads, FaultTotals* totals = nullptr) {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  ClusterConfig config;
+  config.job_startup_ms = 2000;
+  config.map_slots = 20;
+  config.reduce_slots = 10;
+  config.memory_per_task_bytes = 64 * 1024;
+  config.execution_threads = threads;
+  config.faults.use_env_defaults = false;
+  config.faults.seed = 11;
+  config.faults.task_failure_rate = 0.03;
+  config.faults.straggler_rate = 0.05;
+  config.faults.straggler_slowdown = 4.0;
+  config.faults.block_corruption_rate = 0.02;
+  config.faults.shuffle_corruption_rate = 0.05;
+  config.faults.poison_record_rate = 0.0005;
+  config.faults.max_skipped_records = -1;
+  config.faults.retry_backoff_ms = 100;
+  MapReduceEngine engine(&dfs, config);
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  engine.set_trace(&trace);
+  engine.set_metrics(&metrics);
+
+  TpchConfig tpch;
+  tpch.scale = 0.0005;
+  tpch.split_bytes = 8 * 1024;
+  EXPECT_TRUE(GenerateTpch(&catalog, tpch).ok());
+
+  StatsStore store;
+  QueryServiceOptions service_options;
+  service_options.max_concurrent = 3;
+  service_options.tenant_slots = 2;
+  service_options.seed = 1234;
+  service_options.arrival_window_ms = 60000;
+  QueryService service(&engine, &catalog, &store, service_options);
+
+  for (int i = 0; i < 8; ++i) {
+    QuerySubmission sub;
+    sub.query_id = StrFormat("q%02d", i);
+    sub.tenant = (i % 2 == 0) ? "alpha" : "beta";
+    sub.query = (i % 2 == 0) ? MakeTpchQ10() : MakeTpchQ2();
+    sub.options.pilot.k = 256;
+    sub.options.pilot.mode = PilotRunOptions::Mode::kParallel;
+    sub.options.cost.max_memory_bytes = config.memory_per_task_bytes;
+    sub.options.cost.memory_factor = 1.5;
+    sub.options.checkpoint_path = "/ckpt/concurrent";
+    sub.arrival_offset_ms = -1;  // seeded service RNG stream
+    EXPECT_TRUE(service.Enqueue(std::move(sub)).ok());
+  }
+
+  std::string fp;
+  for (const QueryOutcome& outcome : service.RunAll()) {
+    fp += StrFormat(
+        "%s tenant=%s status=%d arrive=%lld admit=%lld finish=%lld "
+        "slot=%lld",
+        outcome.query_id.c_str(), outcome.tenant.c_str(),
+        static_cast<int>(outcome.status.code()),
+        (long long)outcome.arrival_ms, (long long)outcome.admit_ms,
+        (long long)outcome.finish_ms, (long long)outcome.slot_ms);
+    if (outcome.status.ok()) {
+      const QueryRunReport& report = outcome.report;
+      uint64_t h = 14695981039346656037ull;
+      if (report.result != nullptr) {
+        for (const Split& split : report.result->splits()) {
+          h = Fnv1a(h, split.data);
+        }
+      }
+      fp += StrFormat(
+          " jobs=%d records=%llu rows=%llx inj=%d retry=%d bcorr=%d "
+          "refetch=%d quar=%llu",
+          report.jobs_run, (unsigned long long)report.result_records,
+          (unsigned long long)h, report.task_failures_injected,
+          report.task_retries, report.block_corruptions,
+          report.checksum_refetches,
+          (unsigned long long)report.records_quarantined);
+      if (totals != nullptr) {
+        totals->failures_injected += report.task_failures_injected;
+        totals->retries += report.task_retries;
+        totals->block_corruptions += report.block_corruptions;
+        totals->checksum_refetches += report.checksum_refetches;
+        totals->records_quarantined += report.records_quarantined;
+      }
+    }
+    fp += "\n";
+  }
+  fp += StrFormat("now=%lld\n", (long long)engine.now());
+  fp += "metrics:\n" + metrics.Serialize();
+  fp += "trace:\n" + trace.SerializeJsonl();
+  return fp;
+}
+
+TEST(EngineDeterminismTest, ConcurrentQueriesDeterministicAcrossThreadCounts) {
+  FaultTotals totals;
+  std::string one = RunConcurrentWorkload(1, &totals);
+  std::string four = RunConcurrentWorkload(4);
+  std::string eight = RunConcurrentWorkload(8);
+  EXPECT_EQ(one, four) << "1-thread and 4-thread concurrent runs diverged";
+  EXPECT_EQ(one, eight) << "1-thread and 8-thread concurrent runs diverged";
+  // Every session must actually have completed.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(one.find(StrFormat("q%02d tenant=", i)), std::string::npos);
+    EXPECT_NE(one.find(StrFormat("q%02d tenant=%s status=0", i,
+                                 i % 2 == 0 ? "alpha" : "beta")),
+              std::string::npos)
+        << "query q" << i << " did not complete:\n"
+        << one.substr(0, 2000);
+  }
+  // And the fault/corruption paths genuinely fired somewhere.
+  EXPECT_GT(totals.failures_injected + totals.retries, 0);
+  EXPECT_GT(totals.block_corruptions + totals.checksum_refetches +
+                static_cast<int>(totals.records_quarantined),
+            0);
 }
 
 TEST(EngineDeterminismTest, ResumedQueryIsDeterministicAcrossThreadCounts) {
