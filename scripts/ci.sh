@@ -13,6 +13,11 @@
 #               (DYNO_CONCURRENCY/DYNO_TENANT_SLOTS/DYNO_ADMISSION_QUEUE)
 #               driven through the environment, plus a bench_concurrency
 #               smoke run (8 concurrent TPC-H sessions, sweep 1 -> 8)
+#   mqo-cache   cache/service/driver suites with the cross-query subtree
+#               cache on (DYNO_SUBTREE_CACHE_MB) under injected task
+#               failures and block/shuffle corruption, plus a bench_mqo
+#               smoke run (repeated TPC-H batch, cold vs warm, gated on
+#               identical results and a >= 2x warm speedup)
 #   fuzz-smoke  codec + checkpoint-manifest + DFS-bit-rot fuzzing, small
 #               fixed budget
 #   goldens     checked-in traces match the current trace schema
@@ -45,6 +50,7 @@ run ctest --preset faults
 run ctest --preset node-faults
 run ctest --preset corruption
 run ctest --preset concurrency
+run ctest --preset mqo-cache
 run ctest --preset fuzz-smoke
 
 # bench_concurrency doubles as an integration smoke: it fails unless all 8
@@ -52,6 +58,11 @@ run ctest --preset fuzz-smoke
 # improves end to end.
 run env DYNO_BENCH_CONCURRENCY_OUT=build/BENCH_concurrency.json \
   build/bench/bench_concurrency
+
+# bench_mqo is the multi-query cache smoke: it fails unless the warm
+# repeated portion is at least 2x faster than cold with the cache on and
+# results match the cache-off run.
+run env DYNO_BENCH_MQO_OUT=build/BENCH_mqo.json build/bench/bench_mqo
 
 run scripts/check_goldens.sh
 

@@ -107,6 +107,28 @@ Result<CheckpointEntry> EntryFromValue(const Value& v) {
   DYNO_ASSIGN_OR_RETURN(const Value* stats,
                         RequireField(v, "stats", Value::Type::kStruct));
   DYNO_ASSIGN_OR_RETURN(entry.stats, StatsFromValue(*stats));
+  DYNO_ASSIGN_OR_RETURN(
+      const Value* versions,
+      RequireField(v, "table_versions", Value::Type::kArray));
+  for (const Value& tv : versions->array()) {
+    if (tv.type() != Value::Type::kStruct) {
+      return Corrupt("table version is not a struct");
+    }
+    DYNO_ASSIGN_OR_RETURN(const Value* table,
+                          RequireField(tv, "table", Value::Type::kString));
+    DYNO_ASSIGN_OR_RETURN(const Value* version,
+                          RequireField(tv, "version", Value::Type::kInt));
+    if (table->string_value().empty()) return Corrupt("empty table name");
+    // Versions are 64-bit hashes; the sign bit survives the int64 round
+    // trip via the bit cast below.
+    if (!entry.table_versions
+             .emplace(table->string_value(),
+                      static_cast<uint64_t>(version->int_value()))
+             .second) {
+      return Corrupt("duplicate table version '" + table->string_value() +
+                     "'");
+    }
+  }
   return entry;
 }
 
@@ -119,12 +141,20 @@ Value CheckpointManifest::ToValue() const {
     for (const std::string& alias : entry.covered) {
       covered.push_back(Value::String(alias));
     }
+    ArrayElements versions;
+    for (const auto& [table, version] : entry.table_versions) {
+      StructFields tv;
+      tv.emplace_back("table", Value::String(table));
+      tv.emplace_back("version", Value::Int(static_cast<int64_t>(version)));
+      versions.push_back(Value::Struct(std::move(tv)));
+    }
     StructFields f;
     f.emplace_back("signature", Value::String(entry.signature));
     f.emplace_back("relation_id", Value::String(entry.relation_id));
     f.emplace_back("path", Value::String(entry.path));
     f.emplace_back("covered", Value::Array(std::move(covered)));
     f.emplace_back("stats", StatsToValue(entry.stats));
+    f.emplace_back("table_versions", Value::Array(std::move(versions)));
     rows.push_back(Value::Struct(std::move(f)));
   }
   ArrayElements leaves;

@@ -24,6 +24,11 @@ struct CheckpointEntry {
   std::string path;         ///< DFS path of the materialized output.
   std::vector<std::string> covered;  ///< Base leaf aliases, sorted.
   TableStats stats;         ///< Observed output statistics.
+  /// Catalog::TableVersion of every base table the subtree read, captured
+  /// when the step executed. Resume() skips (re-executes) an entry whose
+  /// recorded versions no longer match — the data was rewritten under the
+  /// checkpoint, and its materialization holds pre-rewrite rows.
+  std::map<std::string, uint64_t> table_versions;
 };
 
 /// The driver's crash-recovery manifest (DESIGN.md §6.4): after every
@@ -34,7 +39,10 @@ struct CheckpointEntry {
 /// field fails FromValue, and Resume() treats that as "no checkpoint"
 /// (re-run from scratch) rather than trusting partial state.
 struct CheckpointManifest {
-  static constexpr int64_t kVersion = 2;
+  /// v3 added per-entry `table_versions` (data-version validation for the
+  /// subtree cache / resume). FromValue rejects any other version — newer
+  /// manifests are refused outright rather than half-parsed.
+  static constexpr int64_t kVersion = 3;
 
   /// Suffix of the previous-generation manifest kept beside the live one:
   /// WriteTo() moves the old manifest to `<path>.prev` before replacing it,

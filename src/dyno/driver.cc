@@ -96,7 +96,7 @@ Result<StepResult> RunRepartitionFallback(
   // by *its* signature: the synthesized per-join decompositions above have
   // signatures no later query will ever compute, and publishing under them
   // would pollute the stats store.
-  last.subtree_signature = unit.nodes.back()->ToString();
+  last.subtree_signature = executor->CanonicalSignature(*unit.nodes.back());
   return last;
 }
 
@@ -393,7 +393,10 @@ Result<QueryRunReport> DynoDriver::ExecuteMultiBlock(
         AddFaultCounters(job, &report);
       }
       // Expose the block's output to downstream blocks through the catalog.
-      DYNO_RETURN_IF_ERROR(catalog_->RegisterTable(
+      // ReplaceTable (not RegisterTable) so re-running a query under the
+      // same scope — e.g. Resume after a kill — re-points the name instead
+      // of failing AlreadyExists, and bumps its data version.
+      DYNO_RETURN_IF_ERROR(catalog_->ReplaceTable(
           scoped_block_name(block.name), output->path()));
       done.insert(block.name);
       last_output = std::move(output);
@@ -542,6 +545,42 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
   std::map<std::string, std::set<std::string>> base_cover;
   for (const LeafExpr& leaf : leaves) base_cover[leaf.alias] = {leaf.alias};
 
+  std::map<std::string, std::string> alias_to_table;
+  for (const LeafExpr& leaf : leaves) alias_to_table[leaf.alias] = leaf.table;
+
+  // Current data version of every base table a set of base aliases reads —
+  // what cache entries and checkpoint entries are validated against.
+  auto table_versions_for = [&](const std::set<std::string>& base_aliases) {
+    std::map<std::string, uint64_t> versions;
+    for (const std::string& alias : base_aliases) {
+      auto it = alias_to_table.find(alias);
+      if (it == alias_to_table.end()) continue;
+      versions[it->second] = catalog_->TableVersion(it->second);
+    }
+    return versions;
+  };
+
+  // Cross-query cache key for one unit: the canonical subtree signature
+  // decorated with the requested output statistics columns and projection.
+  // Both change the entry's usability (a consumer needing column synopses
+  // the entry lacks would plan differently; a projected root output holds
+  // different bytes), so they are part of the key, not a lookup-time check.
+  auto cache_key_for = [&](const JobUnit& unit,
+                           const PlanExecutor::UnitRequest& request) {
+    std::string key = executor.CanonicalSignature(*unit.nodes.back());
+    key += "|stats=";
+    for (const std::string& c : request.stats_columns) {
+      key += c;
+      key += ',';
+    }
+    key += "|proj=";
+    for (const std::string& c : request.projection) {
+      key += c;
+      key += ',';
+    }
+    return key;
+  };
+
   // Record the query's leaf signatures in the manifest, so a later Resume
   // can prove the checkpoints were written for this exact query text.
   if (!options_.checkpoint_path.empty()) {
@@ -603,6 +642,16 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
         got.insert(cover.begin(), cover.end());
       }
       if (replaced.empty() || got != want) continue;
+      // Skip entries whose base data was rewritten after the checkpoint:
+      // their materializations hold pre-rewrite rows.
+      bool stale = false;
+      for (const auto& [table, version] : entry.table_versions) {
+        if (catalog_->TableVersion(table) != version) {
+          stale = true;
+          break;
+        }
+      }
+      if (stale) continue;
       auto file = engine_->dfs()->Open(entry.path);
       if (!file.ok()) continue;  // Materialization gone; re-execute it.
       RelationBinding binding;
@@ -681,15 +730,18 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
   };
 
   auto account_step = [&](const JobUnit& unit, const StepResult& step,
-                          const std::set<std::string>& covered) {
-    ++report->jobs_run;
-    if (unit.map_only) ++report->map_only_jobs;
-    report->stats_overhead_ms += step.job.observer_overhead_ms;
-    AddFaultCounters(step.job, report);
-    if (step.job.records_quarantined > 0 && metrics != nullptr) {
-      metrics->GetCounter("driver.quarantine_records")
-          ->Add(static_cast<int64_t>(step.job.records_quarantined));
-      metrics->GetCounter("driver.quarantine_steps")->Add();
+                          const std::set<std::string>& covered,
+                          const std::string& cache_key, bool from_cache) {
+    if (!from_cache) {
+      ++report->jobs_run;
+      if (unit.map_only) ++report->map_only_jobs;
+      report->stats_overhead_ms += step.job.observer_overhead_ms;
+      AddFaultCounters(step.job, report);
+      if (step.job.records_quarantined > 0 && metrics != nullptr) {
+        metrics->GetCounter("driver.quarantine_records")
+            ->Add(static_cast<int64_t>(step.job.records_quarantined));
+        metrics->GetCounter("driver.quarantine_steps")->Add();
+      }
     }
     store_->Put(step.subtree_signature, step.stats);
     // Fold the new relation's base-leaf cover and checkpoint the step.
@@ -703,15 +755,26 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
       }
     }
     base_cover[step.relation_id] = base;
-    if (options_.checkpoint_path.empty()) return;
     auto binding = executor.GetBinding(step.relation_id);
     if (!binding.ok() || binding->file == nullptr) return;
+    if (options_.subtree_cache != nullptr && !from_cache &&
+        !cache_key.empty() && step.job.records_quarantined == 0) {
+      // Publish for other queries. Quarantine-affected outputs stay
+      // private: their rows depend on this query's corruption stream, not
+      // just on the subtree definition.
+      (void)options_.subtree_cache->Publish(cache_key,
+                                            table_versions_for(base),
+                                            *binding->file, step.stats,
+                                            engine_->now());
+    }
+    if (options_.checkpoint_path.empty()) return;
     CheckpointEntry entry;
     entry.signature = step.subtree_signature;
     entry.relation_id = step.relation_id;
     entry.path = binding->file->path();
     entry.covered.assign(base.begin(), base.end());
     entry.stats = step.stats;
+    entry.table_versions = table_versions_for(base);
     manifest_.entries.push_back(std::move(entry));
     manifest_.temp_counter = executor.temp_counter();
     Status persisted =
@@ -851,6 +914,31 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
       PlanExecutor::UnitRequest request;
       request.unit = &root;
       request.projection = block.output_columns;
+      std::string root_key = cache_key_for(root, request);
+      if (options_.subtree_cache != nullptr) {
+        auto hit = options_.subtree_cache->Lookup(root_key, engine_->now());
+        if (hit.has_value()) {
+          StepResult step;
+          step.subtree_signature =
+              executor.CanonicalSignature(*root.nodes.back());
+          step.stats = hit->stats;
+          RelationBinding cached;
+          cached.file = hit->file;
+          cached.signature = step.subtree_signature;
+          step.relation_id = executor.BindCachedRelation(std::move(cached));
+          executor.RegisterUnitOutput(root.uid, step.relation_id);
+          account_step(root, step, root_covered, root_key,
+                       /*from_cache=*/true);
+          if (trace != nullptr) {
+            trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                          obs::TraceLane::kDriver, "driver",
+                                          "final_step_cached")
+                              .Arg("relation", step.relation_id)
+                              .Arg("plan", previous_plan));
+          }
+          return hit->file;
+        }
+      }
       auto attempt = executor.ExecuteOne(request);
       StepResult step;
       if (attempt.ok()) {
@@ -883,7 +971,7 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
           continue;  // Re-plan around the materialized subtrees.
         }
       }
-      account_step(root, step, root_covered);
+      account_step(root, step, root_covered, root_key, /*from_cache=*/false);
       if (abort_requested()) {
         return Status::Cancelled(
             StrFormat("query aborted after %d jobs (test kill switch)",
@@ -930,9 +1018,71 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
       requests.push_back(std::move(request));
       covered_sets.push_back(std::move(covered));
     }
+
+    // Consult the cross-query cache: a unit whose decorated subtree key is
+    // pinned (and still valid against current table versions) is satisfied
+    // without running a job; only the remainder executes as a wave. All
+    // decisions happen on this (baton-serialized) driver thread, so hit
+    // patterns depend only on admission order — never on engine threading.
+    replan = options_.reopt_row_error_threshold <= 0.0;
+    std::vector<std::string> cache_keys(chosen.size());
+    if (options_.subtree_cache != nullptr) {
+      std::vector<bool> satisfied(chosen.size(), false);
+      for (size_t i = 0; i < chosen.size(); ++i) {
+        cache_keys[i] = cache_key_for(*chosen[i], requests[i]);
+        auto hit =
+            options_.subtree_cache->Lookup(cache_keys[i], engine_->now());
+        if (!hit.has_value()) continue;
+        StepResult step;
+        step.subtree_signature =
+            executor.CanonicalSignature(*chosen[i]->nodes.back());
+        step.stats = hit->stats;
+        RelationBinding cached;
+        cached.file = hit->file;
+        cached.signature = step.subtree_signature;
+        step.relation_id = executor.BindCachedRelation(std::move(cached));
+        executor.RegisterUnitOutput(chosen[i]->uid, step.relation_id);
+        account_step(*chosen[i], step, covered_sets[i], cache_keys[i],
+                     /*from_cache=*/true);
+        state.Substitute(covered_sets[i], step.relation_id, step.stats);
+        executed_units.insert(chosen[i]->uid);
+        // The entry's stats are the ones executing would have observed, so
+        // the re-optimization decision matches a cold run exactly.
+        double estimated = std::max(chosen[i]->est_rows, 1.0);
+        double observed = std::max(step.stats.cardinality, 1.0);
+        double error = std::abs(observed - estimated) / estimated;
+        if (error > options_.reopt_row_error_threshold) replan = true;
+        if (trace != nullptr) {
+          trace->Record(
+              obs::TraceEvent(engine_->now(), -1, obs::TraceLane::kDriver,
+                              "driver", "checkpoint_cached")
+                  .Arg("relation", step.relation_id)
+                  .ArgDouble("est_rows", estimated)
+                  .ArgDouble("observed_rows", observed)
+                  .Arg("plan", previous_plan));
+        }
+        satisfied[i] = true;
+      }
+      size_t kept = 0;
+      for (size_t i = 0; i < chosen.size(); ++i) {
+        if (satisfied[i]) continue;
+        if (kept != i) {  // A self-move would empty the slot.
+          chosen[kept] = chosen[i];
+          requests[kept] = std::move(requests[i]);
+          covered_sets[kept] = std::move(covered_sets[i]);
+          cache_keys[kept] = std::move(cache_keys[i]);
+        }
+        ++kept;
+      }
+      chosen.resize(kept);
+      requests.resize(kept);
+      covered_sets.resize(kept);
+      cache_keys.resize(kept);
+      if (requests.empty()) continue;  // Whole wave served from cache.
+    }
+
     DYNO_ASSIGN_OR_RETURN(std::vector<StepResult> steps,
                           executor.Execute(requests));
-    replan = options_.reopt_row_error_threshold <= 0.0;
     for (size_t i = 0; i < steps.size(); ++i) {
       if (!steps[i].status.ok()) {
         if (steps[i].status.code() == StatusCode::kOutOfMemory &&
@@ -966,7 +1116,8 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
           }
         }
       }
-      account_step(*chosen[i], steps[i], covered_sets[i]);
+      account_step(*chosen[i], steps[i], covered_sets[i], cache_keys[i],
+                   /*from_cache=*/false);
       if (abort_requested()) {
         return Status::Cancelled(
             StrFormat("query aborted after %d jobs (test kill switch)",

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/subtree_cache.h"
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "dyno/checkpoint.h"
@@ -75,6 +76,13 @@ struct DynoOptions {
   /// have been accounted (< 0 = never). Simulates the driver process dying
   /// mid-query so checkpoint/resume tests can exercise Resume().
   int abort_after_jobs = -1;
+
+  /// Cross-query materialized-subtree cache, shared across drivers (one per
+  /// QueryService, or test-owned). Null (the default) disables consult and
+  /// publish entirely — single-query behavior, traces and results are
+  /// byte-identical to pre-cache builds. Non-owning; must outlive the
+  /// driver.
+  SubtreeCache* subtree_cache = nullptr;
 };
 
 /// One (re-)optimization event in a query's life.

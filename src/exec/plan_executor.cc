@@ -147,6 +147,35 @@ Result<RelationBinding> PlanExecutor::GetBinding(const std::string& id) const {
   return it->second;
 }
 
+std::string PlanExecutor::CanonicalSignature(const PlanNode& node) const {
+  if (node.IsLeaf()) {
+    auto it = bindings_.find(node.relation_id);
+    if (it != bindings_.end() && !it->second.signature.empty()) {
+      return "[" + it->second.signature + "]";
+    }
+    // Unbound (or signature-less) leaves fall back to the run-local id;
+    // such signatures are still usable within the run, just not shareable.
+    return "[" + node.relation_id + "]";
+  }
+  std::string keys;
+  for (const auto& [left_col, right_col] : node.key_pairs) {
+    if (!keys.empty()) keys += ",";
+    keys += left_col + "=" + right_col;
+  }
+  std::string out = "(" + CanonicalSignature(*node.left) +
+                    (node.method == JoinMethod::kBroadcast ? " *b<" : " *r<") +
+                    keys + "> " + CanonicalSignature(*node.right) + ")";
+  if (node.post_filter != nullptr) out += "{" + node.post_filter->ToString() + "}";
+  return out;
+}
+
+std::string PlanExecutor::BindCachedRelation(RelationBinding binding) {
+  ++temp_counter_;
+  std::string id = StrFormat("t%d", temp_counter_);
+  Bind(id, std::move(binding));
+  return id;
+}
+
 Result<std::vector<JobUnit>> PlanExecutor::Decompose(const PlanNode& plan) {
   std::vector<JobUnit> units;
   if (plan.IsLeaf()) return units;  // Nothing to execute.
@@ -235,7 +264,7 @@ Result<std::vector<StepResult>> PlanExecutor::Execute(
     Prepared p;
     ++temp_counter_;
     p.output_id = StrFormat("t%d", temp_counter_);
-    p.signature = root.ToString();
+    p.signature = CanonicalSignature(root);
     p.spec.name = p.output_id;
     p.spec.query_id = options_.query_id;
     p.spec.output_path = options_.ScopedTempPrefix() +

@@ -123,6 +123,21 @@ class PlanExecutor {
   bool IsBound(const std::string& id) const;
   Result<RelationBinding> GetBinding(const std::string& id) const;
 
+  /// Canonical signature of a plan subtree: the tree rendered with every
+  /// leaf replaced by its *binding* signature (recursively grounded in
+  /// "table|filter" leaf signatures), join keys, and full post-filter text.
+  /// Unlike PlanNode::ToString(), which names run-local temp relations
+  /// ("t7"), this is stable across queries and sessions — two queries that
+  /// compute the same subtree over the same base data render identically,
+  /// which is what makes it usable as a cross-query cache key.
+  std::string CanonicalSignature(const PlanNode& node) const;
+
+  /// Binds an externally materialized relation (e.g. a subtree-cache hit)
+  /// under a freshly allocated temp id and returns that id. Allocation goes
+  /// through the same "t<N>" counter as executed units, so a run that hits
+  /// the cache assigns the exact ids an uninterrupted cold run would have.
+  std::string BindCachedRelation(RelationBinding binding);
+
   /// Splits `plan` into its MapReduce jobs, children before parents. The
   /// returned units hold pointers into `plan`, which must outlive them.
   static Result<std::vector<JobUnit>> Decompose(const PlanNode& plan);

@@ -128,6 +128,7 @@ Result<StatsCollector> PublishAndMerge(Coordinator* coordinator,
 struct PilotRunner::LeafJobState {
   const LeafExpr* leaf = nullptr;
   std::string signature;
+  uint64_t table_version = StatsStore::kAnyVersion;
   std::shared_ptr<DfsFile> table_file;
   /// Random permutation of the relation's split indexes; `next_split` marks
   /// how many have been consumed by batches so far.
@@ -166,8 +167,12 @@ Result<PilotRunReport> PilotRunner::RunSerial(
   run_counter_ = ++g_pilot_run_counter;
   for (const LeafExpr& leaf : leaves) {
     std::string signature = LeafSignature(leaf);
+    // Stats are only valid for the data version they were observed on: a
+    // signature match alone would happily reuse synopses from before the
+    // table was rewritten.
+    uint64_t table_version = catalog_->TableVersion(leaf.table);
     if (options_.reuse_stats) {
-      auto cached = store_->Get(signature);
+      auto cached = store_->Get(signature, table_version);
       if (cached.has_value()) {
         PilotLeafResult result;
         result.alias = leaf.alias;
@@ -218,7 +223,7 @@ Result<PilotRunReport> PilotRunner::RunSerial(
     bool scanned_everything = job.map_tasks_skipped == 0;
     result.stats = merged.Finalize(scanned_everything ? 1.0 : fraction);
     if (scanned_everything) result.full_output = job.output;
-    store_->Put(signature, result.stats);
+    store_->Put(signature, table_version, result.stats);
     if (trace != nullptr) {
       trace->Record(obs::TraceEvent(leaf_start, engine_->now() - leaf_start,
                                     obs::TraceLane::kPilot, "pilot",
@@ -262,8 +267,11 @@ Result<PilotRunReport> PilotRunner::RunParallel(
   std::vector<LeafJobState> states;
   for (const LeafExpr& leaf : leaves) {
     std::string signature = LeafSignature(leaf);
+    // Same staleness guard as the serial path: reuse requires both the
+    // signature and the data version to match.
+    uint64_t table_version = catalog_->TableVersion(leaf.table);
     if (options_.reuse_stats) {
-      auto cached = store_->Get(signature);
+      auto cached = store_->Get(signature, table_version);
       if (cached.has_value()) {
         PilotLeafResult result;
         result.alias = leaf.alias;
@@ -284,6 +292,7 @@ Result<PilotRunReport> PilotRunner::RunParallel(
     LeafJobState state;
     state.leaf = &leaf;
     state.signature = signature;
+    state.table_version = table_version;
     DYNO_ASSIGN_OR_RETURN(state.table_file, catalog_->OpenTable(leaf.table));
     size_t num_splits = state.table_file->splits().size();
     std::vector<uint64_t> order =
@@ -409,7 +418,7 @@ Result<PilotRunReport> PilotRunner::RunParallel(
         result.full_output = *combined;
       }
     }
-    store_->Put(state.signature, result.stats);
+    store_->Put(state.signature, state.table_version, result.stats);
     if (trace != nullptr) {
       trace->Record(
           obs::TraceEvent(start, engine_->now() - start,

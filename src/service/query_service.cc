@@ -24,6 +24,15 @@ void QueryServiceOptions::ApplyEnvOverrides() {
     admission_queue_limit = static_cast<int>(
         EnvInt64OrDie("DYNO_ADMISSION_QUEUE", env, 0, 1 << 20));
   }
+  if (const char* env = std::getenv("DYNO_SUBTREE_CACHE_MB")) {
+    enable_subtree_cache =
+        EnvInt64OrDie("DYNO_SUBTREE_CACHE_MB", env, 0, 1 << 20) > 0;
+  }
+  // Picks up the byte/entry budgets (DYNO_SUBTREE_CACHE_MB rereads there).
+  subtree_cache.ApplyEnvOverrides();
+  if (const char* env = std::getenv("DYNO_STATS_CACHE")) {
+    share_pilot_stats = EnvInt64OrDie("DYNO_STATS_CACHE", env, 0, 1) != 0;
+  }
 }
 
 /// All mutable state is guarded by QueryService::mu_; the baton protocol
@@ -72,7 +81,13 @@ QueryService::QueryService(MapReduceEngine* engine, Catalog* catalog,
       catalog_(catalog),
       store_(store),
       options_(options),
-      rng_(Mix64(options.seed)) {}
+      rng_(Mix64(options.seed)) {
+  if (options_.enable_subtree_cache) {
+    subtree_cache_ = std::make_unique<SubtreeCache>(
+        catalog_->dfs(), catalog_, options_.subtree_cache, engine_->metrics(),
+        engine_->trace());
+  }
+}
 
 QueryService::~QueryService() {
   // Defensive teardown for a service destroyed mid-run (RunAll normally
@@ -206,7 +221,12 @@ void QueryService::SessionMain(Session* session) {
     cv_.wait(lock, [&] { return session->start_granted; });
     session->start_granted = false;
   }
-  DynoDriver driver(engine_, catalog_, store_, session->scoped_options);
+  // The stats-sharing knob: with sharing off each session plans from a
+  // private store, so one query's pilot statistics never leak into another
+  // (the isolation ablation for the cross-query reuse experiments).
+  StatsStore private_store;
+  StatsStore* store = options_.share_pilot_stats ? store_ : &private_store;
+  DynoDriver driver(engine_, catalog_, store, session->scoped_options);
   Result<QueryRunReport> result = driver.Execute(session->sub.query);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -369,6 +389,11 @@ std::vector<QueryOutcome> QueryService::RunAll() {
       if (!session->scoped_options.checkpoint_path.empty()) {
         session->scoped_options.checkpoint_path +=
             "/q/" + session->sub.query_id;
+      }
+      // Every admitted session shares the service-owned subtree cache (a
+      // submission that pinned its own cache keeps it).
+      if (session->scoped_options.subtree_cache == nullptr) {
+        session->scoped_options.subtree_cache = subtree_cache_.get();
       }
       ++running;
       ++tenant_running[session->sub.tenant];

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/subtree_cache.h"
 #include "common/random.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -43,9 +44,25 @@ struct QueryServiceOptions {
   /// every drawn arrival immediate.
   SimMillis arrival_window_ms = 0;
 
+  /// Constructs a service-owned cross-query subtree-result cache and hands
+  /// it to every admitted session (DESIGN.md §6.7). Off by default: with no
+  /// cache, per-query results and traces are byte-identical to pre-cache
+  /// builds.
+  bool enable_subtree_cache = false;
+  /// Sizing of the service-owned cache (used only when enabled).
+  SubtreeCacheOptions subtree_cache;
+
+  /// Cross-query pilot-statistics sharing: when true (the default) every
+  /// session's driver reads and writes the one StatsStore passed to the
+  /// service, so a pilot run paid by one query is reused by the next. When
+  /// false each session gets a private store — the isolation ablation.
+  bool share_pilot_stats = true;
+
   /// Fills the knobs from DYNO_CONCURRENCY / DYNO_TENANT_SLOTS /
-  /// DYNO_ADMISSION_QUEUE. Absent variables leave fields untouched;
-  /// malformed values abort (same contract as FaultConfig).
+  /// DYNO_ADMISSION_QUEUE / DYNO_SUBTREE_CACHE_MB (0 disables the cache,
+  /// > 0 enables it at that budget) / DYNO_STATS_CACHE (0/1). Absent
+  /// variables leave fields untouched; malformed values abort (same
+  /// contract as FaultConfig).
   void ApplyEnvOverrides();
 };
 
@@ -141,6 +158,11 @@ class QueryService {
 
   const QueryServiceOptions& options() const { return options_; }
 
+  /// The service-owned cross-query cache; null unless
+  /// QueryServiceOptions::enable_subtree_cache. Exposed for tests/benches
+  /// to read hit/eviction counters.
+  SubtreeCache* subtree_cache() const { return subtree_cache_.get(); }
+
  private:
   struct Session;
 
@@ -165,6 +187,10 @@ class QueryService {
   StatsStore* store_;
   QueryServiceOptions options_;
   Rng rng_;
+  /// Owned cross-query subtree cache (null when disabled). Sessions borrow
+  /// it through DynoOptions::subtree_cache; it must therefore outlive every
+  /// session thread, which ~QueryService's join guarantees.
+  std::unique_ptr<SubtreeCache> subtree_cache_;
 
   std::mutex mu_;
   std::condition_variable cv_;

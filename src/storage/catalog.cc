@@ -1,5 +1,7 @@
 #include "storage/catalog.h"
 
+#include "common/hash.h"
+
 namespace dyno {
 
 Status Catalog::RegisterTable(const std::string& name,
@@ -9,6 +11,16 @@ Status Catalog::RegisterTable(const std::string& name,
   }
   auto [it, inserted] = tables_.emplace(name, TableEntry{name, dfs_path});
   if (!inserted) return Status::AlreadyExists("table exists: " + name);
+  return Status::OK();
+}
+
+Status Catalog::ReplaceTable(const std::string& name,
+                             const std::string& dfs_path) {
+  if (!dfs_->Exists(dfs_path)) {
+    return Status::NotFound("no dfs file at " + dfs_path);
+  }
+  tables_.insert_or_assign(name, TableEntry{name, dfs_path});
+  ++replace_epochs_[name];
   return Status::OK();
 }
 
@@ -32,6 +44,20 @@ Result<std::shared_ptr<DfsFile>> Catalog::OpenTable(
     const std::string& name) const {
   DYNO_ASSIGN_OR_RETURN(TableEntry entry, Lookup(name));
   return dfs_->Open(entry.dfs_path);
+}
+
+uint64_t Catalog::TableVersion(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return 0;
+  uint64_t v = HashBytes(it->second.dfs_path.data(),
+                         it->second.dfs_path.size());
+  v = HashCombine(v, Mix64(dfs_->WriteEpoch(it->second.dfs_path)));
+  auto epoch = replace_epochs_.find(name);
+  uint64_t replace = epoch == replace_epochs_.end() ? 0 : epoch->second;
+  v = HashCombine(v, Mix64(replace));
+  // Reserve 0 for "unknown table" even in the astronomically unlikely event
+  // the hash lands there.
+  return v == 0 ? 1 : v;
 }
 
 std::vector<std::string> Catalog::TableNames() const {

@@ -29,6 +29,12 @@ class Catalog {
   /// Registers `name` -> `dfs_path`. The file must already exist.
   Status RegisterTable(const std::string& name, const std::string& dfs_path);
 
+  /// Re-points `name` at `dfs_path`, registering it if absent. This is the
+  /// only sanctioned way to rewrite a table in place; it bumps the table's
+  /// replace epoch so `TableVersion` changes even if the new file happens to
+  /// live at the old path.
+  Status ReplaceTable(const std::string& name, const std::string& dfs_path);
+
   /// Creates a DFS file from `rows` and registers it under `name`.
   Status CreateTable(const std::string& name, const std::vector<Value>& rows);
 
@@ -39,11 +45,20 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Version fingerprint for the data currently backing `name`: a hash of
+  /// the backing DFS path, that path's DFS write epoch, and the table's
+  /// catalog replace epoch. Any rewrite — re-pointing the name, or deleting
+  /// and re-creating the file at the same path — changes the version, so
+  /// caches keyed by (signature, version) can never serve pre-rewrite data.
+  /// Returns 0 for unknown tables (0 is never a valid version).
+  uint64_t TableVersion(const std::string& name) const;
+
   Dfs* dfs() const { return dfs_; }
 
  private:
   Dfs* dfs_;
   std::map<std::string, TableEntry> tables_;
+  std::map<std::string, uint64_t> replace_epochs_;
 };
 
 }  // namespace dyno

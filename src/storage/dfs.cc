@@ -46,6 +46,7 @@ Result<std::shared_ptr<DfsFile>> Dfs::Create(const std::string& path) {
   if (!inserted) {
     return Status::AlreadyExists("dfs file exists: " + path);
   }
+  ++write_epochs_[path];
   return it->second;
 }
 
@@ -65,6 +66,7 @@ Status Dfs::Delete(const std::string& path) {
   if (files_.erase(path) == 0) {
     return Status::NotFound("dfs file not found: " + path);
   }
+  ++write_epochs_[path];
   return Status::OK();
 }
 
@@ -72,6 +74,7 @@ int Dfs::DeleteWithPrefix(const std::string& prefix) {
   int n = 0;
   for (auto it = files_.lower_bound(prefix); it != files_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    ++write_epochs_[it->first];
     it = files_.erase(it);
     ++n;
   }
@@ -83,6 +86,11 @@ std::vector<std::string> Dfs::List() const {
   out.reserve(files_.size());
   for (const auto& [path, file] : files_) out.push_back(path);
   return out;
+}
+
+uint64_t Dfs::WriteEpoch(const std::string& path) const {
+  auto it = write_epochs_.find(path);
+  return it == write_epochs_.end() ? 0 : it->second;
 }
 
 uint64_t Dfs::TotalBytes() const {

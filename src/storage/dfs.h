@@ -103,8 +103,16 @@ class Dfs {
   /// Total bytes stored across all files.
   uint64_t TotalBytes() const;
 
+  /// Monotone per-path write epoch: bumped every time `path` is created or
+  /// deleted. Two opens of the same path with equal epochs are guaranteed to
+  /// see the same immutable file; a differing epoch means the path was
+  /// rewritten in between. Starts at 0 for never-written paths, so epoch 0
+  /// doubles as "no such data version". Caches key their entries by this.
+  uint64_t WriteEpoch(const std::string& path) const;
+
  private:
   std::map<std::string, std::shared_ptr<DfsFile>> files_;
+  std::map<std::string, uint64_t> write_epochs_;
 };
 
 /// Buffers rows and seals them into splits of roughly `target_split_bytes`.

@@ -414,7 +414,8 @@ std::string RunResumeWorkload(int threads) {
 /// bytes, slot accounting, fault totals), the service metrics and the full
 /// serialized trace — all of which must be bit-identical across execution
 /// thread counts.
-std::string RunConcurrentWorkload(int threads, FaultTotals* totals = nullptr) {
+std::string RunConcurrentWorkload(int threads, FaultTotals* totals = nullptr,
+                                  bool with_cache = false) {
   Dfs dfs;
   Catalog catalog(&dfs);
   ClusterConfig config;
@@ -450,6 +451,7 @@ std::string RunConcurrentWorkload(int threads, FaultTotals* totals = nullptr) {
   service_options.tenant_slots = 2;
   service_options.seed = 1234;
   service_options.arrival_window_ms = 60000;
+  service_options.enable_subtree_cache = with_cache;
   QueryService service(&engine, &catalog, &store, service_options);
 
   for (int i = 0; i < 8; ++i) {
@@ -528,6 +530,31 @@ TEST(EngineDeterminismTest, ConcurrentQueriesDeterministicAcrossThreadCounts) {
   EXPECT_GT(totals.block_corruptions + totals.checksum_refetches +
                 static_cast<int>(totals.records_quarantined),
             0);
+}
+
+// The same concurrent workload with the cross-query subtree cache enabled:
+// hit patterns depend only on admission order (lookups and publishes happen
+// on baton-serialized session threads), so the fingerprint — per-query
+// result bytes, cache metrics, the full trace — must stay bit-identical
+// across engine thread counts.
+TEST(EngineDeterminismTest,
+     ConcurrentQueriesWithSubtreeCacheDeterministicAcrossThreadCounts) {
+  std::string one = RunConcurrentWorkload(1, nullptr, /*with_cache=*/true);
+  std::string four = RunConcurrentWorkload(4, nullptr, /*with_cache=*/true);
+  std::string eight = RunConcurrentWorkload(8, nullptr, /*with_cache=*/true);
+  EXPECT_EQ(one, four) << "1-thread and 4-thread cached runs diverged";
+  EXPECT_EQ(one, eight) << "1-thread and 8-thread cached runs diverged";
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(one.find(StrFormat("q%02d tenant=%s status=0", i,
+                                 i % 2 == 0 ? "alpha" : "beta")),
+              std::string::npos)
+        << "query q" << i << " did not complete";
+  }
+  // The cache genuinely participated (the workload repeats two query
+  // shapes, so later sessions must hit the earlier sessions' entries).
+  EXPECT_NE(one.find("cache.hits"), std::string::npos)
+      << "no cache activity in the metrics fingerprint:\n"
+      << one.substr(one.find("metrics:"), 2000);
 }
 
 TEST(EngineDeterminismTest, ResumedQueryIsDeterministicAcrossThreadCounts) {

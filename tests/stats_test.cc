@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -310,6 +312,81 @@ TEST(StatsStoreTest, PutOverwrites) {
   store.Put("k", s1);
   store.Put("k", s2);
   EXPECT_DOUBLE_EQ(store.Get("k")->cardinality, 2.0);
+}
+
+TEST(StatsStoreTest, VersionedGetRejectsStaleEntries) {
+  StatsStore store;
+  TableStats stats;
+  stats.cardinality = 7;
+  store.Put("sig", /*version=*/100, stats);
+
+  // Matching version: hit.
+  ASSERT_TRUE(store.Get("sig", 100).has_value());
+  // Different non-wildcard version: the entry describes other data — a
+  // stale miss, not a hit (the stale pilot-stats reuse bug).
+  EXPECT_FALSE(store.Get("sig", 101).has_value());
+  EXPECT_EQ(store.stale_misses(), 1u);
+  EXPECT_EQ(store.misses(), 1u);
+  // Wildcard requests accept any entry, and wildcard entries satisfy any
+  // request (legacy unversioned callers keep working).
+  EXPECT_TRUE(store.Get("sig").has_value());
+  store.Put("legacy", stats);
+  EXPECT_TRUE(store.Get("legacy", 42).has_value());
+}
+
+TEST(StatsStoreTest, VersionedPutOverwritesStale) {
+  StatsStore store;
+  TableStats s1;
+  s1.cardinality = 1;
+  TableStats s2;
+  s2.cardinality = 2;
+  store.Put("k", 1, s1);
+  store.Put("k", 2, s2);  // The table was rewritten; re-measured stats.
+  EXPECT_FALSE(store.Get("k", 1).has_value());
+  auto got = store.Get("k", 2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->cardinality, 2.0);
+}
+
+// TSan-covered regression for the unsynchronized StatsStore: concurrent
+// sessions of the QueryService share one store, and the pre-fix
+// implementation raced on its map. Hammer it from several threads; the
+// assertions are secondary — the point is that TSan stays silent.
+TEST(StatsStoreTest, ConcurrentAccessIsRaceFree) {
+  StatsStore store;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      TableStats stats;
+      stats.cardinality = t;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::string key = "sig" + std::to_string(i % 17);
+        switch (i % 5) {
+          case 0:
+            store.Put(key, static_cast<uint64_t>(t + 1), stats);
+            break;
+          case 1:
+            (void)store.Get(key, static_cast<uint64_t>(t + 1));
+            break;
+          case 2:
+            (void)store.Contains(key);
+            break;
+          case 3:
+            (void)store.Get(key);
+            break;
+          default:
+            if (i % 100 == 4) store.Erase(key);
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(store.hits() + store.misses(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread * 2 / 5);
 }
 
 }  // namespace
