@@ -18,6 +18,11 @@
 #               failures and block/shuffle corruption, plus a bench_mqo
 #               smoke run (repeated TPC-H batch, cold vs warm, gated on
 #               identical results and a >= 2x warm speedup)
+#   columnar    storage/engine/driver suites with the columnar data plane
+#               and zone maps on (DYNO_COLUMNAR/DYNO_ZONE_MAPS) under 5%
+#               task faults + 2% block/shuffle corruption, plus a
+#               bench_scan smoke run (row vs columnar scan/shuffle, gated
+#               on byte-identical results and a >= 2x pruned-scan speedup)
 #   fuzz-smoke  codec + checkpoint-manifest + DFS-bit-rot fuzzing, small
 #               fixed budget
 #   goldens     checked-in traces match the current trace schema
@@ -51,6 +56,7 @@ run ctest --preset node-faults
 run ctest --preset corruption
 run ctest --preset concurrency
 run ctest --preset mqo-cache
+run ctest --preset columnar
 run ctest --preset fuzz-smoke
 
 # bench_concurrency doubles as an integration smoke: it fails unless all 8
@@ -63,6 +69,11 @@ run env DYNO_BENCH_CONCURRENCY_OUT=build/BENCH_concurrency.json \
 # repeated portion is at least 2x faster than cold with the cache on and
 # results match the cache-off run.
 run env DYNO_BENCH_MQO_OUT=build/BENCH_mqo.json build/bench/bench_mqo
+
+# bench_scan is the columnar data-plane smoke: it fails unless row and
+# columnar scans return byte-identical output and zone-map pruning makes
+# the selective scan at least 2x faster.
+run env DYNO_BENCH_SCAN_OUT=build/BENCH_scan.json build/bench/bench_scan
 
 run scripts/check_goldens.sh
 

@@ -15,9 +15,8 @@ Result<TableStats> ComputeExactLeafStats(Catalog* catalog,
   uint64_t records = 0;
   uint64_t bytes = 0;
   for (const Split& split : file->splits()) {
-    SplitReader reader(&split);
-    while (!reader.AtEnd()) {
-      DYNO_ASSIGN_OR_RETURN(Value row, reader.Next());
+    DYNO_ASSIGN_OR_RETURN(std::vector<Value> rows, DecodeSplitRows(split));
+    for (const Value& row : rows) {
       if (leaf.filter != nullptr) {
         DYNO_ASSIGN_OR_RETURN(Value keep, leaf.filter->Eval(row));
         if (keep.type() != Value::Type::kBool || !keep.bool_value()) continue;

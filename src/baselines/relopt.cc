@@ -55,14 +55,12 @@ Status RelOptBaseline::AnalyzeTable(const std::string& table,
   uint64_t records = 0;
   uint64_t bytes = 0;
   for (const Split& split : (*file)->splits()) {
-    SplitReader reader(&split);
-    while (!reader.AtEnd()) {
-      auto row = reader.Next();
-      if (!row.ok()) return row.status();
+    DYNO_ASSIGN_OR_RETURN(std::vector<Value> rows, DecodeSplitRows(split));
+    for (const Value& row : rows) {
       ++records;
-      bytes += row->EncodedSize();
+      bytes += row.EncodedSize();
       for (const std::string& col : wanted) {
-        const Value* v = row->FindField(col);
+        const Value* v = row.FindField(col);
         if (v != nullptr && !v->is_null()) values[col].push_back(*v);
       }
     }

@@ -1,0 +1,89 @@
+#include "columnar/batch_eval.h"
+
+#include <string>
+#include <utility>
+
+namespace dyno::columnar {
+
+namespace {
+
+bool CompareMatches(Expr::CompareOp op, int cmp) {
+  switch (op) {
+    case Expr::CompareOp::kEq: return cmp == 0;
+    case Expr::CompareOp::kNe: return cmp != 0;
+    case Expr::CompareOp::kLt: return cmp < 0;
+    case Expr::CompareOp::kLe: return cmp <= 0;
+    case Expr::CompareOp::kGt: return cmp > 0;
+    case Expr::CompareOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<BatchFilterResult> EvalFilterOverRows(const ExprPtr& filter,
+                                             const std::vector<Value>& rows) {
+  BatchFilterResult result;
+  result.keep.assign(rows.size(), 1);
+  if (filter == nullptr) {
+    return Status::InvalidArgument("batch filter eval needs a filter");
+  }
+
+  std::vector<ExprPtr> factors;
+  DecomposeConjunction(filter, &factors);
+
+  // Vectorizable factors first (selection-vector cascade), then the
+  // residual factors via Expr::Eval on whatever is still selected. Keep
+  // bits match row-at-a-time evaluation exactly: a conjunction is truthy
+  // iff every factor is, and comparison factors are pure.
+  struct SimpleFactor {
+    std::string column;
+    Expr::CompareOp op;
+    Value literal;
+    double cpu = 0.0;
+  };
+  std::vector<SimpleFactor> simple;
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& factor : factors) {
+    SimpleFactor sf;
+    if (factor->AsSimpleComparison(&sf.column, &sf.op, &sf.literal)) {
+      sf.cpu = factor->CpuCost();
+      simple.push_back(std::move(sf));
+    } else {
+      residual.push_back(factor);
+    }
+  }
+
+  uint64_t selected = rows.size();
+  for (const SimpleFactor& sf : simple) {
+    result.cpu_units +=
+        kVectorizedCpuFraction * sf.cpu * static_cast<double>(selected);
+    result.vectorized_evals += selected;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!result.keep[i]) continue;
+      const Value* v = rows[i].FindField(sf.column);
+      // SQL-ish null semantics: a comparison on null/missing is false.
+      const bool pass = v != nullptr && !v->is_null() && !sf.literal.is_null()
+                        && CompareMatches(sf.op, v->Compare(sf.literal));
+      if (!pass) {
+        result.keep[i] = 0;
+        --selected;
+      }
+    }
+  }
+  for (const ExprPtr& factor : residual) {
+    const double cpu = factor->CpuCost();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!result.keep[i]) continue;
+      result.cpu_units += cpu;
+      DYNO_ASSIGN_OR_RETURN(Value v, factor->Eval(rows[i]));
+      if (v.type() != Value::Type::kBool || !v.bool_value()) {
+        result.keep[i] = 0;
+        --selected;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dyno::columnar

@@ -1,0 +1,44 @@
+#ifndef DYNO_COLUMNAR_BATCH_EVAL_H_
+#define DYNO_COLUMNAR_BATCH_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "json/value.h"
+
+namespace dyno::columnar {
+
+/// Fraction of a conjunct's declared CPU cost charged per row when it runs
+/// vectorized (tight compare loop over a column instead of a tree-walking
+/// Eval). The discount is what makes the columnar scan path cheaper on the
+/// simulator's clock, mirroring the real-world win of batch evaluation.
+constexpr double kVectorizedCpuFraction = 0.25;
+
+/// Outcome of evaluating a filter over one batch of rows.
+struct BatchFilterResult {
+  /// keep[i] != 0 iff rows[i] passes the filter. Size == rows.size().
+  std::vector<uint8_t> keep;
+  /// CPU units to charge for the whole evaluation (vectorized factors at
+  /// kVectorizedCpuFraction of their cost, residual factors at full cost on
+  /// the rows still selected when they run).
+  double cpu_units = 0.0;
+  /// Row×factor evaluations that ran vectorized (observability only).
+  uint64_t vectorized_evals = 0;
+};
+
+/// Batch-at-a-time filter evaluation: the filter's conjunction is split
+/// into factors; `column <op> literal` factors run as selection-vector
+/// compare loops, everything else (UDFs, nested paths, OR trees, ...)
+/// falls back to Expr::Eval on the rows that survived the vectorized
+/// factors. Result bits are identical to evaluating the filter row-by-row
+/// (conjunction semantics: every factor must be truthy).
+///
+/// `filter` must be non-null.
+Result<BatchFilterResult> EvalFilterOverRows(const ExprPtr& filter,
+                                             const std::vector<Value>& rows);
+
+}  // namespace dyno::columnar
+
+#endif  // DYNO_COLUMNAR_BATCH_EVAL_H_

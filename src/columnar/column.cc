@@ -1,0 +1,375 @@
+#include "columnar/column.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/crc32c.h"
+
+namespace dyno::columnar {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'B', '0', '1'};
+constexpr uint8_t kFlagIrregular = 0x01;
+/// Name of the single column the irregular fallback stores rows under.
+constexpr const char* kRawRowColumn = "__row";
+
+void EncodeVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> DecodeVarint(std::string_view data, size_t* offset) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*offset >= data.size()) {
+      return Status::DataLoss("columnar batch: truncated varint");
+    }
+    uint8_t b = static_cast<uint8_t>(data[(*offset)++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  return Status::DataLoss("columnar batch: malformed varint");
+}
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void EncodeDoubleLe(double d, std::string* out) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+Result<double> DecodeDoubleLe(std::string_view data, size_t* offset) {
+  if (*offset + 8 > data.size()) {
+    return Status::DataLoss("columnar batch: truncated double");
+  }
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(static_cast<uint8_t>(data[*offset + i]))
+            << (8 * i);
+  }
+  *offset += 8;
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// The narrowest ColumnType covering every set value of a column.
+ColumnType PickType(const std::vector<Value>& values) {
+  if (values.empty()) return ColumnType::kMixed;
+  Value::Type first = values[0].type();
+  for (const Value& v : values) {
+    if (v.type() != first) return ColumnType::kMixed;
+  }
+  switch (first) {
+    case Value::Type::kBool: return ColumnType::kBool;
+    case Value::Type::kInt: return ColumnType::kInt;
+    case Value::Type::kDouble: return ColumnType::kDouble;
+    case Value::Type::kString: return ColumnType::kString;
+    default: return ColumnType::kMixed;
+  }
+}
+
+void EncodeTypedValue(ColumnType type, const Value& v, std::string* out) {
+  switch (type) {
+    case ColumnType::kBool:
+      out->push_back(v.bool_value() ? 1 : 0);
+      break;
+    case ColumnType::kInt:
+      EncodeVarint(ZigzagEncode(v.int_value()), out);
+      break;
+    case ColumnType::kDouble:
+      EncodeDoubleLe(v.double_value(), out);
+      break;
+    case ColumnType::kString: {
+      const std::string& s = v.string_value();
+      EncodeVarint(s.size(), out);
+      out->append(s);
+      break;
+    }
+    case ColumnType::kMixed:
+      v.EncodeTo(out);
+      break;
+  }
+}
+
+Result<Value> DecodeTypedValue(ColumnType type, std::string_view data,
+                               size_t* offset) {
+  switch (type) {
+    case ColumnType::kBool: {
+      if (*offset >= data.size()) {
+        return Status::DataLoss("columnar batch: truncated bool");
+      }
+      uint8_t b = static_cast<uint8_t>(data[(*offset)++]);
+      if (b > 1) return Status::DataLoss("columnar batch: bad bool byte");
+      return Value::Bool(b == 1);
+    }
+    case ColumnType::kInt: {
+      DYNO_ASSIGN_OR_RETURN(uint64_t zz, DecodeVarint(data, offset));
+      return Value::Int(ZigzagDecode(zz));
+    }
+    case ColumnType::kDouble: {
+      DYNO_ASSIGN_OR_RETURN(double d, DecodeDoubleLe(data, offset));
+      return Value::Double(d);
+    }
+    case ColumnType::kString: {
+      DYNO_ASSIGN_OR_RETURN(uint64_t len, DecodeVarint(data, offset));
+      if (len > data.size() - *offset) {
+        return Status::DataLoss("columnar batch: truncated string");
+      }
+      Value v = Value::String(std::string(data.substr(*offset, len)));
+      *offset += len;
+      return v;
+    }
+    case ColumnType::kMixed: {
+      Result<Value> v = Value::Decode(data, offset);
+      if (!v.ok()) {
+        return Status::DataLoss("columnar batch: bad nested value: " +
+                                v.status().message());
+      }
+      return *std::move(v);
+    }
+  }
+  return Status::DataLoss("columnar batch: unknown column type");
+}
+
+}  // namespace
+
+ColumnBatch ColumnBatch::FromRows(const std::vector<Value>& rows) {
+  ColumnBatch batch;
+  batch.num_rows_ = rows.size();
+
+  // Regular attempt: every row must be a struct whose field sequence is a
+  // subsequence (in order, no duplicates) of one shared schema built
+  // incrementally. Anything else falls back to the irregular encoding.
+  bool regular = true;
+  std::vector<std::string> schema;
+  std::vector<std::vector<uint8_t>> presence;   // [col][row]
+  std::vector<std::vector<Value>> values;       // [col] set values
+  auto find_column = [&schema](const std::string& name) -> int {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (size_t r = 0; r < rows.size() && regular; ++r) {
+    const Value& row = rows[r];
+    if (row.type() != Value::Type::kStruct) {
+      regular = false;
+      break;
+    }
+    int last_index = -1;
+    for (const auto& [name, field] : row.fields()) {
+      int idx = find_column(name);
+      if (idx < 0) {
+        // New column: append to the schema; earlier rows are kAbsent.
+        idx = static_cast<int>(schema.size());
+        schema.push_back(name);
+        presence.emplace_back(r, static_cast<uint8_t>(Presence::kAbsent));
+        values.emplace_back();
+      }
+      if (idx <= last_index) {
+        // Out-of-schema-order field, or a duplicate name in this row.
+        regular = false;
+        break;
+      }
+      last_index = idx;
+      presence[idx].push_back(static_cast<uint8_t>(
+          field.is_null() ? Presence::kNull : Presence::kSet));
+      if (!field.is_null()) values[idx].push_back(field);
+    }
+    if (!regular) break;
+    // Columns this row does not mention are absent in it.
+    for (auto& p : presence) {
+      if (p.size() == r) p.push_back(static_cast<uint8_t>(Presence::kAbsent));
+    }
+  }
+
+  if (!regular) {
+    batch.irregular_ = true;
+    batch.raw_rows_ = rows;
+    return batch;
+  }
+  batch.columns_.reserve(schema.size());
+  for (size_t c = 0; c < schema.size(); ++c) {
+    ColumnVector col;
+    col.name = std::move(schema[c]);
+    col.presence = std::move(presence[c]);
+    col.values = std::move(values[c]);
+    batch.columns_.push_back(std::move(col));
+  }
+  return batch;
+}
+
+void ColumnBatch::EncodeTo(std::string* out) const {
+  const size_t frame_start = out->size();
+  out->append(kMagic, sizeof(kMagic));
+  out->push_back(static_cast<char>(irregular_ ? kFlagIrregular : 0));
+  EncodeVarint(num_rows_, out);
+
+  if (irregular_) {
+    EncodeVarint(1, out);  // One pseudo-column of whole rows.
+    EncodeVarint(std::strlen(kRawRowColumn), out);
+    out->append(kRawRowColumn);
+    out->push_back(static_cast<char>(ColumnType::kMixed));
+    out->append(num_rows_, static_cast<char>(Presence::kSet));
+    EncodeVarint(raw_rows_.size(), out);
+    for (const Value& row : raw_rows_) row.EncodeTo(out);
+  } else {
+    EncodeVarint(columns_.size(), out);
+    for (const ColumnVector& col : columns_) {
+      EncodeVarint(col.name.size(), out);
+      out->append(col.name);
+      ColumnType type = PickType(col.values);
+      out->push_back(static_cast<char>(type));
+      out->append(reinterpret_cast<const char*>(col.presence.data()),
+                  col.presence.size());
+      EncodeVarint(col.values.size(), out);
+      for (const Value& v : col.values) EncodeTypedValue(type, v, out);
+    }
+  }
+  uint32_t crc = Crc32c(out->data() + frame_start, out->size() - frame_start);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+}
+
+Result<ColumnBatch> ColumnBatch::Decode(std::string_view data) {
+  // Verify the frame checksum before trusting a single byte of structure.
+  if (data.size() < sizeof(kMagic) + 1 + 4) {
+    return Status::DataLoss("columnar batch: frame too short");
+  }
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(data[data.size() - 4 + i]))
+              << (8 * i);
+  }
+  std::string_view frame = data.substr(0, data.size() - 4);
+  if (Crc32c(frame) != stored) {
+    return Status::DataLoss("columnar batch: frame checksum mismatch");
+  }
+  if (std::memcmp(frame.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("columnar batch: bad magic");
+  }
+  size_t offset = sizeof(kMagic);
+  uint8_t flags = static_cast<uint8_t>(frame[offset++]);
+  if ((flags & ~kFlagIrregular) != 0) {
+    return Status::DataLoss("columnar batch: unknown flags");
+  }
+
+  ColumnBatch batch;
+  batch.irregular_ = (flags & kFlagIrregular) != 0;
+  DYNO_ASSIGN_OR_RETURN(batch.num_rows_, DecodeVarint(frame, &offset));
+  DYNO_ASSIGN_OR_RETURN(uint64_t num_cols, DecodeVarint(frame, &offset));
+  if (num_cols > frame.size()) {
+    return Status::DataLoss("columnar batch: column count exceeds frame");
+  }
+  if (batch.num_rows_ > frame.size() && batch.num_rows_ > 0) {
+    // Every row costs at least one presence byte per column (or one value
+    // byte when irregular), so a count beyond the frame size is corrupt.
+    return Status::DataLoss("columnar batch: row count exceeds frame");
+  }
+  if (batch.irregular_ && num_cols != 1) {
+    return Status::DataLoss("columnar batch: irregular frame column count");
+  }
+
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    DYNO_ASSIGN_OR_RETURN(uint64_t name_len, DecodeVarint(frame, &offset));
+    if (name_len > frame.size() - offset) {
+      return Status::DataLoss("columnar batch: truncated column name");
+    }
+    ColumnVector col;
+    col.name = std::string(frame.substr(offset, name_len));
+    offset += name_len;
+    if (offset >= frame.size()) {
+      return Status::DataLoss("columnar batch: truncated column type");
+    }
+    uint8_t type_byte = static_cast<uint8_t>(frame[offset++]);
+    if (type_byte > static_cast<uint8_t>(ColumnType::kMixed)) {
+      return Status::DataLoss("columnar batch: bad column type");
+    }
+    ColumnType type = static_cast<ColumnType>(type_byte);
+    if (batch.num_rows_ > frame.size() - offset) {
+      return Status::DataLoss("columnar batch: truncated presence run");
+    }
+    col.presence.resize(batch.num_rows_);
+    uint64_t want_set = 0;
+    for (uint64_t r = 0; r < batch.num_rows_; ++r) {
+      uint8_t p = static_cast<uint8_t>(frame[offset + r]);
+      if (p > static_cast<uint8_t>(Presence::kSet)) {
+        return Status::DataLoss("columnar batch: bad presence byte");
+      }
+      col.presence[r] = p;
+      if (p == static_cast<uint8_t>(Presence::kSet)) ++want_set;
+    }
+    offset += batch.num_rows_;
+    DYNO_ASSIGN_OR_RETURN(uint64_t set_count, DecodeVarint(frame, &offset));
+    if (set_count != want_set) {
+      return Status::DataLoss("columnar batch: set count mismatch");
+    }
+    col.values.reserve(set_count);
+    for (uint64_t i = 0; i < set_count; ++i) {
+      DYNO_ASSIGN_OR_RETURN(Value v, DecodeTypedValue(type, frame, &offset));
+      if (!batch.irregular_ && v.is_null()) {
+        // Set slots never hold null (null is a presence state); a null here
+        // can only come from a damaged frame.
+        return Status::DataLoss("columnar batch: null in set slot");
+      }
+      col.values.push_back(std::move(v));
+    }
+    if (batch.irregular_) {
+      if (col.name != kRawRowColumn || want_set != batch.num_rows_ ||
+          type != ColumnType::kMixed) {
+        return Status::DataLoss("columnar batch: malformed irregular frame");
+      }
+      batch.raw_rows_ = std::move(col.values);
+    } else {
+      batch.columns_.push_back(std::move(col));
+    }
+  }
+  if (offset != frame.size()) {
+    return Status::DataLoss("columnar batch: trailing bytes in frame");
+  }
+  return batch;
+}
+
+std::vector<Value> ColumnBatch::ToRows() const {
+  if (irregular_) return raw_rows_;
+  std::vector<Value> rows;
+  rows.reserve(num_rows_);
+  std::vector<size_t> cursor(columns_.size(), 0);
+  for (uint64_t r = 0; r < num_rows_; ++r) {
+    StructFields fields;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const ColumnVector& col = columns_[c];
+      switch (static_cast<Presence>(col.presence[r])) {
+        case Presence::kAbsent:
+          break;
+        case Presence::kNull:
+          fields.emplace_back(col.name, Value::Null());
+          break;
+        case Presence::kSet:
+          fields.emplace_back(col.name, col.values[cursor[c]++]);
+          break;
+      }
+    }
+    rows.push_back(Value::Struct(std::move(fields)));
+  }
+  return rows;
+}
+
+}  // namespace dyno::columnar

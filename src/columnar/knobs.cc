@@ -1,0 +1,25 @@
+#include "columnar/knobs.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace dyno::columnar {
+
+namespace {
+
+/// Re-read on every call (tests toggle the knobs between runs); the call
+/// sites are per-scan / per-table-write, never per-row.
+bool BoolKnob(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return false;
+  return EnvInt64OrDie(name, value, 0, 1) == 1;
+}
+
+}  // namespace
+
+bool ColumnarEnabled() { return BoolKnob("DYNO_COLUMNAR"); }
+
+bool ZoneMapsEnabled() { return BoolKnob("DYNO_ZONE_MAPS"); }
+
+}  // namespace dyno::columnar

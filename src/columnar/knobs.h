@@ -1,0 +1,19 @@
+#ifndef DYNO_COLUMNAR_KNOBS_H_
+#define DYNO_COLUMNAR_KNOBS_H_
+
+namespace dyno::columnar {
+
+/// `DYNO_COLUMNAR=1`: base tables are written as columnar batches and leaf
+/// scans evaluate their pushed-down predicates batch-at-a-time. Off (the
+/// default) keeps the per-row format everywhere — the oracle the columnar
+/// path is tested against. Strict parsing: anything but 0/1 aborts.
+bool ColumnarEnabled();
+
+/// `DYNO_ZONE_MAPS=1`: leaf scans consult per-split zone maps and skip
+/// splits no row of which can satisfy the scan predicate. Independent of
+/// DYNO_COLUMNAR (zone maps are stamped on row splits too). Strict parsing.
+bool ZoneMapsEnabled();
+
+}  // namespace dyno::columnar
+
+#endif  // DYNO_COLUMNAR_KNOBS_H_

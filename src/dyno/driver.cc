@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "columnar/knobs.h"
 #include "common/string_util.h"
 #include "exec/aggregates.h"
 #include "obs/metrics.h"
@@ -18,14 +19,10 @@ namespace dyno {
 
 namespace {
 
-/// Evaluates a boolean filter; non-bool/null results count as false.
-Result<bool> EvalFilter(const ExprPtr& filter, const Value& row) {
-  if (filter == nullptr) return true;
-  DYNO_ASSIGN_OR_RETURN(Value v, filter->Eval(row));
-  return v.type() == Value::Type::kBool && v.bool_value();
-}
-
 /// Map-only materialization of one leaf (single-table join "blocks").
+/// DYNO_COLUMNAR pushes the filter into the engine's scan (batch evaluation
+/// on columnar splits); DYNO_ZONE_MAPS skips splits the filter provably
+/// cannot match before the job is submitted.
 Result<JobResult> RunScanFilterJob(MapReduceEngine* engine,
                                    std::shared_ptr<DfsFile> file,
                                    const ExprPtr& filter,
@@ -37,10 +34,37 @@ Result<JobResult> RunScanFilterJob(MapReduceEngine* engine,
   spec.query_id = query_id;
   spec.output_path = output_path;
   MapInput input;
-  input.file = std::move(file);
-  input.cpu_per_record = 1.0 + (filter ? filter->CpuCost() : 0.0);
+  input.file = file;
+  ExprPtr closure_filter = filter;
+  if (columnar::ColumnarEnabled() && filter != nullptr) {
+    input.scan_filter = filter;
+    input.scan_filter_cpu = filter->CpuCost();
+    input.cpu_per_record = 1.0;
+    closure_filter = nullptr;
+  } else {
+    input.cpu_per_record = 1.0 + (filter ? filter->CpuCost() : 0.0);
+  }
+  if (columnar::ZoneMapsEnabled() && filter != nullptr) {
+    PruneResult pruned = PruneSplitIndexes(*file, filter);
+    if (pruned.pruned > 0) {
+      input.split_indexes.assign(pruned.kept.begin(), pruned.kept.end());
+      input.split_indexes_exact = true;
+      if (engine->metrics() != nullptr) {
+        engine->metrics()->GetCounter("scan.splits_pruned")->Add(pruned.pruned);
+      }
+      if (engine->trace() != nullptr) {
+        engine->trace()->Record(
+            obs::TraceEvent(engine->now(), -1, obs::TraceLane::kEngine,
+                            "scan", "split_pruned")
+                .Arg("file", file->path())
+                .ArgInt("pruned", static_cast<int64_t>(pruned.pruned))
+                .ArgInt("total",
+                        static_cast<int64_t>(file->splits().size())));
+      }
+    }
+  }
   std::vector<std::string> proj = projection;
-  ExprPtr f = filter;
+  ExprPtr f = std::move(closure_filter);
   input.map_fn = [f, proj](const Value& record, MapContext* ctx) -> Status {
     DYNO_ASSIGN_OR_RETURN(bool keep, EvalFilter(f, record));
     if (!keep) return Status::OK();

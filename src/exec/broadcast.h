@@ -26,10 +26,18 @@ struct BroadcastTable {
 };
 
 /// Builds the hash table for the build side `file`, applying `filter` (null
-/// = keep all) and keying on `key_columns`.
+/// = keep all) and keying on `key_columns`. Splits are checksum-verified
+/// and decoded per their format; corruption surfaces as DataLoss.
+///
+/// When `splits_pruned` is non-null the caller opts into zone-map pruning:
+/// splits whose zone map proves no row can pass `filter` are skipped
+/// without being read (they are excluded from load_bytes), and the skip
+/// count is written out. The table contents are identical either way — a
+/// pruned split contributes no rows by construction.
 Result<std::shared_ptr<BroadcastTable>> BuildBroadcastTable(
     const DfsFile& file, const ExprPtr& filter,
-    const std::vector<std::string>& key_columns);
+    const std::vector<std::string>& key_columns,
+    uint64_t* splits_pruned = nullptr);
 
 }  // namespace dyno
 

@@ -6,9 +6,12 @@
 #include <cmath>
 #include <utility>
 
+#include "columnar/knobs.h"
 #include "common/string_util.h"
 #include "exec/broadcast.h"
 #include "exec/row_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dyno {
 
@@ -32,11 +35,53 @@ std::vector<std::string> RightKeyColumns(const PlanNode& node) {
   return cols;
 }
 
-/// Evaluates a boolean filter; non-bool/null results count as false.
-Result<bool> EvalFilter(const ExprPtr& filter, const Value& row) {
-  if (filter == nullptr) return true;
-  DYNO_ASSIGN_OR_RETURN(Value v, filter->Eval(row));
-  return v.type() == Value::Type::kBool && v.bool_value();
+/// Records one pruned leaf scan: the scan.splits_pruned counter plus a
+/// split_pruned instant event per skipped file (both absent when zone maps
+/// are off, keeping golden traces and metric dumps byte-stable).
+void RecordSplitsPruned(MapReduceEngine* engine, const std::string& path,
+                        uint64_t pruned, uint64_t total) {
+  if (pruned == 0) return;
+  if (engine->metrics() != nullptr) {
+    engine->metrics()->GetCounter("scan.splits_pruned")->Add(pruned);
+  }
+  if (engine->trace() != nullptr) {
+    engine->trace()->Record(
+        obs::TraceEvent(engine->now(), -1, obs::TraceLane::kEngine, "scan",
+                        "split_pruned")
+            .Arg("file", path)
+            .ArgInt("pruned", static_cast<int64_t>(pruned))
+            .ArgInt("total", static_cast<int64_t>(total)));
+  }
+}
+
+/// Configures one leaf-scan MapInput from its binding: when DYNO_COLUMNAR=1
+/// the scan filter is pushed into the engine (batch evaluation on columnar
+/// splits), otherwise it stays inside the map closure exactly as before.
+/// When DYNO_ZONE_MAPS=1 the filter additionally prunes whole splits via
+/// their zone maps before the job is submitted. Returns the filter the map
+/// closure must still apply (null when pushed down).
+ExprPtr ConfigureLeafScan(MapReduceEngine* engine,
+                          const RelationBinding& binding, MapInput* input) {
+  input->file = binding.file;
+  ExprPtr closure_filter = binding.scan_filter;
+  if (columnar::ColumnarEnabled() && binding.scan_filter != nullptr) {
+    input->scan_filter = binding.scan_filter;
+    input->scan_filter_cpu = binding.scan_cpu_per_record;
+    input->cpu_per_record = 1.0;
+    closure_filter = nullptr;
+  } else {
+    input->cpu_per_record = 1.0 + binding.scan_cpu_per_record;
+  }
+  if (columnar::ZoneMapsEnabled() && binding.scan_filter != nullptr) {
+    PruneResult pruned = PruneSplitIndexes(*binding.file, binding.scan_filter);
+    if (pruned.pruned > 0) {
+      input->split_indexes.assign(pruned.kept.begin(), pruned.kept.end());
+      input->split_indexes_exact = true;
+      RecordSplitsPruned(engine, binding.file->path(), pruned.pruned,
+                         binding.file->splits().size());
+    }
+  }
+  return closure_filter;
 }
 
 // Globally unique unit uids, so outputs of units from different
@@ -216,9 +261,7 @@ Status PlanExecutor::MaterializeFilteredLeaf(const std::string& id) {
                      StrFormat("/e%d_f%d_%s", instance_id_, temp_counter_,
                                id.c_str());
   MapInput input;
-  input.file = binding.file;
-  input.cpu_per_record = 1.0 + binding.scan_cpu_per_record;
-  ExprPtr filter = binding.scan_filter;
+  ExprPtr filter = ConfigureLeafScan(engine_, binding, &input);
   input.map_fn = [filter](const Value& record, MapContext* ctx) -> Status {
     DYNO_ASSIGN_OR_RETURN(bool keep, EvalFilter(filter, record));
     if (keep) ctx->Output(record);
@@ -308,15 +351,13 @@ Result<std::vector<StepResult>> PlanExecutor::Execute(
       };
 
       MapInput left_input;
-      left_input.file = left.file;
+      ExprPtr left_closure = ConfigureLeafScan(engine_, left, &left_input);
       left_input.map_fn =
-          make_tagged_map(left.scan_filter, LeftKeyColumns(node), 0);
-      left_input.cpu_per_record = 1.0 + left.scan_cpu_per_record;
+          make_tagged_map(std::move(left_closure), LeftKeyColumns(node), 0);
       MapInput right_input;
-      right_input.file = right.file;
+      ExprPtr right_closure = ConfigureLeafScan(engine_, right, &right_input);
       right_input.map_fn =
-          make_tagged_map(right.scan_filter, RightKeyColumns(node), 1);
-      right_input.cpu_per_record = 1.0 + right.scan_cpu_per_record;
+          make_tagged_map(std::move(right_closure), RightKeyColumns(node), 1);
       p.spec.inputs = {std::move(left_input), std::move(right_input)};
 
       ExprPtr post_filter = node.post_filter;
@@ -385,10 +426,15 @@ Result<std::vector<StepResult>> PlanExecutor::Execute(
         DYNO_ASSIGN_OR_RETURN(std::string build_id,
                               ResolveInput(unit.inputs[i + 1]));
         DYNO_ASSIGN_OR_RETURN(RelationBinding build, GetBinding(build_id));
+        uint64_t build_pruned = 0;
+        uint64_t* build_pruned_out =
+            columnar::ZoneMapsEnabled() ? &build_pruned : nullptr;
         DYNO_ASSIGN_OR_RETURN(
             std::shared_ptr<BroadcastTable> table,
             BuildBroadcastTable(*build.file, build.scan_filter,
-                                RightKeyColumns(n)));
+                                RightKeyColumns(n), build_pruned_out));
+        RecordSplitsPruned(engine_, build.file->path(), build_pruned,
+                           build.file->splits().size());
         // A filtered build side makes every map task re-read the raw file.
         // When the filter is selective and the probe runs for many waves,
         // materialize the filtered relation once as a map-only job and
@@ -435,12 +481,9 @@ Result<std::vector<StepResult>> PlanExecutor::Execute(
       p.spec.side_memory_bytes = side_memory;
       p.spec.side_data_via_distributed_cache = options_.hive_broadcast;
 
-      ExprPtr scan_filter = probe.scan_filter;
       MapInput probe_input;
-      probe_input.file = probe.file;
-      probe_input.cpu_per_record =
-          1.0 + probe.scan_cpu_per_record +
-          2.0 * static_cast<double>(stages->size());
+      ExprPtr scan_filter = ConfigureLeafScan(engine_, probe, &probe_input);
+      probe_input.cpu_per_record += 2.0 * static_cast<double>(stages->size());
       probe_input.map_fn = [scan_filter, stages, projection](
                                const Value& record,
                                MapContext* ctx) -> Status {

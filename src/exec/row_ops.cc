@@ -2,7 +2,23 @@
 
 #include <set>
 
+#include "columnar/batch_eval.h"
+
 namespace dyno {
+
+Result<bool> EvalFilter(const ExprPtr& filter, const Value& row) {
+  if (filter == nullptr) return true;
+  DYNO_ASSIGN_OR_RETURN(Value v, filter->Eval(row));
+  return v.type() == Value::Type::kBool && v.bool_value();
+}
+
+Result<std::vector<uint8_t>> FilterKeepMask(const ExprPtr& filter,
+                                            const std::vector<Value>& rows) {
+  if (filter == nullptr) return std::vector<uint8_t>(rows.size(), 1);
+  DYNO_ASSIGN_OR_RETURN(columnar::BatchFilterResult result,
+                        columnar::EvalFilterOverRows(filter, rows));
+  return std::move(result.keep);
+}
 
 std::string EncodeJoinKey(const Value& row,
                           const std::vector<std::string>& columns) {

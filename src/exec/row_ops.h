@@ -1,12 +1,27 @@
 #ifndef DYNO_EXEC_ROW_OPS_H_
 #define DYNO_EXEC_ROW_OPS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "expr/expr.h"
 #include "json/value.h"
 
 namespace dyno {
+
+/// Evaluates a boolean filter against one row; non-bool/null results count
+/// as false (the engine's scan semantics). A null filter keeps everything.
+Result<bool> EvalFilter(const ExprPtr& filter, const Value& row);
+
+/// Batch-at-a-time variant: one keep byte per row, bit-identical to calling
+/// EvalFilter row-by-row. `column <op> literal` conjuncts run as vectorized
+/// selection-cascade compare loops (columnar::EvalFilterOverRows); client-
+/// side callers (broadcast build, result checks) use this so the row path
+/// stays available as the oracle it is tested against.
+Result<std::vector<uint8_t>> FilterKeepMask(const ExprPtr& filter,
+                                            const std::vector<Value>& rows);
 
 /// Extracts the join key of `row` over `columns` as an encoded string
 /// (usable as a hash map key without collision concerns). Missing columns

@@ -244,6 +244,14 @@ class LogicalExpr : public Expr {
     return true;
   }
 
+  bool AsLogical(LogicalOp* op, const Expr** lhs,
+                 const Expr** rhs) const override {
+    *op = op_;
+    *lhs = lhs_.get();
+    *rhs = rhs_.get();  // nullptr for NOT
+    return true;
+  }
+
  private:
   LogicalOp op_;
   ExprPtr lhs_;

@@ -100,6 +100,17 @@ class Expr {
     return false;
   }
 
+  /// If this node is a logical connective, fills the outputs and returns
+  /// true. `*rhs` is nullptr for NOT. Lets structural analyses (zone-map
+  /// pruning) walk AND/OR/NOT trees without evaluating them.
+  virtual bool AsLogical(LogicalOp* op, const Expr** lhs,
+                         const Expr** rhs) const {
+    (void)op;
+    (void)lhs;
+    (void)rhs;
+    return false;
+  }
+
  protected:
   explicit Expr(Kind kind) : kind_(kind) {}
 

@@ -10,6 +10,7 @@
 #include <queue>
 #include <utility>
 
+#include "columnar/batch_eval.h"
 #include "common/crc32c.h"
 #include "common/hash.h"
 #include "common/random.h"
@@ -187,6 +188,11 @@ struct TaskOutcome {
   uint64_t emitted_bytes = 0;
   uint64_t input_records = 0;
   uint64_t input_bytes = 0;  ///< Map only; partial when the attempt errored.
+  /// Row-encoded size of the input scanned (== input_bytes for row splits).
+  /// Feeds counters.map_input_bytes so statistics are format-independent.
+  uint64_t input_logical_bytes = 0;
+  /// Columnar batches decoded by this attempt (scan.batches metric).
+  uint64_t batches_decoded = 0;
   uint64_t reduce_input_records = 0;
   uint64_t reduce_input_bytes = 0;
   double cpu_units = 0.0;  ///< Excludes observer charges (added at commit).
@@ -320,19 +326,68 @@ void ExecuteMapTask(const MapInput& input, const Split& split,
     }
   }
   TaskMapContext ctx(out, task_index);
+
+  // Columnar splits are decoded whole-block into rows first; any frame
+  // defect that slipped past the checksum is still DataLoss, never a wrong
+  // answer. Row splits stream record-at-a-time as they always have.
+  const bool is_columnar = split.format == SplitFormat::kColumnar;
+  std::vector<Value> batch_rows;
+  if (is_columnar) {
+    // The whole block was read to decode it, so billing is all-or-nothing.
+    out->input_bytes =
+        input.bill_logical_read ? split.logical_bytes : split.num_bytes();
+    out->input_logical_bytes = split.logical_bytes;
+    Result<std::vector<Value>> rows = DecodeSplitRows(split);
+    if (!rows.ok()) {
+      out->status = rows.status();
+      return;
+    }
+    out->batches_decoded += 1;
+    batch_rows = std::move(*rows);
+  }
+
+  // Pushed-down filter over a columnar batch runs batch-at-a-time: the
+  // selection vector is computed up front (vectorized conjuncts at a CPU
+  // discount) and consulted per row below. The keep bits are identical to
+  // row-at-a-time evaluation, so results never depend on the format.
+  std::vector<uint8_t> batch_keep;
+  if (is_columnar && input.scan_filter != nullptr) {
+    Result<columnar::BatchFilterResult> filtered =
+        columnar::EvalFilterOverRows(input.scan_filter, batch_rows);
+    if (!filtered.ok()) {
+      out->status = filtered.status();
+      return;
+    }
+    out->cpu_units += filtered->cpu_units;
+    batch_keep = std::move(filtered->keep);
+  }
+
   SplitReader reader(&split);
   size_t poison_next = 0;
   uint64_t record_index = 0;
-  while (!reader.AtEnd()) {
-    Result<Value> record = reader.Next();
-    if (!record.ok()) {
-      out->status = record.status();
-      return;
+  const uint64_t num_rows =
+      is_columnar ? batch_rows.size() : split.num_records;
+  while (true) {
+    const Value* record = nullptr;
+    Value row_storage;
+    if (is_columnar) {
+      if (record_index >= num_rows) break;
+      record = &batch_rows[record_index];
+    } else {
+      if (reader.AtEnd()) break;
+      Result<Value> next = reader.Next();
+      if (!next.ok()) {
+        out->status = next.status();
+        return;
+      }
+      row_storage = std::move(*next);
+      record = &row_storage;
+      // Accumulated per record so an attempt that errors mid-split still
+      // reports how much of the split it actually scanned (billed as read
+      // time for the failed attempt).
+      out->input_bytes = reader.offset();
+      out->input_logical_bytes = reader.offset();
     }
-    // Accumulated per record so an attempt that errors mid-split still
-    // reports how much of the split it actually scanned (billed as read
-    // time for the failed attempt).
-    out->input_bytes = reader.offset();
     out->input_records += 1;
     if (poison != nullptr && poison_next < poison->size() &&
         (*poison)[poison_next] == record_index) {
@@ -355,8 +410,29 @@ void ExecuteMapTask(const MapInput& input, const Split& split,
       ++record_index;
       continue;
     }
-    ++record_index;
-    out->cpu_units += 1.0 + input.cpu_per_record;
+    if (input.scan_filter != nullptr) {
+      bool pass;
+      if (is_columnar) {
+        pass = batch_keep[record_index] != 0;
+      } else {
+        // Row splits evaluate the pushed-down filter record-at-a-time at
+        // its full declared cost.
+        out->cpu_units += input.scan_filter_cpu;
+        Result<Value> v = input.scan_filter->Eval(*record);
+        if (!v.ok()) {
+          out->status = v.status();
+          return;
+        }
+        pass = v->type() == Value::Type::kBool && v->bool_value();
+      }
+      ++record_index;
+      out->cpu_units += 1.0;
+      if (!pass) continue;
+      out->cpu_units += input.cpu_per_record;
+    } else {
+      ++record_index;
+      out->cpu_units += 1.0 + input.cpu_per_record;
+    }
     Status st = input.map_fn(*record, &ctx);
     if (!st.ok()) {
       out->status = st;
@@ -466,6 +542,8 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
   obs::Counter* m_checksum_refetches = nullptr;
   obs::Counter* m_quarantined = nullptr;
   obs::Counter* m_integrity_failures = nullptr;
+  /// Registered lazily on the first committed columnar decode (see below).
+  obs::Counter* m_scan_batches = nullptr;
   obs::Histogram* h_map_ms = nullptr;
   obs::Histogram* h_reduce_ms = nullptr;
   obs::Histogram* h_job_ms = nullptr;
@@ -515,6 +593,9 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
         return Status::InvalidArgument("null input file in " + spec.name);
       }
       if (input.split_indexes.empty()) {
+        // With split_indexes_exact, an empty list is a fully-pruned scan:
+        // this input contributes zero map tasks.
+        if (input.split_indexes_exact) continue;
         for (size_t s = 0; s < input.file->splits().size(); ++s) {
           job.map_defs.push_back({static_cast<int>(in), static_cast<int>(s)});
         }
@@ -1134,15 +1215,21 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
     }
     SimMillis duration = 0;
     if (t.is_map) {
+      // Pilot jobs bill block reads at the split's logical size so their
+      // event timeline (and thus the sample the stop condition admits) is
+      // identical whichever physical format the table was written in.
+      const MapInput& map_input = job->spec->inputs[t.map_ref.input_index];
+      const uint64_t block_bytes = map_input.bill_logical_read
+                                       ? t.split->logical_bytes
+                                       : t.split->num_bytes();
       if (t.inject_failure) {
         // The attempt dies `fail_fraction` of the way through. Its data
         // flow never ran, so model the full attempt from the split's size
         // and record count, then bill the completed fraction.
-        const MapInput& input = job->spec->inputs[t.map_ref.input_index];
         double est_cpu = static_cast<double>(t.split->num_records) *
-                         (1.0 + input.cpu_per_record);
+                         (1.0 + map_input.cpu_per_record);
         SimMillis full = t.setup_ms +
-                         CeilDiv(static_cast<double>(t.split->num_bytes()),
+                         CeilDiv(static_cast<double>(block_bytes),
                                  config_.map_read_bytes_per_ms) +
                          CeilDiv(est_cpu, config_.cpu_units_per_ms);
         duration = std::max<SimMillis>(
@@ -1156,7 +1243,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
         duration = std::max<SimMillis>(
             1, t.setup_ms +
                    static_cast<SimMillis>(t.replicas) *
-                       CeilDiv(static_cast<double>(t.split->num_bytes()),
+                       CeilDiv(static_cast<double>(block_bytes),
                                config_.map_read_bytes_per_ms));
       } else {
         // An errored attempt scanned only `input_bytes` of its split and
@@ -1169,7 +1256,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
         }
         duration = t.setup_ms +
                    static_cast<SimMillis>(t.corrupt_replica_reads) *
-                       CeilDiv(static_cast<double>(t.split->num_bytes()),
+                       CeilDiv(static_cast<double>(block_bytes),
                                config_.map_read_bytes_per_ms) +
                    CeilDiv(static_cast<double>(o.input_bytes),
                            config_.map_read_bytes_per_ms) +
@@ -1181,7 +1268,15 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
           d.valid = true;
           d.counters = Counters{};
           d.counters.map_input_records = o.input_records;
-          d.counters.map_input_bytes = o.input_bytes;
+          d.counters.map_input_bytes = o.input_logical_bytes;
+          if (o.batches_decoded > 0 && metrics_ != nullptr) {
+            // Registered lazily so row-only runs keep their exact metric
+            // registry (golden traces and dumps predate this counter).
+            if (m_scan_batches == nullptr) {
+              m_scan_batches = metrics_->GetCounter("scan.batches");
+            }
+            m_scan_batches->Add(o.batches_decoded);
+          }
           d.counters.map_output_records = o.emissions.size();
           d.counters.map_output_bytes = o.emitted_bytes;
           d.counters.output_records = o.output.num_records;

@@ -74,12 +74,33 @@ using MapFlushFn = std::function<Status(MapContext* ctx)>;
 /// inputs (the repartition join) give each input its own map function.
 struct MapInput {
   std::shared_ptr<DfsFile> file;
-  std::vector<int> split_indexes;  ///< Empty = every split.
+  std::vector<int> split_indexes;  ///< Empty = every split (see below).
   MapFn map_fn;
   /// Declared per-record expression cost, charged to the task clock.
   double cpu_per_record = 1.0;
   /// Optional end-of-task hook (combiner flush). May Emit/Output.
   MapFlushFn flush_fn;
+
+  /// When true, an empty `split_indexes` means "scan nothing" instead of
+  /// "every split" — required so zone-map pruning can express an all-pruned
+  /// scan (zero map tasks) without a sentinel.
+  bool split_indexes_exact = false;
+
+  /// Pushed-down scan predicate, applied by the engine before `map_fn` sees
+  /// a record. Only set when DYNO_COLUMNAR=1: columnar splits evaluate it
+  /// batch-at-a-time (vectorized factors at a CPU discount), row splits
+  /// record-at-a-time. `cpu_per_record` must then exclude the filter's cost;
+  /// `scan_filter_cpu` declares it instead.
+  ExprPtr scan_filter;
+  /// Per-record CPU cost of `scan_filter` at row-at-a-time rates.
+  double scan_filter_cpu = 0.0;
+
+  /// Bill read time by the split's logical (row-encoded) size rather than
+  /// its physical size. Pilot jobs set this so the pilot's event timeline —
+  /// and therefore which splits its stop condition admits — is identical
+  /// whichever format the table is stored in (plan choice must not depend
+  /// on storage format).
+  bool bill_logical_read = false;
 };
 
 /// Full specification of one MapReduce job.

@@ -78,6 +78,11 @@ PilotJob MakePilotJob(const LeafExpr& leaf, std::shared_ptr<DfsFile> file,
   input.file = std::move(file);
   input.split_indexes = std::move(split_indexes);
   input.cpu_per_record = 1.0 + (filter ? filter->CpuCost() : 0.0);
+  // Pilot timing must not depend on the table's physical format: billing
+  // block reads at logical (row-encoded) size keeps the pilot's event
+  // timeline — and therefore the sampled splits and the chosen plan —
+  // identical between row and columnar storage.
+  input.bill_logical_read = true;
   auto per_task = job.per_task;
   input.map_fn = [filter, per_task, columns, kmv_k, coordinator, counter_key,
                   observe_cpu](const Value& record, MapContext* ctx) -> Status {
@@ -214,11 +219,13 @@ Result<PilotRunReport> PilotRunner::RunSerial(
     PilotLeafResult result;
     result.alias = leaf.alias;
     result.signature = signature;
+    // map_input_bytes counts logical (row-encoded) bytes, so the scanned
+    // fraction is measured against logical file size — format-independent.
     double fraction =
-        file->num_bytes() == 0
+        file->logical_bytes() == 0
             ? 1.0
             : static_cast<double>(job.counters.map_input_bytes) /
-                  static_cast<double>(file->num_bytes());
+                  static_cast<double>(file->logical_bytes());
     fraction = std::clamp(fraction, 1e-9, 1.0);
     bool scanned_everything = job.map_tasks_skipped == 0;
     result.stats = merged.Finalize(scanned_everything ? 1.0 : fraction);
@@ -393,12 +400,12 @@ Result<PilotRunReport> PilotRunner::RunParallel(
     result.signature = state.signature;
     bool scanned_everything =
         state.next_split >= state.split_order.size() &&
-        state.scanned_bytes >= state.table_file->num_bytes();
+        state.scanned_bytes >= state.table_file->logical_bytes();
     double fraction =
-        state.table_file->num_bytes() == 0
+        state.table_file->logical_bytes() == 0
             ? 1.0
             : static_cast<double>(state.scanned_bytes) /
-                  static_cast<double>(state.table_file->num_bytes());
+                  static_cast<double>(state.table_file->logical_bytes());
     fraction = std::clamp(fraction, 1e-9, 1.0);
     result.stats =
         state.accumulated.Finalize(scanned_everything ? 1.0 : fraction);

@@ -37,9 +37,8 @@ Result<std::vector<ColumnPairCorrelation>> DetectCorrelations(
   Rng rng(options.seed);
   uint64_t seen = 0;
   for (const Split& split : file->splits()) {
-    SplitReader reader(&split);
-    while (!reader.AtEnd()) {
-      DYNO_ASSIGN_OR_RETURN(Value row, reader.Next());
+    DYNO_ASSIGN_OR_RETURN(std::vector<Value> rows, DecodeSplitRows(split));
+    for (Value& row : rows) {
       ++seen;
       if (sample.size() < static_cast<size_t>(options.sample_rows)) {
         sample.push_back(std::move(row));

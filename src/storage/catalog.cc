@@ -1,5 +1,6 @@
 #include "storage/catalog.h"
 
+#include "columnar/knobs.h"
 #include "common/hash.h"
 
 namespace dyno {
@@ -26,8 +27,16 @@ Status Catalog::ReplaceTable(const std::string& name,
 
 Status Catalog::CreateTable(const std::string& name,
                             const std::vector<Value>& rows) {
+  return CreateTable(name, rows, TableWriter::kDefaultSplitBytes);
+}
+
+Status Catalog::CreateTable(const std::string& name,
+                            const std::vector<Value>& rows,
+                            uint64_t target_split_bytes) {
   std::string path = "/tables/" + name;
-  auto file = WriteRows(dfs_, path, rows);
+  SplitFormat format = columnar::ColumnarEnabled() ? SplitFormat::kColumnar
+                                                   : SplitFormat::kRow;
+  auto file = WriteRows(dfs_, path, rows, target_split_bytes, format);
   if (!file.ok()) return file.status();
   return RegisterTable(name, path);
 }

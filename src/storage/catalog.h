@@ -35,8 +35,13 @@ class Catalog {
   /// live at the old path.
   Status ReplaceTable(const std::string& name, const std::string& dfs_path);
 
-  /// Creates a DFS file from `rows` and registers it under `name`.
+  /// Creates a DFS file from `rows` and registers it under `name`. Base
+  /// tables are written columnar when DYNO_COLUMNAR=1, row format otherwise;
+  /// either way every split carries a zone map. `target_split_bytes` lets
+  /// tests script exact split layouts (pinned pruning counts).
   Status CreateTable(const std::string& name, const std::vector<Value>& rows);
+  Status CreateTable(const std::string& name, const std::vector<Value>& rows,
+                     uint64_t target_split_bytes);
 
   Result<TableEntry> Lookup(const std::string& name) const;
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "columnar/column.h"
 #include "common/crc32c.h"
 #include "common/string_util.h"
 
@@ -18,8 +19,12 @@ Status VerifySplit(const Split& split) {
 
 void DfsFile::AppendSplit(Split split) {
   split.crc32c = Crc32c(split.data);
+  // Callers that don't track logical size (job committers write row format)
+  // get the exact row-format answer.
+  if (split.logical_bytes == 0) split.logical_bytes = split.data.size();
   num_records_ += split.num_records;
   num_bytes_ += split.num_bytes();
+  logical_bytes_ += split.logical_bytes;
   splits_.push_back(std::move(split));
 }
 
@@ -100,23 +105,49 @@ uint64_t Dfs::TotalBytes() const {
 }
 
 TableWriter::TableWriter(std::shared_ptr<DfsFile> file,
-                         uint64_t target_split_bytes)
-    : file_(std::move(file)), target_split_bytes_(target_split_bytes) {}
+                         uint64_t target_split_bytes, SplitFormat format)
+    : file_(std::move(file)),
+      target_split_bytes_(target_split_bytes),
+      format_(format) {}
 
 void TableWriter::Append(const Value& row) {
-  row.EncodeTo(&pending_.data);
-  ++pending_.num_records;
-  if (pending_.num_bytes() >= target_split_bytes_) {
-    file_->AppendSplit(std::move(pending_));
-    pending_ = Split{};
+  if (format_ == SplitFormat::kRow) {
+    row.EncodeTo(&pending_.data);
+    pending_logical_bytes_ = pending_.data.size();
+    ++pending_.num_records;
+  } else {
+    // Measure the row encoding without keeping it: the seal decision must
+    // match row format byte-for-byte.
+    std::string scratch;
+    row.EncodeTo(&scratch);
+    pending_logical_bytes_ += scratch.size();
+    pending_rows_.push_back(row);
   }
+  zone_builder_.Observe(row);
+  if (pending_logical_bytes_ >= target_split_bytes_) Seal();
 }
 
 void TableWriter::Close() {
-  if (pending_.num_records > 0) {
-    file_->AppendSplit(std::move(pending_));
+  if (pending_.num_records > 0 || !pending_rows_.empty()) Seal();
+}
+
+void TableWriter::Seal() {
+  Split split;
+  if (format_ == SplitFormat::kRow) {
+    split = std::move(pending_);
     pending_ = Split{};
+  } else {
+    columnar::ColumnBatch batch = columnar::ColumnBatch::FromRows(pending_rows_);
+    batch.EncodeTo(&split.data);
+    split.num_records = pending_rows_.size();
+    split.format = SplitFormat::kColumnar;
+    pending_rows_.clear();
   }
+  split.logical_bytes = pending_logical_bytes_;
+  split.zone_map =
+      std::make_shared<const columnar::ZoneMap>(zone_builder_.Build());
+  pending_logical_bytes_ = 0;
+  file_->AppendSplit(std::move(split));
 }
 
 Result<Value> SplitReader::Next() {
@@ -124,28 +155,65 @@ Result<Value> SplitReader::Next() {
   return Value::Decode(split_->data, &offset_);
 }
 
-Result<std::vector<Value>> ReadAllRows(const DfsFile& file) {
+Result<std::vector<Value>> DecodeSplitRows(const Split& split) {
+  DYNO_RETURN_IF_ERROR(VerifySplit(split));
   std::vector<Value> rows;
-  rows.reserve(file.num_records());
-  for (const Split& split : file.splits()) {
-    DYNO_RETURN_IF_ERROR(VerifySplit(split));
+  rows.reserve(split.num_records);
+  if (split.format == SplitFormat::kRow) {
     SplitReader reader(&split);
     while (!reader.AtEnd()) {
       DYNO_ASSIGN_OR_RETURN(Value row, reader.Next());
       rows.push_back(std::move(row));
     }
+  } else {
+    DYNO_ASSIGN_OR_RETURN(columnar::ColumnBatch batch,
+                          columnar::ColumnBatch::Decode(split.data));
+    rows = batch.ToRows();
+  }
+  if (rows.size() != split.num_records) {
+    return Status::DataLoss(
+        StrFormat("split decoded %llu records, expected %llu",
+                  (unsigned long long)rows.size(),
+                  (unsigned long long)split.num_records));
+  }
+  return rows;
+}
+
+Result<std::vector<Value>> ReadAllRows(const DfsFile& file) {
+  std::vector<Value> rows;
+  rows.reserve(file.num_records());
+  for (const Split& split : file.splits()) {
+    DYNO_ASSIGN_OR_RETURN(std::vector<Value> split_rows,
+                          DecodeSplitRows(split));
+    for (Value& row : split_rows) rows.push_back(std::move(row));
   }
   return rows;
 }
 
 Result<std::shared_ptr<DfsFile>> WriteRows(Dfs* dfs, const std::string& path,
                                            const std::vector<Value>& rows,
-                                           uint64_t target_split_bytes) {
+                                           uint64_t target_split_bytes,
+                                           SplitFormat format) {
   DYNO_ASSIGN_OR_RETURN(std::shared_ptr<DfsFile> file, dfs->Create(path));
-  TableWriter writer(file, target_split_bytes);
+  TableWriter writer(file, target_split_bytes, format);
   for (const Value& row : rows) writer.Append(row);
   writer.Close();
   return file;
+}
+
+PruneResult PruneSplitIndexes(const DfsFile& file, const ExprPtr& filter) {
+  PruneResult result;
+  const std::vector<Split>& splits = file.splits();
+  result.kept.reserve(splits.size());
+  for (size_t i = 0; i < splits.size(); ++i) {
+    if (filter != nullptr && splits[i].zone_map != nullptr &&
+        !columnar::ZoneMapMayMatch(*splits[i].zone_map, *filter)) {
+      ++result.pruned;
+      continue;
+    }
+    result.kept.push_back(i);
+  }
+  return result;
 }
 
 }  // namespace dyno

@@ -7,20 +7,41 @@
 #include <string>
 #include <vector>
 
+#include "columnar/zone_map.h"
 #include "common/status.h"
+#include "expr/expr.h"
 #include "json/value.h"
 
 namespace dyno {
 
-/// One HDFS-style block: a run of binary-encoded rows. Splits are the unit
-/// of map-task assignment and of pilot-run sampling.
+/// On-disk encoding of one split's payload.
+enum class SplitFormat : uint8_t {
+  kRow = 0,       ///< Concatenated Value encodings (the original format).
+  kColumnar = 1,  ///< One columnar::ColumnBatch frame.
+};
+
+/// One HDFS-style block: a run of binary-encoded rows (or one columnar
+/// batch). Splits are the unit of map-task assignment and of pilot-run
+/// sampling.
 struct Split {
-  std::string data;       ///< Concatenated Value encodings.
+  std::string data;       ///< Payload bytes per `format`.
   uint64_t num_records = 0;
   /// CRC32C of `data`, stamped by DfsFile::AppendSplit when the block is
   /// committed (HDFS writes the block checksum alongside the block). Readers
   /// verify via VerifySplit; a mismatch is DataLoss, never a wrong answer.
   uint32_t crc32c = 0;
+  SplitFormat format = SplitFormat::kRow;
+  /// Size of the split's rows under the row encoding, independent of the
+  /// physical format. All statistics the optimizer and pilot consume are in
+  /// logical bytes, so plans are identical whichever format a table was
+  /// written in. Normalized to `data.size()` by AppendSplit when left 0
+  /// (exact for row splits).
+  uint64_t logical_bytes = 0;
+  /// Per-column min/max over the split's rows, stamped at write time by
+  /// TableWriter (file metadata, like the checksum: not part of `data`).
+  /// Null for splits written without one (job outputs, hand-built splits) —
+  /// readers must treat a missing zone map as "may match anything".
+  std::shared_ptr<const columnar::ZoneMap> zone_map;
 
   uint64_t num_bytes() const { return data.size(); }
 };
@@ -44,16 +65,21 @@ class DfsFile {
   const std::vector<Split>& splits() const { return splits_; }
   uint64_t num_records() const { return num_records_; }
   uint64_t num_bytes() const { return num_bytes_; }
+  /// Row-encoded size of the file's contents (== num_bytes() for row-format
+  /// files). Optimizer/pilot statistics use this so plans do not depend on
+  /// the physical format.
+  uint64_t logical_bytes() const { return logical_bytes_; }
 
   int replicas() const { return replicas_; }
   void set_replicas(int replicas) { replicas_ = replicas >= 1 ? replicas : 1; }
 
-  /// Average encoded record size in bytes (0 for an empty file). This is
-  /// the `rec_size_avg` statistic of the paper (§4.3).
+  /// Average row-encoded record size in bytes (0 for an empty file). This
+  /// is the `rec_size_avg` statistic of the paper (§4.3); logical so it is
+  /// format-independent.
   double avg_record_size() const {
     return num_records_ == 0
                ? 0.0
-               : static_cast<double>(num_bytes_) /
+               : static_cast<double>(logical_bytes_) /
                      static_cast<double>(num_records_);
   }
 
@@ -73,6 +99,7 @@ class DfsFile {
   std::vector<Split> splits_;
   uint64_t num_records_ = 0;
   uint64_t num_bytes_ = 0;
+  uint64_t logical_bytes_ = 0;
   int replicas_ = kDefaultReplicas;
 };
 
@@ -118,12 +145,18 @@ class Dfs {
 /// Buffers rows and seals them into splits of roughly `target_split_bytes`.
 /// The default mirrors an HDFS block: at simulator scale we use 64 KiB so a
 /// few-MB table still spans enough splits for sampling to be meaningful.
+///
+/// Split boundaries are decided by accumulated *row-encoded* bytes in both
+/// formats, so a table written columnar has exactly the rows-per-split of
+/// its row-format twin (plans and pilot samples stay comparable). Every
+/// sealed split carries a zone map, whichever format it is written in.
 class TableWriter {
  public:
   static constexpr uint64_t kDefaultSplitBytes = 64 * 1024;
 
   explicit TableWriter(std::shared_ptr<DfsFile> file,
-                       uint64_t target_split_bytes = kDefaultSplitBytes);
+                       uint64_t target_split_bytes = kDefaultSplitBytes,
+                       SplitFormat format = SplitFormat::kRow);
 
   /// Encodes and buffers one row; seals a split when the target is reached.
   void Append(const Value& row);
@@ -132,9 +165,15 @@ class TableWriter {
   void Close();
 
  private:
+  void Seal();
+
   std::shared_ptr<DfsFile> file_;
   uint64_t target_split_bytes_;
-  Split pending_;
+  SplitFormat format_;
+  Split pending_;                      ///< Row-format accumulation.
+  std::vector<Value> pending_rows_;    ///< Columnar-format accumulation.
+  uint64_t pending_logical_bytes_ = 0;
+  columnar::ZoneMapBuilder zone_builder_;
 };
 
 /// Decodes the rows of one split, in order.
@@ -156,6 +195,12 @@ class SplitReader {
   size_t offset_ = 0;
 };
 
+/// Format-aware split read: checksum-verifies `split.data`, then decodes it
+/// per `split.format` into rows. Any decode failure after a clean checksum
+/// (truncated frame, bad magic, record-count mismatch) is also DataLoss —
+/// corruption never surfaces as a wrong answer.
+Result<std::vector<Value>> DecodeSplitRows(const Split& split);
+
 /// Reads an entire file into a row vector (test/debug helper; real scans go
 /// through map tasks). Every split is checksum-verified first; a corrupt
 /// split surfaces as DataLoss.
@@ -164,7 +209,22 @@ Result<std::vector<Value>> ReadAllRows(const DfsFile& file);
 /// Writes `rows` as a new file on `dfs`.
 Result<std::shared_ptr<DfsFile>> WriteRows(
     Dfs* dfs, const std::string& path, const std::vector<Value>& rows,
-    uint64_t target_split_bytes = TableWriter::kDefaultSplitBytes);
+    uint64_t target_split_bytes = TableWriter::kDefaultSplitBytes,
+    SplitFormat format = SplitFormat::kRow);
+
+/// Outcome of zone-map pruning over a file's splits.
+struct PruneResult {
+  /// Indexes of splits some row of which may satisfy the filter, ascending.
+  std::vector<size_t> kept;
+  /// Splits proven to contain no matching row.
+  uint64_t pruned = 0;
+};
+
+/// Evaluates `filter` against each split's zone map. Splits without a zone
+/// map (job outputs, pre-zone-map files) are always kept, as are all splits
+/// when `filter` is null. Pruning is an over-approximation: a kept split may
+/// still yield zero rows, but a pruned split never loses one.
+PruneResult PruneSplitIndexes(const DfsFile& file, const ExprPtr& filter);
 
 }  // namespace dyno
 

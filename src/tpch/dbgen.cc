@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "columnar/knobs.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "storage/dfs.h"
@@ -33,7 +34,12 @@ int64_t RandomDate(Rng* rng) {
 Status WriteTable(Catalog* catalog, const std::string& name,
                   const std::vector<Value>& rows, uint64_t split_bytes) {
   std::string path = "/tables/" + name;
-  auto file = WriteRows(catalog->dfs(), path, rows, split_bytes);
+  // Base tables follow the DYNO_COLUMNAR knob, exactly like
+  // Catalog::CreateTable: split boundaries and zone maps are identical
+  // either way, only the physical split encoding changes.
+  SplitFormat format = columnar::ColumnarEnabled() ? SplitFormat::kColumnar
+                                                   : SplitFormat::kRow;
+  auto file = WriteRows(catalog->dfs(), path, rows, split_bytes, format);
   if (!file.ok()) return file.status();
   return catalog->RegisterTable(name, path);
 }

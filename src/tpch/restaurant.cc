@@ -1,5 +1,6 @@
 #include "tpch/restaurant.h"
 
+#include "columnar/knobs.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "storage/dfs.h"
@@ -14,7 +15,9 @@ constexpr const char* kStates[6] = {"CA", "NY", "TX", "WA", "IL", "MA"};
 Status WriteTable(Catalog* catalog, const std::string& name,
                   const std::vector<Value>& rows, uint64_t split_bytes) {
   std::string path = "/tables/" + name;
-  auto file = WriteRows(catalog->dfs(), path, rows, split_bytes);
+  SplitFormat format = columnar::ColumnarEnabled() ? SplitFormat::kColumnar
+                                                   : SplitFormat::kRow;
+  auto file = WriteRows(catalog->dfs(), path, rows, split_bytes, format);
   if (!file.ok()) return file.status();
   return catalog->RegisterTable(name, path);
 }

@@ -2,7 +2,10 @@
 #define DYNO_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <cstdlib>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -11,6 +14,38 @@
 #include "storage/catalog.h"
 
 namespace dyno {
+
+/// RAII environment pin: sets each variable for the scope and restores the
+/// previous state (including absence) on destruction. The runtime knobs
+/// (DYNO_COLUMNAR, DYNO_ZONE_MAPS, ...) are re-read on every use, so
+/// pinning at test scope is deterministic regardless of the ctest preset's
+/// environment.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(std::vector<std::pair<std::string, std::string>> vars) {
+    for (auto& [name, value] : vars) {
+      const char* old = ::getenv(name.c_str());
+      saved_.emplace_back(name, old == nullptr
+                                    ? std::optional<std::string>()
+                                    : std::optional<std::string>(old));
+      ::setenv(name.c_str(), value.c_str(), 1);
+    }
+  }
+  ~ScopedEnv() {
+    for (auto it = saved_.rbegin(); it != saved_.rend(); ++it) {
+      if (it->second.has_value()) {
+        ::setenv(it->first.c_str(), it->second->c_str(), 1);
+      } else {
+        ::unsetenv(it->first.c_str());
+      }
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
 
 /// Brute-force oracle: evaluates a join block by nested-loop joins over
 /// fully materialized tables. Only usable at test scale; results are
