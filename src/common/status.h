@@ -32,6 +32,11 @@ enum class StatusCode {
   /// full). The caller should shed load or retry later; distinct from
   /// kOutOfMemory, which is a per-task budget violation inside a job.
   kResourceExhausted,
+  /// The query missed its deadline or exhausted an execution-time budget.
+  /// Enforced at wave boundaries by the query service; like kCancelled the
+  /// query stops at its next submission point, but the failure is
+  /// attributable to the caller's latency contract, not an operator action.
+  kDeadlineExceeded,
   /// Stored or in-flight bytes failed checksum verification and no intact
   /// copy remains (every block replica corrupt, every shuffle re-fetch
   /// corrupt, or the bad-record quarantine budget exhausted). Retryable at
@@ -84,6 +89,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));

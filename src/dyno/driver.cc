@@ -239,6 +239,13 @@ DynoDriver::DynoDriver(MapReduceEngine* engine, Catalog* catalog,
       }
     }
   }
+  if (options_.retry_budget_ms < 0) {
+    options_.retry_budget_ms = 0;
+    if (const char* env = std::getenv("DYNO_RETRY_BUDGET_MS")) {
+      options_.retry_budget_ms = EnvInt64OrDie("DYNO_RETRY_BUDGET_MS", env, 0,
+                                               int64_t{1} << 40);
+    }
+  }
 }
 
 Result<QueryRunReport> DynoDriver::Execute(const Query& query) {
@@ -816,16 +823,50 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
 
   // Whole-job retry: re-submit a transiently failed unit until the attempt
   // budget runs out. OutOfMemory (handled by the broadcast fallback) and
-  // Unavailable (the cluster can never run it) are not retried.
+  // Unavailable (the cluster can never run it) are not retried, nor are
+  // Cancelled / DeadlineExceeded (the service told the query to stop —
+  // retrying would fight the scheduler).
   int permanent_failures = 0;
+
+  // Slot-ms attributable to this query, for charging re-submissions against
+  // DynoOptions::retry_budget_ms. With a query id the engine's per-query
+  // ledger is exact even when other sessions share the wave; without one the
+  // driver owns the engine, so the global ledger is equivalent.
+  auto attained_slot_ms = [&]() -> SimMillis {
+    if (!options_.exec.query_id.empty()) {
+      const auto& ledger = engine_->query_slot_ms();
+      auto it = ledger.find(options_.exec.query_id);
+      return it == ledger.end() ? 0 : it->second;
+    }
+    return engine_->busy_slot_ms_total();
+  };
+
   auto execute_with_retry =
       [&](const PlanExecutor::UnitRequest& request,
           Status first_error) -> Result<StepResult> {
     Status last = std::move(first_error);
     for (int attempt = 2; attempt <= options_.max_job_attempts &&
                           last.code() != StatusCode::kOutOfMemory &&
-                          last.code() != StatusCode::kUnavailable;
+                          last.code() != StatusCode::kUnavailable &&
+                          last.code() != StatusCode::kCancelled &&
+                          last.code() != StatusCode::kDeadlineExceeded;
          ++attempt) {
+      if (options_.retry_budget_ms > 0 &&
+          report->retry_slot_ms >= options_.retry_budget_ms) {
+        report->retry_budget_exhausted = true;
+        if (metrics != nullptr) {
+          metrics->GetCounter("driver.retry_budget_exhausted")->Add();
+        }
+        if (trace != nullptr) {
+          trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                        obs::TraceLane::kDriver, "driver",
+                                        "retry_budget_exhausted")
+                            .ArgInt("unit", request.unit->uid)
+                            .ArgInt("retry_slot_ms", report->retry_slot_ms)
+                            .ArgInt("budget_ms", options_.retry_budget_ms));
+        }
+        break;
+      }
       ++report->job_retries;
       if (metrics != nullptr) {
         metrics->GetCounter("driver.recovery_job_retries")->Add();
@@ -838,7 +879,9 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
                           .ArgInt("attempt", attempt)
                           .Arg("error", last.ToString()));
       }
+      const SimMillis before_ms = attained_slot_ms();
       auto again = executor.ExecuteOne(request);
+      report->retry_slot_ms += attained_slot_ms() - before_ms;
       if (again.ok()) return std::move(*again);
       last = again.status();
     }
@@ -987,6 +1030,8 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
         if (retried.ok()) {
           step = std::move(*retried);
         } else if (retried.status().code() == StatusCode::kUnavailable ||
+                   retried.status().code() == StatusCode::kCancelled ||
+                   retried.status().code() == StatusCode::kDeadlineExceeded ||
                    permanent_failures + 1 > kMaxPermanentJobFailures) {
           return retried.status();
         } else {
@@ -1131,6 +1176,9 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
           if (retried.ok()) {
             steps[i] = std::move(*retried);
           } else if (retried.status().code() == StatusCode::kUnavailable ||
+                     retried.status().code() == StatusCode::kCancelled ||
+                     retried.status().code() ==
+                         StatusCode::kDeadlineExceeded ||
                      permanent_failures + 1 > kMaxPermanentJobFailures) {
             return retried.status();
           } else {

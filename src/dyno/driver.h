@@ -72,6 +72,15 @@ struct DynoOptions {
   /// fallback, the latter cannot succeed).
   int max_job_attempts = 0;
 
+  /// Slot-millisecond cap on whole-job *retries* (attempts 2..N): once the
+  /// cluster time burned by re-submissions reaches this budget, the driver
+  /// stops retrying and lets the failure take its permanent-failure path, so
+  /// a pathological query cannot eat the cluster through its retry ladder.
+  /// The first attempt of every job is never charged. < 0 reads
+  /// DYNO_RETRY_BUDGET_MS (strict-or-abort parsing), defaulting to 0 =
+  /// unlimited.
+  SimMillis retry_budget_ms = -1;
+
   /// Test kill switch: abort the query with Cancelled once this many jobs
   /// have been accounted (< 0 = never). Simulates the driver process dying
   /// mid-query so checkpoint/resume tests can exercise Resume().
@@ -126,6 +135,10 @@ struct QueryRunReport {
   uint64_t records_quarantined = 0;
   /// Driver-level recovery accounting.
   int job_retries = 0;    ///< Whole-job re-submissions after a failure.
+  /// Slot-ms charged against DynoOptions::retry_budget_ms by those
+  /// re-submissions, and whether the budget ran dry.
+  SimMillis retry_slot_ms = 0;
+  bool retry_budget_exhausted = false;
   int resumed_steps = 0;  ///< Steps satisfied from a checkpoint manifest.
   /// Resume() reads that had to fall back to the previous manifest
   /// generation after a torn/corrupt live manifest.

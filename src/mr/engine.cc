@@ -519,6 +519,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAll(
 
 Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
     const std::vector<JobSpec>& specs) {
+  // Wave-pressure bookkeeping (see last_wave_pressure()): compare committed
+  // slot time against the slot capacity available over the wave's duration.
+  const SimMillis wave_start_ms = now_;
+  const SimMillis busy_before_ms = busy_slot_ms_total_;
+
   // Whether failed task attempts are retried (Hadoop semantics) instead of
   // failing the whole job at the first error (legacy fail-fast).
   const bool retries_enabled = config_.faults.enabled();
@@ -766,6 +771,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
       query_slot_ms_[job->spec->query_id] +=
           job->result.map_slot_ms + job->result.reduce_slot_ms;
     }
+    busy_slot_ms_total_ += job->result.map_slot_ms + job->result.reduce_slot_ms;
     if (trace_ == nullptr) return;
     obs::TraceEvent ev =
         obs::TraceEvent(job->result.submit_time_ms, elapsed,
@@ -2198,6 +2204,17 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
       events.pop();
       handle_event(next);
     }
+  }
+
+  const SimMillis wave_elapsed_ms = now_ - wave_start_ms;
+  const int total_slots =
+      std::max(1, config_.map_slots) + std::max(0, config_.reduce_slots);
+  if (wave_elapsed_ms > 0) {
+    double pressure =
+        static_cast<double>(busy_slot_ms_total_ - busy_before_ms) /
+        (static_cast<double>(wave_elapsed_ms) *
+         static_cast<double>(total_slots));
+    last_wave_pressure_ = std::clamp(pressure, 0.0, 1.0);
   }
 
   std::vector<JobResult> results;

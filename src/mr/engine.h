@@ -138,6 +138,19 @@ class MapReduceEngine {
     return query_slot_ms_;
   }
 
+  /// Cumulative committed attempt time across *all* jobs regardless of
+  /// query_id, in slot-milliseconds. The single-query analogue of
+  /// query_slot_ms(); the driver's retry-budget accounting falls back to
+  /// deltas of this when it runs without a query id.
+  SimMillis busy_slot_ms_total() const { return busy_slot_ms_total_; }
+
+  /// Busy-slot fraction of the most recent SubmitAllDirect wave:
+  /// committed slot-ms during the wave divided by (wave duration × total
+  /// map+reduce slots), clamped to [0, 1]. 0 until a wave has run. The
+  /// QueryService's load-shedding gate reads this as its running-slot
+  /// pressure signal; updated only on the scheduler thread.
+  double last_wave_pressure() const { return last_wave_pressure_; }
+
  private:
   /// Fills config.faults from DYNO_* env vars when the caller did not
   /// configure injection explicitly (FaultConfig::use_env_defaults).
@@ -158,6 +171,10 @@ class MapReduceEngine {
   SubmitGate submit_gate_;
   /// Committed slot time per JobSpec::query_id (see query_slot_ms()).
   std::map<std::string, SimMillis> query_slot_ms_;
+  /// Committed slot time across all jobs (see busy_slot_ms_total()).
+  SimMillis busy_slot_ms_total_ = 0;
+  /// Busy-slot fraction of the last wave (see last_wave_pressure()).
+  double last_wave_pressure_ = 0.0;
 };
 
 }  // namespace dyno

@@ -22,7 +22,11 @@ namespace dyno::obs {
 /// checksum_refetches / records_quarantined args; new block_corruption,
 /// shuffle_checksum_retry and record_quarantined task events; new driver
 /// manifest_fallback event.
-inline constexpr int kTraceSchemaVersion = 3;
+/// v4: service robustness — new query_preempted / query_resumed /
+/// deadline_exceeded / load_shed / service_halt service events; service
+/// "wave" spans gained a pressure arg (busy-slot fraction of the previous
+/// wave); new driver retry_budget_exhausted event.
+inline constexpr int kTraceSchemaVersion = 4;
 
 /// Logical lanes events are grouped under in the Chrome trace_event export
 /// (one "thread" row per lane). Values are stable serialization constants.

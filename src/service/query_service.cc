@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/dfs.h"
 
 namespace dyno {
 
@@ -33,6 +34,26 @@ void QueryServiceOptions::ApplyEnvOverrides() {
   if (const char* env = std::getenv("DYNO_STATS_CACHE")) {
     share_pilot_stats = EnvInt64OrDie("DYNO_STATS_CACHE", env, 0, 1) != 0;
   }
+  if (const char* env = std::getenv("DYNO_PRIORITY_PREEMPTION")) {
+    priority_preemption =
+        EnvInt64OrDie("DYNO_PRIORITY_PREEMPTION", env, 0, 1) != 0;
+  }
+  if (const char* env = std::getenv("DYNO_QUERY_DEADLINE_MS")) {
+    default_deadline_ms =
+        EnvInt64OrDie("DYNO_QUERY_DEADLINE_MS", env, 0, int64_t{1} << 40);
+  }
+  if (const char* env = std::getenv("DYNO_LOAD_SHED_QUEUE_MS")) {
+    load_shed_queue_ms =
+        EnvInt64OrDie("DYNO_LOAD_SHED_QUEUE_MS", env, 0, int64_t{1} << 40);
+  }
+  if (const char* env = std::getenv("DYNO_LOAD_SHED_PRESSURE")) {
+    load_shed_pressure =
+        EnvDoubleOrDie("DYNO_LOAD_SHED_PRESSURE", env, 0.0, 1.0);
+  }
+  if (const char* env = std::getenv("DYNO_LOAD_SHED_PRIORITY")) {
+    load_shed_max_priority = static_cast<int>(
+        EnvInt64OrDie("DYNO_LOAD_SHED_PRIORITY", env, 0, 1 << 20));
+  }
 }
 
 /// All mutable state is guarded by QueryService::mu_; the baton protocol
@@ -51,16 +72,27 @@ struct QueryService::Session {
   /// Driver options after query scoping (exec.query_id, checkpoint path).
   DynoOptions scoped_options;
   int enqueue_seq = 0;
+  int priority = 0;
   SimMillis arrival_offset = 0;  ///< Relative to RunAll start.
   SimMillis arrival_ms = 0;      ///< Absolute, fixed at RunAll start.
+  SimMillis deadline_at = -1;    ///< Absolute; < 0 = none.
   int admit_seq = -1;
-  SimMillis admit_ms = -1;
+  SimMillis admit_ms = -1;       ///< First admission (preemption keeps it).
   SimMillis finish_ms = -1;
 
   State state = State::kQueued;
   bool started = false;        ///< Thread launched.
   bool start_granted = false;  ///< First baton handoff.
   bool cancelled = false;
+  bool deadline_hit = false;
+  /// The scheduler wants this session's slot back: unwind with Cancelled at
+  /// the next submission point, then re-queue instead of finalizing.
+  bool preempt_requested = false;
+  int preempt_count = 0;
+  /// Start the driver via Resume() (preempted earlier, or re-admitted by
+  /// RecoverPending) so it continues from its checkpoint manifest.
+  bool resume_on_start = false;
+  bool recovered = false;  ///< Came in through RecoverPending().
   std::optional<SimMillis> cancel_at;
   bool reaped = false;  ///< Outcome collected, thread joined.
 
@@ -114,6 +146,11 @@ QueryService::~QueryService() {
 
 Status QueryService::Enqueue(QuerySubmission submission) {
   std::lock_guard<std::mutex> lock(mu_);
+  return EnqueueLocked(std::move(submission), /*recovered=*/false);
+}
+
+Status QueryService::EnqueueLocked(QuerySubmission submission,
+                                   bool recovered) {
   if (submission.query_id.empty()) {
     return Status::InvalidArgument("submission has no query id");
   }
@@ -140,10 +177,17 @@ Status QueryService::Enqueue(QuerySubmission submission) {
 
   auto session = std::make_unique<Session>();
   session->enqueue_seq = static_cast<int>(sessions_.size());
+  session->priority = submission.priority;
   // Arrival schedule: explicit offsets are taken verbatim; everything else
   // draws from the service RNG stream in Enqueue order, which makes the
-  // whole schedule a pure function of (seed, enqueue sequence).
-  if (submission.arrival_offset_ms >= 0) {
+  // whole schedule a pure function of (seed, enqueue sequence). Recovered
+  // queries were admitted by the previous instance, so they re-arrive
+  // immediately regardless of their original schedule.
+  if (recovered) {
+    session->arrival_offset = 0;
+    session->recovered = true;
+    session->resume_on_start = true;
+  } else if (submission.arrival_offset_ms >= 0) {
     session->arrival_offset = submission.arrival_offset_ms;
   } else if (options_.arrival_window_ms > 0) {
     session->arrival_offset = static_cast<SimMillis>(
@@ -162,7 +206,7 @@ Status QueryService::Cancel(const std::string& query_id) {
   for (auto& session : sessions_) {
     if (session->sub.query_id != query_id) continue;
     if (session->state == Session::State::kDone) {
-      return Status::NotFound("query already finished: " + query_id);
+      return Status::OK();  // Already finished: cancellation is a no-op.
     }
     session->cancelled = true;
     return Status::OK();
@@ -175,7 +219,7 @@ Status QueryService::CancelAt(const std::string& query_id, SimMillis at_ms) {
   for (auto& session : sessions_) {
     if (session->sub.query_id != query_id) continue;
     if (session->state == Session::State::kDone) {
-      return Status::NotFound("query already finished: " + query_id);
+      return Status::OK();  // Already finished: cancellation is a no-op.
     }
     session->cancel_at = at_ms;
     return Status::OK();
@@ -183,14 +227,43 @@ Status QueryService::CancelAt(const std::string& query_id, SimMillis at_ms) {
   return Status::NotFound("unknown query id: " + query_id);
 }
 
-void QueryService::ApplyTimedCancels() {
-  const SimMillis now = engine_->now();
-  for (auto& session : sessions_) {
-    if (session->cancel_at.has_value() && now >= *session->cancel_at &&
-        session->state != Session::State::kDone) {
-      session->cancelled = true;
+Result<int> QueryService::RecoverPending(
+    const std::vector<QuerySubmission>& submissions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.checkpoint_root.empty()) {
+    return Status::FailedPrecondition(
+        "RecoverPending requires QueryServiceOptions::checkpoint_root");
+  }
+  if (run_active_) {
+    return Status::FailedPrecondition(
+        "cannot recover while RunAll is in progress");
+  }
+  const std::string prefix = options_.checkpoint_root + "/pending/";
+  obs::MetricsRegistry* metrics = engine_->metrics();
+  obs::TraceSink* trace = engine_->trace();
+  int recovered = 0;
+  for (const std::string& path : engine_->dfs()->List()) {
+    if (!StartsWith(path, prefix)) continue;
+    const std::string query_id = path.substr(prefix.size());
+    const QuerySubmission* match = nullptr;
+    for (const QuerySubmission& sub : submissions) {
+      if (sub.query_id == query_id) {
+        match = &sub;
+        break;
+      }
+    }
+    if (match == nullptr) continue;  // Marker kept for a later attempt.
+    DYNO_RETURN_IF_ERROR(EnqueueLocked(*match, /*recovered=*/true));
+    ++recovered;
+    if (metrics != nullptr) metrics->GetCounter("service.recovered")->Add();
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                    obs::TraceLane::kService, "service",
+                                    "query_recovered")
+                        .Arg("query", query_id));
     }
   }
+  return recovered;
 }
 
 Result<std::vector<JobResult>> QueryService::SubmitFromSession(
@@ -206,6 +279,10 @@ Result<std::vector<JobResult>> QueryService::SubmitFromSession(
   if (session->cancelled) {
     return Status::Cancelled("query " + session->sub.query_id + " cancelled");
   }
+  if (session->deadline_hit) {
+    return Status::DeadlineExceeded("query " + session->sub.query_id +
+                                    " missed its deadline");
+  }
   session->pending_specs = std::move(specs);
   session->state = Session::State::kWaitingSubmit;
   cv_.notify_all();  // Baton back to the scheduler.
@@ -216,10 +293,12 @@ Result<std::vector<JobResult>> QueryService::SubmitFromSession(
 }
 
 void QueryService::SessionMain(Session* session) {
+  bool resume = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return session->start_granted; });
     session->start_granted = false;
+    resume = session->resume_on_start;
   }
   // The stats-sharing knob: with sharing off each session plans from a
   // private store, so one query's pilot statistics never leak into another
@@ -227,7 +306,11 @@ void QueryService::SessionMain(Session* session) {
   StatsStore private_store;
   StatsStore* store = options_.share_pilot_stats ? store_ : &private_store;
   DynoDriver driver(engine_, catalog_, store, session->scoped_options);
-  Result<QueryRunReport> result = driver.Execute(session->sub.query);
+  // A preempted or crash-recovered session resumes from its checkpoint
+  // manifest; Resume degrades to Execute-from-scratch when no manifest is
+  // readable, so correctness never depends on checkpoint survival.
+  Result<QueryRunReport> result = resume ? driver.Resume(session->sub.query)
+                                         : driver.Execute(session->sub.query);
   {
     std::lock_guard<std::mutex> lock(mu_);
     session->finish_ms = engine_->now();
@@ -249,6 +332,16 @@ void QueryService::RunSessionUntilBlocked(Session* session,
   running_session_ = nullptr;
 }
 
+void QueryService::ApplyTimedCancels() {
+  const SimMillis now = engine_->now();
+  for (auto& session : sessions_) {
+    if (session->cancel_at.has_value() && now >= *session->cancel_at &&
+        session->state != Session::State::kDone) {
+      session->cancelled = true;
+    }
+  }
+}
+
 std::vector<QueryOutcome> QueryService::RunAll() {
   std::unique_lock<std::mutex> lock(mu_);
   run_active_ = true;
@@ -263,6 +356,9 @@ std::vector<QueryOutcome> QueryService::RunAll() {
   obs::Counter* m_failed = nullptr;
   obs::Counter* m_waves = nullptr;
   obs::Counter* m_wave_jobs = nullptr;
+  obs::Counter* m_preemptions = nullptr;
+  obs::Counter* m_shed = nullptr;
+  obs::Counter* m_deadline = nullptr;
   obs::Gauge* g_running = nullptr;
   obs::Histogram* h_latency = nullptr;
   obs::Histogram* h_queue_wait = nullptr;
@@ -273,17 +369,25 @@ std::vector<QueryOutcome> QueryService::RunAll() {
     m_failed = metrics->GetCounter("service.failed");
     m_waves = metrics->GetCounter("service.waves");
     m_wave_jobs = metrics->GetCounter("service.wave_jobs");
+    m_preemptions = metrics->GetCounter("service.preemptions");
+    m_shed = metrics->GetCounter("service.shed");
+    m_deadline = metrics->GetCounter("service.deadline_exceeded");
     g_running = metrics->GetGauge("service.running");
     h_latency = metrics->GetHistogram("service.query_latency_ms");
     h_queue_wait = metrics->GetHistogram("service.queue_wait_ms");
   }
 
   // The cohort this call runs: everything still queued. Absolute arrivals
-  // are fixed now, against the current cluster clock.
+  // and deadlines are fixed now, against the current cluster clock.
   std::vector<Session*> cohort;
   for (auto& session : sessions_) {
     if (session->state != Session::State::kQueued) continue;
     session->arrival_ms = run_start + session->arrival_offset;
+    SimMillis deadline = session->sub.deadline_ms >= 0
+                             ? session->sub.deadline_ms
+                             : options_.default_deadline_ms;
+    session->deadline_at =
+        deadline > 0 ? session->arrival_ms + deadline : -1;
     cohort.push_back(session.get());
   }
 
@@ -293,22 +397,66 @@ std::vector<QueryOutcome> QueryService::RunAll() {
 
   int running = 0;  ///< Admitted, not yet reaped.
   std::map<std::string, int> tenant_running;
+  // Halt mode (crash simulation / drain): no cleanup of service state.
+  bool halted = false;
 
   auto committed_slot_ms = [&](Session* session) -> SimMillis {
     const auto& per_query = engine_->query_slot_ms();
-    auto it = per_query.find(session->scoped_options.exec.query_id);
+    const std::string& id = session->scoped_options.exec.query_id.empty()
+                                ? session->sub.query_id
+                                : session->scoped_options.exec.query_id;
+    auto it = per_query.find(id);
     return it == per_query.end() ? 0 : it->second;
   };
 
-  // Finalizes a session that never started (cancelled while queued).
-  auto finalize_unstarted = [&](Session* session) {
+  auto pending_marker_path = [&](Session* session) {
+    return options_.checkpoint_root + "/pending/" + session->sub.query_id;
+  };
+
+  // Durable "this query is in flight" record, written at first admission
+  // and removed at finalization: the successor instance's RecoverPending
+  // scans exactly these.
+  auto write_pending_marker = [&](Session* session) {
+    if (options_.checkpoint_root.empty()) return;
+    const std::string path = pending_marker_path(session);
+    if (engine_->dfs()->Exists(path)) return;  // Re-admission.
+    engine_->dfs()->Create(path).ok();
+  };
+
+  // Finalization scrubs the query's service state — pending marker plus
+  // both checkpoint manifest generations — unless the run is halting, in
+  // which case everything is left behind exactly as a crash would.
+  auto cleanup_service_state = [&](Session* session) {
+    if (options_.checkpoint_root.empty() || halted) return;
+    Dfs* dfs = engine_->dfs();
+    dfs->Delete(pending_marker_path(session)).ok();
+    const std::string& manifest = session->scoped_options.checkpoint_path;
+    if (session->started && !manifest.empty() &&
+        StartsWith(manifest, options_.checkpoint_root)) {
+      dfs->Delete(manifest).ok();
+      dfs->Delete(manifest + ".prev").ok();
+    }
+  };
+
+  // Finalizes a session with no live thread (never admitted, or already
+  // joined after a preemption) without a driver run: cancelled while
+  // queued, past its deadline, or load-shed.
+  auto finalize_queued = [&](Session* session, Status status,
+                             obs::Counter* counter) {
     session->state = Session::State::kDone;
     session->finish_ms = engine_->now();
-    session->driver_result.emplace(Result<QueryRunReport>(
-        Status::Cancelled("query " + session->sub.query_id +
-                          " cancelled before admission")));
+    session->driver_result.emplace(
+        Result<QueryRunReport>(std::move(status)));
     session->reaped = true;  // No thread, no slot accounting.
-    if (m_cancelled != nullptr) m_cancelled->Add();
+    if (counter != nullptr) counter->Add();
+    cleanup_service_state(session);
+  };
+
+  auto finalize_queued_cancelled = [&](Session* session) {
+    finalize_queued(session,
+                    Status::Cancelled("query " + session->sub.query_id +
+                                      " cancelled before admission"),
+                    m_cancelled);
     if (trace != nullptr) {
       trace->Record(obs::TraceEvent(engine_->now(), -1,
                                     obs::TraceLane::kService, "service",
@@ -318,28 +466,57 @@ std::vector<QueryOutcome> QueryService::RunAll() {
     }
   };
 
-  // Joins finished session threads and releases their capacity.
+  // Joins finished session threads and releases their capacity. A session
+  // that unwound because the scheduler preempted it is re-queued to resume
+  // from its checkpoint instead of being finalized.
   auto reap_finished = [&] {
     for (Session* session : cohort) {
       if (session->state != Session::State::kDone || session->reaped) {
         continue;
       }
       if (session->thread.joinable()) session->thread.join();
-      session->reaped = true;
       --running;
       --tenant_running[session->sub.tenant];
       if (g_running != nullptr) g_running->Set(running);
+
+      if (session->preempt_requested && !session->cancelled &&
+          !session->deadline_hit && !halted &&
+          session->driver_result->status().code() == StatusCode::kCancelled) {
+        session->preempt_requested = false;
+        ++session->preempt_count;
+        session->resume_on_start = true;
+        session->driver_result.reset();
+        session->started = false;
+        session->start_granted = false;
+        session->finish_ms = -1;
+        session->state = Session::State::kQueued;
+        if (m_preemptions != nullptr) m_preemptions->Add();
+        if (trace != nullptr) {
+          trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                        obs::TraceLane::kService, "service",
+                                        "query_preempted")
+                            .Arg("query", session->sub.query_id)
+                            .ArgInt("preemptions", session->preempt_count));
+        }
+        continue;
+      }
+
+      session->preempt_requested = false;
+      session->reaped = true;
       const Status& st = session->driver_result->status();
       if (st.ok()) {
         if (m_completed != nullptr) m_completed->Add();
       } else if (st.code() == StatusCode::kCancelled) {
         if (m_cancelled != nullptr) m_cancelled->Add();
+      } else if (st.code() == StatusCode::kDeadlineExceeded) {
+        if (m_deadline != nullptr) m_deadline->Add();
       } else {
         if (m_failed != nullptr) m_failed->Add();
       }
       if (h_latency != nullptr) {
         h_latency->Observe(session->finish_ms - session->arrival_ms);
       }
+      cleanup_service_state(session);
       if (trace != nullptr) {
         trace->Record(obs::TraceEvent(session->finish_ms, -1,
                                       obs::TraceLane::kService, "service",
@@ -352,39 +529,139 @@ std::vector<QueryOutcome> QueryService::RunAll() {
     }
   };
 
-  // Admits due arrivals in (arrival, enqueue) order, respecting the
-  // service-wide concurrency cap and per-tenant slot quotas, and runs each
-  // new session until its first park. A tenant at quota is skipped, not a
-  // head-of-line blocker.
+  // Deadline sweep, at wave boundaries like timed cancels: queued sessions
+  // past deadline finalize without ever starting; admitted ones are handed
+  // DeadlineExceeded at their parked submission point (unwind_parked). An
+  // explicit cancel wins over a deadline.
+  auto apply_deadlines = [&] {
+    const SimMillis now = engine_->now();
+    for (Session* session : cohort) {
+      if (session->deadline_at < 0 || session->deadline_hit) continue;
+      if (session->state == Session::State::kDone || session->cancelled) {
+        continue;
+      }
+      if (now < session->deadline_at) continue;
+      session->deadline_hit = true;
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEvent(now, -1, obs::TraceLane::kService,
+                                      "service", "deadline_exceeded")
+                          .Arg("query", session->sub.query_id)
+                          .ArgInt("deadline_ms", session->deadline_at)
+                          .ArgBool("admitted", session->started));
+      }
+      if (session->state == Session::State::kQueued) {
+        finalize_queued(session,
+                        Status::DeadlineExceeded(
+                            "query " + session->sub.query_id +
+                            " missed its deadline before admission"),
+                        m_deadline);
+      }
+    }
+  };
+
+  // Picks the running session a higher-priority arrival may evict: lowest
+  // priority first, newest admission breaking ties (it has the least sunk
+  // work). Sessions already being preempted or cancelled are exempt.
+  auto lowest_priority_victim = [&]() -> Session* {
+    Session* victim = nullptr;
+    for (Session* s : cohort) {
+      if (!s->started || s->state == Session::State::kDone) continue;
+      if (s->preempt_requested || s->cancelled || s->deadline_hit) continue;
+      if (victim == nullptr || s->priority < victim->priority ||
+          (s->priority == victim->priority &&
+           s->admit_seq > victim->admit_seq)) {
+        victim = s;
+      }
+    }
+    return victim;
+  };
+
+  // Overload protection: reject a sheddable blocked arrival outright
+  // instead of letting it sit in the queue only to time out. Sessions that
+  // ever held a slot (preempted victims) are never shed — their work is
+  // checkpointed, not disposable.
+  auto maybe_shed = [&](Session* session) {
+    if (session->priority > options_.load_shed_max_priority) return;
+    if (session->preempt_count > 0 || session->resume_on_start) return;
+    const SimMillis waited = engine_->now() - session->arrival_ms;
+    const double pressure = engine_->last_wave_pressure();
+    const bool queue_shed =
+        options_.load_shed_queue_ms > 0 && waited >= options_.load_shed_queue_ms;
+    const bool pressure_shed = options_.load_shed_pressure > 0.0 &&
+                               pressure >= options_.load_shed_pressure;
+    if (!queue_shed && !pressure_shed) return;
+    finalize_queued(session,
+                    Status::ResourceExhausted(
+                        "query " + session->sub.query_id +
+                        " shed under overload"),
+                    m_shed);
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                    obs::TraceLane::kService, "service",
+                                    "load_shed")
+                        .Arg("query", session->sub.query_id)
+                        .Arg("reason",
+                             queue_shed ? "queue_wait" : "pressure")
+                        .ArgInt("waited_ms", waited)
+                        .ArgDouble("pressure", pressure));
+    }
+  };
+
+  // Admits due arrivals in (priority desc, arrival, enqueue) order,
+  // respecting the service-wide concurrency cap and per-tenant slot
+  // quotas, and runs each new session until its first park. A tenant at
+  // quota is skipped, not a head-of-line blocker. When capacity blocks a
+  // strictly higher-priority arrival, the lowest-priority running session
+  // is marked for preemption; it unwinds at its next submission point,
+  // frees its slot and re-queues, and — priorities leading the admission
+  // order — the preemptor takes the slot first.
   auto admit_due = [&] {
     std::vector<Session*> due;
     for (Session* session : cohort) {
-      if (session->state == Session::State::kQueued) due.push_back(session);
+      if (session->state != Session::State::kQueued) continue;
+      if (session->cancelled) {
+        finalize_queued_cancelled(session);
+        continue;
+      }
+      if (session->arrival_ms <= engine_->now()) due.push_back(session);
     }
     std::sort(due.begin(), due.end(), [](Session* a, Session* b) {
+      if (a->priority != b->priority) return a->priority > b->priority;
       if (a->arrival_ms != b->arrival_ms) return a->arrival_ms < b->arrival_ms;
       return a->enqueue_seq < b->enqueue_seq;
     });
     for (Session* session : due) {
-      if (session->cancelled) {
-        finalize_unstarted(session);
+      if (running >= max_concurrent) {
+        if (options_.priority_preemption) {
+          Session* victim = lowest_priority_victim();
+          if (victim != nullptr && victim->priority < session->priority) {
+            victim->preempt_requested = true;
+            continue;  // Admitted next pass, once the victim unwinds.
+          }
+        }
+        maybe_shed(session);
         continue;
       }
-      if (session->arrival_ms > engine_->now()) break;
-      if (running >= max_concurrent) break;
       if (options_.tenant_slots > 0 &&
           tenant_running[session->sub.tenant] >= options_.tenant_slots) {
         continue;  // Quota; later arrivals of other tenants may still fit.
       }
       session->admit_seq = next_admit_seq_++;
-      session->admit_ms = engine_->now();
+      const bool first_admission = session->admit_ms < 0;
+      if (first_admission) session->admit_ms = engine_->now();
       // The driver inherits the submission's query id: it scopes DFS temp
       // paths, quarantine files, engine fault streams and trace tags. A
       // checkpoint path, if configured, becomes per-query for the same
-      // reason (manifest + ".prev" must never be shared across queries).
+      // reason (manifest + ".prev" must never be shared across queries);
+      // with none configured the service checkpoint root (if any) supplies
+      // one, which is what makes preemption and crash recovery lossless.
       session->scoped_options = session->sub.options;
       if (session->scoped_options.exec.query_id.empty()) {
         session->scoped_options.exec.query_id = session->sub.query_id;
+      }
+      if (session->scoped_options.checkpoint_path.empty() &&
+          !options_.checkpoint_root.empty()) {
+        session->scoped_options.checkpoint_path = options_.checkpoint_root;
       }
       if (!session->scoped_options.checkpoint_path.empty()) {
         session->scoped_options.checkpoint_path +=
@@ -397,19 +674,29 @@ std::vector<QueryOutcome> QueryService::RunAll() {
       }
       ++running;
       ++tenant_running[session->sub.tenant];
-      if (m_admitted != nullptr) m_admitted->Add();
+      if (first_admission && m_admitted != nullptr) m_admitted->Add();
       if (g_running != nullptr) g_running->Set(running);
-      if (h_queue_wait != nullptr) {
+      if (first_admission && h_queue_wait != nullptr) {
         h_queue_wait->Observe(session->admit_ms - session->arrival_ms);
       }
+      write_pending_marker(session);
       if (trace != nullptr) {
-        trace->Record(obs::TraceEvent(session->admit_ms, -1,
-                                      obs::TraceLane::kService, "service",
-                                      "query_admitted")
-                          .Arg("query", session->sub.query_id)
-                          .Arg("tenant", session->sub.tenant)
-                          .ArgInt("queue_wait_ms",
-                                  session->admit_ms - session->arrival_ms));
+        if (session->resume_on_start) {
+          trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                        obs::TraceLane::kService, "service",
+                                        "query_resumed")
+                            .Arg("query", session->sub.query_id)
+                            .ArgInt("preemptions", session->preempt_count)
+                            .ArgBool("recovered", session->recovered));
+        } else {
+          trace->Record(obs::TraceEvent(session->admit_ms, -1,
+                                        obs::TraceLane::kService, "service",
+                                        "query_admitted")
+                            .Arg("query", session->sub.query_id)
+                            .Arg("tenant", session->sub.tenant)
+                            .ArgInt("queue_wait_ms",
+                                    session->admit_ms - session->arrival_ms));
+        }
       }
       session->started = true;
       session->start_granted = true;
@@ -418,32 +705,46 @@ std::vector<QueryOutcome> QueryService::RunAll() {
     }
   };
 
-  // Hands Cancelled to every cancelled session parked at a submit; each
-  // unwinds its driver stack and finishes.
-  auto cancel_parked = [&] {
+  // Unwinds every parked session the scheduler wants stopped — cancelled,
+  // past deadline, or preempted — by handing it the matching error; each
+  // unwinds its driver stack and finishes (preempted ones then re-queue in
+  // reap_finished).
+  auto unwind_parked = [&] {
     for (Session* session : cohort) {
-      if (session->state != Session::State::kWaitingSubmit ||
-          !session->cancelled) {
+      if (session->state != Session::State::kWaitingSubmit) continue;
+      if (!session->cancelled && !session->deadline_hit &&
+          !session->preempt_requested) {
         continue;
       }
       session->pending_specs.clear();
-      session->grant = Result<std::vector<JobResult>>(
-          Status::Cancelled("query " + session->sub.query_id + " cancelled"));
-      if (trace != nullptr) {
-        trace->Record(obs::TraceEvent(engine_->now(), -1,
-                                      obs::TraceLane::kService, "service",
-                                      "query_cancelled")
-                          .Arg("query", session->sub.query_id)
-                          .ArgBool("admitted", true));
+      Status st;
+      if (session->cancelled) {
+        st = Status::Cancelled("query " + session->sub.query_id +
+                               " cancelled");
+        if (trace != nullptr) {
+          trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                        obs::TraceLane::kService, "service",
+                                        "query_cancelled")
+                            .Arg("query", session->sub.query_id)
+                            .ArgBool("admitted", true));
+        }
+      } else if (session->deadline_hit) {
+        st = Status::DeadlineExceeded("query " + session->sub.query_id +
+                                      " missed its deadline");
+      } else {
+        st = Status::Cancelled("query " + session->sub.query_id +
+                               " preempted");
       }
+      session->grant = Result<std::vector<JobResult>>(std::move(st));
       RunSessionUntilBlocked(session, &lock);
     }
   };
 
   // One combined wave: the batches of every parked session, ordered by
-  // fair share — least attained committed slot time first, admission
-  // sequence breaking ties. The engine grants scarce slots FIFO across the
-  // batch, so wave order IS the fairness policy.
+  // priority class first and fair share within a class — least attained
+  // committed slot time, admission sequence breaking ties. The engine
+  // grants scarce slots FIFO across the batch, so wave order IS the
+  // scheduling policy.
   auto run_wave = [&] {
     std::vector<Session*> waiting;
     for (Session* session : cohort) {
@@ -453,6 +754,7 @@ std::vector<QueryOutcome> QueryService::RunAll() {
     }
     if (waiting.empty()) return false;
     std::sort(waiting.begin(), waiting.end(), [&](Session* a, Session* b) {
+      if (a->priority != b->priority) return a->priority > b->priority;
       SimMillis sa = committed_slot_ms(a);
       SimMillis sb = committed_slot_ms(b);
       if (sa != sb) return sa < sb;
@@ -474,7 +776,9 @@ std::vector<QueryOutcome> QueryService::RunAll() {
                                     obs::TraceLane::kService, "service",
                                     "wave")
                         .ArgInt("sessions", (int64_t)parts.size())
-                        .ArgInt("jobs", (int64_t)specs.size()));
+                        .ArgInt("jobs", (int64_t)specs.size())
+                        .ArgDouble("pressure",
+                                   engine_->last_wave_pressure()));
     }
     // The engine runs on this (scheduler) thread; every session is parked,
     // so dropping the lock for the duration is safe and keeps the gate
@@ -504,12 +808,51 @@ std::vector<QueryOutcome> QueryService::RunAll() {
     return true;
   };
 
+  // Stops scheduling mid-run, leaving all service state on the DFS as a
+  // crash would: parked sessions unwind with Cancelled, queued ones
+  // finalize as cancelled, markers and manifests survive for a successor's
+  // RecoverPending.
+  auto halt_run = [&] {
+    halted = true;
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                    obs::TraceLane::kService, "service",
+                                    "service_halt")
+                        .ArgInt("at_ms", engine_->now()));
+    }
+    for (Session* session : cohort) {
+      if (session->state != Session::State::kWaitingSubmit) continue;
+      session->pending_specs.clear();
+      session->grant = Result<std::vector<JobResult>>(
+          Status::Cancelled("query " + session->sub.query_id +
+                            " interrupted by service halt"));
+      RunSessionUntilBlocked(session, &lock);
+    }
+    reap_finished();
+    for (Session* session : cohort) {
+      if (session->state == Session::State::kQueued) {
+        finalize_queued(session,
+                        Status::Cancelled("query " + session->sub.query_id +
+                                          " interrupted by service halt"),
+                        m_cancelled);
+      }
+    }
+  };
+
   for (;;) {
+    if (options_.halt_at_ms >= 0 && engine_->now() >= options_.halt_at_ms) {
+      halt_run();
+      break;
+    }
     ApplyTimedCancels();
+    apply_deadlines();
     reap_finished();
     admit_due();
-    cancel_parked();
+    unwind_parked();
     reap_finished();
+    // A preemption freed its slot just now (unwind → reap): admit again so
+    // the preemptor joins the very next wave instead of waiting one out.
+    admit_due();
     if (run_wave()) continue;
 
     // Nothing parked. Anything still pending is a future arrival (or a
@@ -550,6 +893,7 @@ std::vector<QueryOutcome> QueryService::RunAll() {
     QueryOutcome outcome;
     outcome.query_id = session->sub.query_id;
     outcome.tenant = session->sub.tenant;
+    outcome.priority = session->priority;
     outcome.status = session->driver_result->status();
     if (session->driver_result->ok()) {
       outcome.report = session->driver_result->value();
@@ -558,6 +902,8 @@ std::vector<QueryOutcome> QueryService::RunAll() {
     outcome.admit_ms = session->admit_ms;
     outcome.finish_ms = session->finish_ms;
     outcome.slot_ms = committed_slot_ms(session);
+    outcome.preemptions = session->preempt_count;
+    outcome.recovered = session->recovered;
     outcomes.push_back(std::move(outcome));
   }
   return outcomes;

@@ -58,11 +58,54 @@ struct QueryServiceOptions {
   /// false each session gets a private store — the isolation ablation.
   bool share_pilot_stats = true;
 
+  /// Preempt for priority: when a strictly higher-priority arrival cannot
+  /// be admitted for lack of capacity, cancel the lowest-priority running
+  /// session at its next submission point and re-queue it to resume later
+  /// from its checkpoint manifest (byte-identical to an unpreempted run
+  /// when a checkpoint path is configured; re-executed from scratch
+  /// otherwise). Equal priorities never preempt each other.
+  bool priority_preemption = true;
+
+  /// Default per-query deadline as an offset from arrival (SimMillis),
+  /// applied to submissions that do not pin their own deadline_ms. 0
+  /// disables. Deadlines are enforced at wave boundaries: the query is
+  /// handed Status::DeadlineExceeded at its next submission point (queued
+  /// queries past deadline never start).
+  SimMillis default_deadline_ms = 0;
+
+  /// Load shedding (overload protection): a due arrival that cannot be
+  /// admitted, has priority <= load_shed_max_priority and has never held a
+  /// slot is rejected with ResourceExhausted — instead of being admitted
+  /// only to time out — once it has waited load_shed_queue_ms in the queue
+  /// (> 0 enables), or immediately while the engine's last-wave busy-slot
+  /// pressure is >= load_shed_pressure (> 0 enables).
+  SimMillis load_shed_queue_ms = 0;
+  double load_shed_pressure = 0.0;
+  int load_shed_max_priority = 0;
+
+  /// Service checkpoint namespace. When set: a submission without its own
+  /// checkpoint_path checkpoints under "<root>/q/<query_id>"; admission
+  /// writes a pending marker "<root>/pending/<query_id>" that finalization
+  /// removes (along with the query's manifests); and RecoverPending()
+  /// re-admits marked queries after a service crash, resuming them from
+  /// their manifests.
+  std::string checkpoint_root;
+
+  /// Crash/drain hook (tests, graceful shutdown): once the cluster clock
+  /// reaches this time the scheduler stops — parked sessions unwind with
+  /// Cancelled, queued ones finalize as cancelled, and *no* service state
+  /// is cleaned up: pending markers and manifests stay on the DFS exactly
+  /// as a killed service would leave them, so a successor instance can
+  /// RecoverPending(). < 0 (default) disables.
+  SimMillis halt_at_ms = -1;
+
   /// Fills the knobs from DYNO_CONCURRENCY / DYNO_TENANT_SLOTS /
   /// DYNO_ADMISSION_QUEUE / DYNO_SUBTREE_CACHE_MB (0 disables the cache,
-  /// > 0 enables it at that budget) / DYNO_STATS_CACHE (0/1). Absent
-  /// variables leave fields untouched; malformed values abort (same
-  /// contract as FaultConfig).
+  /// > 0 enables it at that budget) / DYNO_STATS_CACHE (0/1) /
+  /// DYNO_PRIORITY_PREEMPTION (0/1) / DYNO_QUERY_DEADLINE_MS /
+  /// DYNO_LOAD_SHED_QUEUE_MS / DYNO_LOAD_SHED_PRESSURE (fraction in
+  /// [0, 1]) / DYNO_LOAD_SHED_PRIORITY. Absent variables leave fields
+  /// untouched; malformed values abort (same contract as FaultConfig).
   void ApplyEnvOverrides();
 };
 
@@ -82,14 +125,24 @@ struct QuerySubmission {
   /// Arrival time as an offset (SimMillis) from the schedule start. < 0
   /// draws from the service RNG stream (see QueryServiceOptions).
   SimMillis arrival_offset_ms = -1;
+  /// Priority class: higher runs sooner. Folded into admission order and
+  /// the fair-share wave order; with QueryServiceOptions::
+  /// priority_preemption a blocked higher-priority arrival preempts the
+  /// lowest-priority running session.
+  int priority = 0;
+  /// Per-query deadline as an offset from arrival. < 0 inherits
+  /// QueryServiceOptions::default_deadline_ms; 0 explicitly disables.
+  SimMillis deadline_ms = -1;
 };
 
 /// Everything the service knows about one finished session.
 struct QueryOutcome {
   std::string query_id;
   std::string tenant;
+  int priority = 0;
   /// OK when the driver ran to completion; Cancelled for cancelled
-  /// sessions; otherwise the driver's error.
+  /// sessions; DeadlineExceeded past a deadline; ResourceExhausted when
+  /// load-shed; otherwise the driver's error.
   Status status;
   /// Valid only when status.ok().
   QueryRunReport report;
@@ -99,6 +152,10 @@ struct QueryOutcome {
   SimMillis finish_ms = -1;
   /// Committed cluster slot time attributed to this query.
   SimMillis slot_ms = 0;
+  /// Times this session was preempted (and later resumed) for priority.
+  int preemptions = 0;
+  /// Re-admitted by RecoverPending() after a service crash.
+  bool recovered = false;
 
   /// Queueing + execution latency (finish - arrival).
   SimMillis Latency() const { return finish_ms - arrival_ms; }
@@ -144,12 +201,28 @@ class QueryService {
   /// Cancels a session: a queued one never starts; a running one is handed
   /// Status::Cancelled at its next submission point (mid-flight
   /// cancellation — already-running cluster jobs complete their wave).
-  /// NotFound if the id is unknown or already finished.
+  /// Idempotent: cancelling an already-finished query or cancelling the
+  /// same id twice is an OK no-op. NotFound only for ids the service has
+  /// never seen.
   Status Cancel(const std::string& query_id);
 
   /// Deterministic cancellation at a simulated time: applied by the
-  /// scheduler once the cluster clock reaches `at_ms`.
+  /// scheduler once the cluster clock reaches `at_ms`. Same idempotence
+  /// contract as Cancel.
   Status CancelAt(const std::string& query_id, SimMillis at_ms);
+
+  /// Restart recovery: scans "<checkpoint_root>/pending/" for queries a
+  /// previous service instance admitted but never finalized (a crashed or
+  /// halted run leaves their markers behind) and re-enqueues the matching
+  /// submissions flagged to resume from their checkpoint manifests on the
+  /// next RunAll. Queries are C++ values (filters may close over UDFs), so
+  /// they cannot be rebuilt from the DFS alone — the caller resupplies its
+  /// durable submission log and the scan selects which entries were
+  /// in-flight. Markers with no matching submission are left untouched.
+  /// Returns the number of queries re-admitted; FailedPrecondition when no
+  /// checkpoint_root is configured or a run is active. Call after
+  /// construction, before RunAll.
+  Result<int> RecoverPending(const std::vector<QuerySubmission>& submissions);
 
   /// Runs every queued session to completion (or cancellation) and returns
   /// their outcomes in enqueue order. Installs the submit gate on the
@@ -165,6 +238,9 @@ class QueryService {
 
  private:
   struct Session;
+
+  /// Shared tail of Enqueue and RecoverPending; call with mu_ held.
+  Status EnqueueLocked(QuerySubmission submission, bool recovered);
 
   /// Engine submit gate; runs on the calling session's thread.
   Result<std::vector<JobResult>> SubmitFromSession(

@@ -575,6 +575,135 @@ TEST(EngineDeterminismTest,
       << one.substr(one.find("metrics:"), 2000);
 }
 
+/// The overload regime: eight sessions with mixed priorities squeezed
+/// through two slots with priority preemption, a service checkpoint
+/// namespace, and one hopeless deadline — under task faults AND data
+/// corruption. Preemption victims are cancelled at a submission point,
+/// re-queued and resumed from their checkpoint manifests; every one of
+/// those decisions happens on the scheduler thread, so the complete
+/// fingerprint (per-query outcomes with priorities/preemption counts,
+/// service metrics, the full trace) must be bit-identical at any engine
+/// thread count.
+std::string RunOverloadWorkload(int threads) {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  ClusterConfig config;
+  config.job_startup_ms = 2000;
+  config.map_slots = 20;
+  config.reduce_slots = 10;
+  config.memory_per_task_bytes = 64 * 1024;
+  config.execution_threads = threads;
+  config.faults.use_env_defaults = false;
+  config.faults.seed = 11;
+  config.faults.task_failure_rate = 0.03;
+  config.faults.straggler_rate = 0.05;
+  config.faults.straggler_slowdown = 4.0;
+  config.faults.block_corruption_rate = 0.02;
+  config.faults.shuffle_corruption_rate = 0.05;
+  config.faults.poison_record_rate = 0.0005;
+  config.faults.max_skipped_records = -1;
+  config.faults.retry_backoff_ms = 100;
+  MapReduceEngine engine(&dfs, config);
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  engine.set_trace(&trace);
+  engine.set_metrics(&metrics);
+
+  TpchConfig tpch;
+  tpch.scale = 0.0005;
+  tpch.split_bytes = 8 * 1024;
+  EXPECT_TRUE(GenerateTpch(&catalog, tpch).ok());
+
+  StatsStore store;
+  QueryServiceOptions service_options;
+  service_options.max_concurrent = 2;
+  service_options.priority_preemption = true;
+  service_options.checkpoint_root = "/svc_fp";
+  service_options.seed = 1234;
+  service_options.arrival_window_ms = 60000;
+  QueryService service(&engine, &catalog, &store, service_options);
+
+  for (int i = 0; i < 8; ++i) {
+    QuerySubmission sub;
+    sub.query_id = StrFormat("q%02d", i);
+    sub.tenant = (i % 2 == 0) ? "alpha" : "beta";
+    sub.query = (i % 2 == 0) ? MakeTpchQ10() : MakeTpchQ2();
+    sub.options.pilot.k = 256;
+    sub.options.pilot.mode = PilotRunOptions::Mode::kParallel;
+    sub.options.cost.max_memory_bytes = config.memory_per_task_bytes;
+    sub.options.cost.memory_factor = 1.5;
+    if (i < 2) {
+      // Two priority-0 sessions pinned to t=0 hold both slots...
+      sub.priority = 0;
+      sub.arrival_offset_ms = 0;
+    } else if (i == 2) {
+      // ...so this high-priority arrival is guaranteed to preempt one.
+      sub.priority = 5;
+      sub.arrival_offset_ms = 5000;
+    } else {
+      sub.priority = i % 3;
+      sub.arrival_offset_ms = -1;  // seeded service RNG stream
+    }
+    if (i == 7) sub.deadline_ms = 1;  // hopeless: exceeded at first sweep
+    EXPECT_TRUE(service.Enqueue(std::move(sub)).ok());
+  }
+
+  std::string fp;
+  int preempted_total = 0;
+  int deadline_total = 0;
+  for (const QueryOutcome& outcome : service.RunAll()) {
+    preempted_total += outcome.preemptions;
+    if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+      ++deadline_total;
+    }
+    fp += StrFormat(
+        "%s pri=%d status=%d preempt=%d arrive=%lld admit=%lld finish=%lld "
+        "slot=%lld",
+        outcome.query_id.c_str(), outcome.priority,
+        static_cast<int>(outcome.status.code()), outcome.preemptions,
+        (long long)outcome.arrival_ms, (long long)outcome.admit_ms,
+        (long long)outcome.finish_ms, (long long)outcome.slot_ms);
+    if (outcome.status.ok()) {
+      const QueryRunReport& report = outcome.report;
+      uint64_t h = 14695981039346656037ull;
+      if (report.result != nullptr) {
+        for (const Split& split : report.result->splits()) {
+          h = Fnv1a(h, split.data);
+        }
+      }
+      fp += StrFormat(" jobs=%d records=%llu rows=%llx resumed=%d",
+                      report.jobs_run,
+                      (unsigned long long)report.result_records,
+                      (unsigned long long)h, report.resumed_steps);
+    }
+    fp += "\n";
+  }
+  fp += StrFormat("preempted_total=%d deadline_total=%d now=%lld\n",
+                  preempted_total, deadline_total, (long long)engine.now());
+  fp += "metrics:\n" + metrics.Serialize();
+  fp += "trace:\n" + trace.SerializeJsonl();
+  return fp;
+}
+
+TEST(EngineDeterminismTest, OverloadRegimeDeterministicAcrossThreadCounts) {
+  ScopedEnv row_mode = RowMode();
+  std::string one = RunOverloadWorkload(1);
+  std::string four = RunOverloadWorkload(4);
+  std::string eight = RunOverloadWorkload(8);
+  EXPECT_EQ(one, four) << "1-thread and 4-thread overload runs diverged";
+  EXPECT_EQ(one, eight) << "1-thread and 8-thread overload runs diverged";
+  // The regime's distinguishing paths genuinely fired: at least one
+  // preemption (the pinned priority-5 arrival against two busy slots) and
+  // the hopeless deadline.
+  EXPECT_EQ(one.find("preempted_total=0"), std::string::npos)
+      << "no session was ever preempted:\n" << one.substr(0, 1500);
+  EXPECT_NE(one.find("deadline_total=1"), std::string::npos)
+      << "the hopeless deadline did not fire:\n" << one.substr(0, 1500);
+  // The preempted session still completed, resuming checkpointed work.
+  EXPECT_NE(one.find("query_resumed"), std::string::npos)
+      << "no resume event in the trace";
+}
+
 TEST(EngineDeterminismTest, ResumedQueryIsDeterministicAcrossThreadCounts) {
   ScopedEnv row_mode = RowMode();
   std::string one = RunResumeWorkload(1);

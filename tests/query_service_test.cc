@@ -215,6 +215,33 @@ TEST_F(QueryServiceTest, MidFlightCancellationStopsAtNextSubmission) {
   ExpectMatchesOracle(MakeTpchQ10(), outcomes[1].report);
 }
 
+TEST_F(QueryServiceTest, CancelIsIdempotent) {
+  // Double-cancelling a queued query, cancelling an already-finished one,
+  // and a timed cancel landing after the fact must all be OK no-ops — one
+  // cancelled outcome, one finalization, no crash. NotFound stays reserved
+  // for ids the service has never seen.
+  QueryService service(&engine_, &catalog_, &store_, QueryServiceOptions());
+  ASSERT_TRUE(service.Enqueue(MakeSubmission("gone", MakeTpchQ10())).ok());
+  ASSERT_TRUE(service.Enqueue(MakeSubmission("kept", MakeTpchQ10())).ok());
+  EXPECT_TRUE(service.Cancel("gone").ok());
+  EXPECT_TRUE(service.Cancel("gone").ok()) << "double cancel must be a no-op";
+  EXPECT_TRUE(service.CancelAt("gone", 10).ok());
+
+  std::vector<QueryOutcome> outcomes = service.RunAll();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].status.code(), StatusCode::kCancelled);
+  ASSERT_TRUE(outcomes[1].status.ok()) << outcomes[1].status.ToString();
+
+  // After RunAll both sessions are finished; cancelling them again (in any
+  // flavor) is an OK no-op, and unknown ids are still NotFound.
+  EXPECT_TRUE(service.Cancel("kept").ok());
+  EXPECT_TRUE(service.Cancel("kept").ok());
+  EXPECT_TRUE(service.Cancel("gone").ok());
+  EXPECT_TRUE(service.CancelAt("kept", 1).ok());
+  EXPECT_EQ(service.Cancel("nosuch").code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.CancelAt("nosuch", 1).code(), StatusCode::kNotFound);
+}
+
 TEST_F(QueryServiceTest, ArrivalScheduleIsSeededAndDeterministic) {
   auto arrivals = [&](uint64_t seed) {
     QueryServiceOptions opts;
@@ -252,14 +279,29 @@ TEST(QueryServiceOptionsTest, EnvOverridesParse) {
   std::string old_conc = saved("DYNO_CONCURRENCY");
   std::string old_slots = saved("DYNO_TENANT_SLOTS");
   std::string old_queue = saved("DYNO_ADMISSION_QUEUE");
+  std::string old_preempt = saved("DYNO_PRIORITY_PREEMPTION");
+  std::string old_deadline = saved("DYNO_QUERY_DEADLINE_MS");
+  std::string old_shed_q = saved("DYNO_LOAD_SHED_QUEUE_MS");
+  std::string old_shed_p = saved("DYNO_LOAD_SHED_PRESSURE");
+  std::string old_shed_pri = saved("DYNO_LOAD_SHED_PRIORITY");
   setenv("DYNO_CONCURRENCY", "7", 1);
   setenv("DYNO_TENANT_SLOTS", "3", 1);
   setenv("DYNO_ADMISSION_QUEUE", "9", 1);
+  setenv("DYNO_PRIORITY_PREEMPTION", "0", 1);
+  setenv("DYNO_QUERY_DEADLINE_MS", "120000", 1);
+  setenv("DYNO_LOAD_SHED_QUEUE_MS", "5500", 1);
+  setenv("DYNO_LOAD_SHED_PRESSURE", "0.75", 1);
+  setenv("DYNO_LOAD_SHED_PRIORITY", "2", 1);
   QueryServiceOptions options;
   options.ApplyEnvOverrides();
   EXPECT_EQ(options.max_concurrent, 7);
   EXPECT_EQ(options.tenant_slots, 3);
   EXPECT_EQ(options.admission_queue_limit, 9);
+  EXPECT_FALSE(options.priority_preemption);
+  EXPECT_EQ(options.default_deadline_ms, 120000);
+  EXPECT_EQ(options.load_shed_queue_ms, 5500);
+  EXPECT_DOUBLE_EQ(options.load_shed_pressure, 0.75);
+  EXPECT_EQ(options.load_shed_max_priority, 2);
   auto restore = [](const char* name, const std::string& value) {
     if (value.empty()) {
       unsetenv(name);
@@ -270,6 +312,11 @@ TEST(QueryServiceOptionsTest, EnvOverridesParse) {
   restore("DYNO_CONCURRENCY", old_conc);
   restore("DYNO_TENANT_SLOTS", old_slots);
   restore("DYNO_ADMISSION_QUEUE", old_queue);
+  restore("DYNO_PRIORITY_PREEMPTION", old_preempt);
+  restore("DYNO_QUERY_DEADLINE_MS", old_deadline);
+  restore("DYNO_LOAD_SHED_QUEUE_MS", old_shed_q);
+  restore("DYNO_LOAD_SHED_PRESSURE", old_shed_p);
+  restore("DYNO_LOAD_SHED_PRIORITY", old_shed_pri);
 }
 
 // Satellite regression for the engine audit: the per-job fault stream used

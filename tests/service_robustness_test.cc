@@ -1,0 +1,381 @@
+// Tests of the service-level robustness layer (DESIGN.md §6.9): priority
+// preemption with checkpoint-resume byte-identity, per-query deadlines at
+// wave boundaries, queue-wait and pressure load shedding, the driver's
+// whole-job retry budget, and halt → RecoverPending restart recovery.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dyno/checkpoint.h"
+#include "obs/metrics.h"
+#include "service/query_service.h"
+#include "test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace dyno {
+namespace {
+
+class ServiceRobustnessTest : public ::testing::Test {
+ protected:
+  ServiceRobustnessTest() : catalog_(&dfs_), engine_(&dfs_, MakeConfig()) {
+    TpchConfig config;
+    config.scale = 0.0005;
+    config.split_bytes = 8 * 1024;
+    EXPECT_TRUE(GenerateTpch(&catalog_, config).ok());
+    engine_.set_metrics(&metrics_);
+  }
+
+  static ClusterConfig MakeConfig() {
+    ClusterConfig config;
+    config.job_startup_ms = 2000;
+    config.map_slots = 20;
+    config.reduce_slots = 10;
+    config.memory_per_task_bytes = 64 * 1024;
+    config.faults.use_env_defaults = false;
+    return config;
+  }
+
+  DynoOptions MakeOptions() {
+    DynoOptions options;
+    options.pilot.k = 256;
+    options.pilot.mode = PilotRunOptions::Mode::kParallel;
+    options.cost.max_memory_bytes = MakeConfig().memory_per_task_bytes;
+    options.cost.memory_factor = 1.5;
+    options.retry_budget_ms = 0;  // Unlimited; tests opt in explicitly.
+    return options;
+  }
+
+  QuerySubmission MakeSubmission(const std::string& id, const Query& query,
+                                 SimMillis arrival = 0) {
+    QuerySubmission sub;
+    sub.query_id = id;
+    sub.query = query;
+    sub.options = MakeOptions();
+    sub.arrival_offset_ms = arrival;
+    return sub;
+  }
+
+  void ExpectMatchesOracle(const Query& query, const QueryRunReport& report) {
+    auto expected = NaiveEvaluateJoinBlock(&catalog_, query.join_block);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_NE(report.result, nullptr);
+    std::vector<Value> actual = MustReadAll(*report.result);
+    std::vector<Value> want = std::move(expected).value();
+    SortRowsForComparison(&actual);
+    SortRowsForComparison(&want);
+    ASSERT_EQ(actual.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(actual[i].Compare(want[i]), 0) << "row " << i;
+    }
+  }
+
+  uint64_t CounterValue(const std::string& name) {
+    return metrics_.GetCounter(name)->value();
+  }
+
+  /// Exact equality of observed checkpoint statistics — the "byte-identical
+  /// checkpoint stats" half of the preempt-resume contract.
+  static void ExpectStatsEqual(const TableStats& a, const TableStats& b) {
+    EXPECT_EQ(a.cardinality, b.cardinality);
+    EXPECT_EQ(a.avg_record_size, b.avg_record_size);
+    EXPECT_EQ(a.from_sample, b.from_sample);
+    ASSERT_EQ(a.columns.size(), b.columns.size());
+    auto it = b.columns.begin();
+    for (const auto& [name, ca] : a.columns) {
+      EXPECT_EQ(name, it->first);
+      const ColumnStats& cb = it->second;
+      EXPECT_EQ(ca.ndv, cb.ndv) << name;
+      ASSERT_EQ(ca.min_value.has_value(), cb.min_value.has_value()) << name;
+      ASSERT_EQ(ca.max_value.has_value(), cb.max_value.has_value()) << name;
+      if (ca.min_value) EXPECT_EQ(ca.min_value->Compare(*cb.min_value), 0);
+      if (ca.max_value) EXPECT_EQ(ca.max_value->Compare(*cb.max_value), 0);
+      ++it;
+    }
+  }
+
+  Dfs dfs_;
+  Catalog catalog_;
+  MapReduceEngine engine_;
+  StatsStore store_;
+  obs::MetricsRegistry metrics_;
+};
+
+// A strictly higher-priority arrival that cannot be admitted preempts the
+// running low-priority session at its next submission point; the victim is
+// re-queued and resumed from its checkpoint manifest, and its final rows
+// and checkpointed statistics are byte-identical to an unpreempted solo
+// run of the same query.
+TEST_F(ServiceRobustnessTest, PreemptionResumesByteIdentical) {
+  QueryServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.priority_preemption = true;
+  QueryService service(&engine_, &catalog_, &store_, opts);
+
+  QuerySubmission victim = MakeSubmission("vic", MakeTpchQ10());
+  // Explicit checkpoint path (rewritten per-query to /ckpt/pre/q/vic); no
+  // checkpoint_root is configured, so the manifest survives finalization
+  // for the comparison below.
+  victim.options.checkpoint_path = "/ckpt/pre";
+  victim.priority = 0;
+  QuerySubmission high = MakeSubmission("high", MakeTpchQ2(), 6000);
+  high.priority = 5;
+  ASSERT_TRUE(service.Enqueue(victim).ok());
+  ASSERT_TRUE(service.Enqueue(high).ok());
+
+  std::vector<QueryOutcome> outcomes = service.RunAll();
+  ASSERT_EQ(outcomes.size(), 2u);
+  const QueryOutcome& vic = outcomes[0];
+  const QueryOutcome& hi = outcomes[1];
+  ASSERT_TRUE(vic.status.ok()) << vic.status.ToString();
+  ASSERT_TRUE(hi.status.ok()) << hi.status.ToString();
+  EXPECT_GE(vic.preemptions, 1);
+  EXPECT_EQ(hi.preemptions, 0);
+  EXPECT_EQ(CounterValue("service.preemptions"),
+            static_cast<uint64_t>(vic.preemptions));
+  // With one slot, the preemptor must have finished before the victim's
+  // resumed continuation could.
+  EXPECT_LT(hi.finish_ms, vic.finish_ms);
+  ExpectMatchesOracle(MakeTpchQ10(), vic.report);
+  ExpectMatchesOracle(MakeTpchQ2(), hi.report);
+  // The resumed continuation genuinely reused checkpointed steps.
+  EXPECT_GE(vic.report.resumed_steps, 1);
+
+  // Solo baseline in the same world: same query, no competition.
+  QueryServiceOptions solo_opts;
+  solo_opts.max_concurrent = 1;
+  QueryService solo(&engine_, &catalog_, &store_, solo_opts);
+  QuerySubmission base = MakeSubmission("solo", MakeTpchQ10());
+  base.options.checkpoint_path = "/ckpt/solo";
+  ASSERT_TRUE(solo.Enqueue(base).ok());
+  std::vector<QueryOutcome> solo_out = solo.RunAll();
+  ASSERT_EQ(solo_out.size(), 1u);
+  ASSERT_TRUE(solo_out[0].status.ok()) << solo_out[0].status.ToString();
+
+  // Byte-identical rows, in file order (not just as sorted multisets).
+  std::vector<Value> preempted_rows = MustReadAll(*vic.report.result);
+  std::vector<Value> solo_rows = MustReadAll(*solo_out[0].report.result);
+  ASSERT_EQ(preempted_rows.size(), solo_rows.size());
+  for (size_t i = 0; i < solo_rows.size(); ++i) {
+    ASSERT_EQ(preempted_rows[i].Compare(solo_rows[i]), 0) << "row " << i;
+  }
+  EXPECT_EQ(vic.report.result_records, solo_out[0].report.result_records);
+
+  // Identical checkpointed statistics: same entries covering the same
+  // subtrees with the same observed stats (paths/relation ids are
+  // run-local and excluded).
+  auto pre_m = CheckpointManifest::ReadFrom(dfs_, "/ckpt/pre/q/vic");
+  auto solo_m = CheckpointManifest::ReadFrom(dfs_, "/ckpt/solo/q/solo");
+  ASSERT_TRUE(pre_m.ok()) << pre_m.status().ToString();
+  ASSERT_TRUE(solo_m.ok()) << solo_m.status().ToString();
+  ASSERT_EQ(pre_m.value().entries.size(), solo_m.value().entries.size());
+  for (size_t i = 0; i < solo_m.value().entries.size(); ++i) {
+    const CheckpointEntry& a = pre_m.value().entries[i];
+    const CheckpointEntry& b = solo_m.value().entries[i];
+    EXPECT_EQ(a.covered, b.covered) << "entry " << i;
+    ExpectStatsEqual(a.stats, b.stats);
+  }
+}
+
+// Deadlines are enforced at wave boundaries for both running and queued
+// sessions; deadline_ms = -1 inherits the service default and 0 explicitly
+// opts out of it.
+TEST_F(ServiceRobustnessTest, DeadlinesForRunningAndQueuedSessions) {
+  QueryServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.priority_preemption = false;
+  opts.default_deadline_ms = 3000;
+  QueryService service(&engine_, &catalog_, &store_, opts);
+
+  // Admitted at t=0, parked at its first submission; the first wave runs
+  // the clock past 5000 and the session unwinds with DeadlineExceeded.
+  QuerySubmission running = MakeSubmission("dl_run", MakeTpchQ10());
+  running.deadline_ms = 5000;
+  // Queued behind dl_run; inherits the 3000 ms service default and is
+  // finalized at a wave boundary without ever being admitted.
+  QuerySubmission queued = MakeSubmission("dl_queue", MakeTpchQ10());
+  queued.deadline_ms = -1;
+  // deadline_ms = 0 overrides the service default: no deadline at all.
+  QuerySubmission exempt = MakeSubmission("no_dl", MakeTpchQ10());
+  exempt.deadline_ms = 0;
+  ASSERT_TRUE(service.Enqueue(running).ok());
+  ASSERT_TRUE(service.Enqueue(queued).ok());
+  ASSERT_TRUE(service.Enqueue(exempt).ok());
+
+  std::vector<QueryOutcome> outcomes = service.RunAll();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].status.code(), StatusCode::kDeadlineExceeded)
+      << outcomes[0].status.ToString();
+  EXPECT_GE(outcomes[0].admit_ms, 0);
+  EXPECT_EQ(outcomes[1].status.code(), StatusCode::kDeadlineExceeded)
+      << outcomes[1].status.ToString();
+  EXPECT_EQ(outcomes[1].admit_ms, -1) << "queued session must never start";
+  ASSERT_TRUE(outcomes[2].status.ok()) << outcomes[2].status.ToString();
+  ExpectMatchesOracle(MakeTpchQ10(), outcomes[2].report);
+  EXPECT_EQ(CounterValue("service.deadline_exceeded"), 2u);
+}
+
+// Queue-wait shedding rejects low-priority arrivals that cannot be
+// admitted, while priorities above load_shed_max_priority are exempt.
+TEST_F(ServiceRobustnessTest, QueueWaitSheddingSparesHighPriority) {
+  QueryServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.priority_preemption = false;
+  opts.load_shed_queue_ms = 4000;
+  opts.load_shed_max_priority = 0;
+  QueryService service(&engine_, &catalog_, &store_, opts);
+
+  // Highest priority, so the hog is admitted first and the other two wait
+  // behind its single slot.
+  QuerySubmission hog = MakeSubmission("hog", MakeTpchQ10());
+  hog.priority = 5;
+  ASSERT_TRUE(service.Enqueue(hog).ok());
+  ASSERT_TRUE(service.Enqueue(MakeSubmission("lowpri", MakeTpchQ10())).ok());
+  QuerySubmission high = MakeSubmission("highpri", MakeTpchQ2());
+  high.priority = 1;
+  ASSERT_TRUE(service.Enqueue(high).ok());
+
+  std::vector<QueryOutcome> outcomes = service.RunAll();
+  ASSERT_EQ(outcomes.size(), 3u);
+  ASSERT_TRUE(outcomes[0].status.ok()) << outcomes[0].status.ToString();
+  EXPECT_EQ(outcomes[1].status.code(), StatusCode::kResourceExhausted)
+      << outcomes[1].status.ToString();
+  EXPECT_EQ(outcomes[1].admit_ms, -1) << "shed session must never start";
+  ASSERT_TRUE(outcomes[2].status.ok()) << outcomes[2].status.ToString();
+  ExpectMatchesOracle(MakeTpchQ2(), outcomes[2].report);
+  EXPECT_EQ(CounterValue("service.shed"), 1u);
+}
+
+// Pressure shedding rejects a blocked low-priority arrival as soon as the
+// previous wave's busy-slot fraction is at or above the threshold, without
+// waiting out a queue-time budget.
+TEST_F(ServiceRobustnessTest, PressureSheddingRejectsImmediately) {
+  QueryServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.priority_preemption = false;
+  // Any non-idle wave exceeds this; queue-wait shedding stays off so the
+  // rejection can only come from the pressure signal.
+  opts.load_shed_pressure = 1e-6;
+  QueryService service(&engine_, &catalog_, &store_, opts);
+
+  ASSERT_TRUE(service.Enqueue(MakeSubmission("hog", MakeTpchQ10())).ok());
+  // Arrives once waves are already running, so last_wave_pressure() is live.
+  ASSERT_TRUE(
+      service.Enqueue(MakeSubmission("late", MakeTpchQ10(), 3000)).ok());
+
+  std::vector<QueryOutcome> outcomes = service.RunAll();
+  ASSERT_EQ(outcomes.size(), 2u);
+  ASSERT_TRUE(outcomes[0].status.ok()) << outcomes[0].status.ToString();
+  EXPECT_EQ(outcomes[1].status.code(), StatusCode::kResourceExhausted)
+      << outcomes[1].status.ToString();
+  EXPECT_EQ(CounterValue("service.shed"), 1u);
+}
+
+// A halted (crashed) service leaves pending markers and manifests on the
+// DFS; a successor instance re-admits exactly the marked queries via
+// RecoverPending and completes them with oracle-identical results,
+// resuming from their checkpoints rather than starting over.
+TEST_F(ServiceRobustnessTest, HaltThenRecoverPendingCompletesInFlight) {
+  QueryServiceOptions opts;
+  opts.max_concurrent = 2;
+  opts.checkpoint_root = "/svc";
+  opts.halt_at_ms = 6000;
+  QueryService crashed(&engine_, &catalog_, &store_, opts);
+
+  QuerySubmission r1 = MakeSubmission("r1", MakeTpchQ10());
+  QuerySubmission r2 = MakeSubmission("r2", MakeTpchQ5());
+  ASSERT_TRUE(crashed.Enqueue(r1).ok());
+  ASSERT_TRUE(crashed.Enqueue(r2).ok());
+  std::vector<QueryOutcome> first = crashed.RunAll();
+  ASSERT_EQ(first.size(), 2u);
+  for (const QueryOutcome& outcome : first) {
+    EXPECT_EQ(outcome.status.code(), StatusCode::kCancelled)
+        << outcome.query_id << ": " << outcome.status.ToString();
+  }
+  // The crash left the service namespace intact.
+  EXPECT_TRUE(dfs_.Exists("/svc/pending/r1"));
+  EXPECT_TRUE(dfs_.Exists("/svc/pending/r2"));
+
+  QueryServiceOptions recover_opts;
+  recover_opts.max_concurrent = 2;
+  recover_opts.checkpoint_root = "/svc";
+  QueryService recovered(&engine_, &catalog_, &store_, recover_opts);
+  // Only r1 resupplied: r2's marker must be left untouched for a later
+  // pass rather than dropped.
+  auto count = recovered.RecoverPending({r1});
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.value(), 1);
+  EXPECT_TRUE(dfs_.Exists("/svc/pending/r2"));
+  auto rest = recovered.RecoverPending({r2});
+  ASSERT_TRUE(rest.ok()) << rest.status().ToString();
+  EXPECT_EQ(rest.value(), 1);
+
+  std::vector<QueryOutcome> second = recovered.RunAll();
+  ASSERT_EQ(second.size(), 2u);
+  int resumed_steps = 0;
+  for (const QueryOutcome& outcome : second) {
+    ASSERT_TRUE(outcome.status.ok())
+        << outcome.query_id << ": " << outcome.status.ToString();
+    EXPECT_TRUE(outcome.recovered);
+    resumed_steps += outcome.report.resumed_steps;
+  }
+  ExpectMatchesOracle(MakeTpchQ10(), second[0].report);
+  ExpectMatchesOracle(MakeTpchQ5(), second[1].report);
+  // At least one query picked up checkpointed work instead of re-running.
+  EXPECT_GE(resumed_steps, 1);
+  EXPECT_EQ(CounterValue("service.recovered"), 2u);
+  // Finalization cleaned the recovered queries' service state.
+  EXPECT_FALSE(dfs_.Exists("/svc/pending/r1"));
+  EXPECT_FALSE(dfs_.Exists("/svc/pending/r2"));
+  EXPECT_FALSE(dfs_.Exists("/svc/q/r1"));
+  EXPECT_FALSE(dfs_.Exists("/svc/q/r2"));
+}
+
+// RecoverPending preconditions: it needs a checkpoint namespace to scan.
+TEST_F(ServiceRobustnessTest, RecoverPendingRequiresCheckpointRoot) {
+  QueryServiceOptions opts;
+  QueryService service(&engine_, &catalog_, &store_, opts);
+  auto result = service.RecoverPending({MakeSubmission("q", MakeTpchQ10())});
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+      << result.status().ToString();
+}
+
+// The retry budget caps whole-job re-submissions: under sustained transient
+// job failures a 1 ms budget admits at most one charged retry and then lets
+// failures take the permanent path, while an unlimited budget keeps
+// retrying.
+TEST_F(ServiceRobustnessTest, RetryBudgetCapsJobRetries) {
+  ClusterConfig config = MakeConfig();
+  // Task attempts run out fast, so most jobs fail transiently and the
+  // driver's job-retry ladder is exercised hard.
+  config.faults.task_failure_rate = 0.5;
+  config.faults.max_task_attempts = 2;
+  config.faults.seed = 7;
+  MapReduceEngine engine(&dfs_, config);
+  obs::MetricsRegistry metrics;
+  engine.set_metrics(&metrics);
+
+  DynoOptions options = MakeOptions();
+  options.exec.query_id = "budget";
+  // No pilot phase: pilot jobs are not retried at the job level, and under
+  // this failure rate they would kill the query before any execution step
+  // reached the retry ladder.
+  options.use_pilot_runs = false;
+  options.max_job_attempts = 8;
+  options.retry_budget_ms = 1;
+  DynoDriver driver(&engine, &catalog_, &store_, options);
+  auto report = driver.Execute(MakeTpchQ10());
+  // Whether or not replanning salvaged the query, the budget must have
+  // tripped and stopped the retry ladder.
+  EXPECT_GE(metrics.GetCounter("driver.retry_budget_exhausted")->value(), 1u);
+  if (report.ok()) {
+    EXPECT_TRUE(report.value().retry_budget_exhausted);
+    EXPECT_GE(report.value().retry_slot_ms, 1);
+  }
+}
+
+}  // namespace
+}  // namespace dyno
