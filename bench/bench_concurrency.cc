@@ -42,6 +42,9 @@ struct SweepPoint {
   int completed = 0;
   int shed = 0;      ///< Load-shed by the service (ResourceExhausted).
   int rejected = 0;  ///< Refused at Enqueue (admission-queue backpressure).
+  /// Largest per-task memory footprint any query's jobs reported (0 unless
+  /// the engine enforces a reduce memory mode).
+  uint64_t peak_task_memory_bytes = 0;
 };
 
 SimMillis Percentile(std::vector<SimMillis> sorted, double p) {
@@ -119,6 +122,8 @@ SweepPoint RunAtConcurrency(int concurrency) {
     queue_waits.push_back(outcome.admit_ms - outcome.arrival_ms);
     slot_ms += outcome.slot_ms;
     last_finish = std::max(last_finish, outcome.finish_ms);
+    point.peak_task_memory_bytes = std::max(
+        point.peak_task_memory_bytes, outcome.report.peak_task_memory_bytes);
   }
   point.p50_ms = Percentile(latencies, 0.50);
   point.p99_ms = Percentile(latencies, 0.99);
@@ -213,18 +218,20 @@ PriorityMixResult RunPriorityMix(bool with_priorities) {
 int main() {
   PrintHeader("Concurrency sweep: 8 TPC-H sessions, SF100",
               {"p50 s", "p99 s", "queue p99 s", "makespan s", "util %",
-               "done"});
+               "peak mem", "done"});
   std::vector<SweepPoint> sweep;
   for (int concurrency : {1, 2, 4, 8}) {
     SweepPoint point = RunAtConcurrency(concurrency);
     sweep.push_back(point);
     std::printf("N=%d  p50=%.1fs  p99=%.1fs  qwait p50=%.1fs p99=%.1fs  "
-                "makespan=%.1fs  util=%.1f%%  done=%d/8  shed=%d rej=%d\n",
+                "makespan=%.1fs  util=%.1f%%  peakmem=%lluKB  done=%d/8  "
+                "shed=%d rej=%d\n",
                 point.concurrency, point.p50_ms / 1000.0,
                 point.p99_ms / 1000.0, point.queue_p50_ms / 1000.0,
                 point.queue_p99_ms / 1000.0, point.makespan_ms / 1000.0,
-                point.utilization * 100.0, point.completed, point.shed,
-                point.rejected);
+                point.utilization * 100.0,
+                (unsigned long long)(point.peak_task_memory_bytes / 1024),
+                point.completed, point.shed, point.rejected);
   }
 
   std::printf("\nPriority mix: 8 sessions, 2 slots, half at priority 5\n");
@@ -254,11 +261,13 @@ int main() {
         "  {\"concurrency\":%d,\"p50_latency_ms\":%lld,"
         "\"p99_latency_ms\":%lld,\"queue_wait_p50_ms\":%lld,"
         "\"queue_wait_p99_ms\":%lld,\"makespan_ms\":%lld,"
-        "\"slot_utilization\":%.4f,\"completed\":%d,\"shed\":%d,"
+        "\"slot_utilization\":%.4f,\"peak_task_memory_bytes\":%llu,"
+        "\"completed\":%d,\"shed\":%d,"
         "\"rejected\":%d}%s\n",
         point.concurrency, (long long)point.p50_ms, (long long)point.p99_ms,
         (long long)point.queue_p50_ms, (long long)point.queue_p99_ms,
-        (long long)point.makespan_ms, point.utilization, point.completed,
+        (long long)point.makespan_ms, point.utilization,
+        (unsigned long long)point.peak_task_memory_bytes, point.completed,
         point.shed, point.rejected, i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(f,

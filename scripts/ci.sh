@@ -27,8 +27,13 @@
 #               task faults + 2% block/shuffle corruption, plus a
 #               bench_scan smoke run (row vs columnar scan/shuffle, gated
 #               on byte-identical results and a >= 2x pruned-scan speedup)
-#   fuzz-smoke  codec + checkpoint-manifest + DFS-bit-rot fuzzing, small
-#               fixed budget
+#   memory      memory-model suites under a tight cluster-wide per-task
+#               budget with spill-to-DFS on (DYNO_TASK_MEMORY_BYTES,
+#               DYNO_SPILL) plus 5% task faults + 2% block/shuffle
+#               corruption, so spills, corrupt-run retries and the OOM
+#               ladder run against the env-driven configuration path
+#   fuzz-smoke  codec + checkpoint-manifest + DFS-bit-rot + spill-run-rot
+#               fuzzing, small fixed budget
 #   goldens     checked-in traces match the current trace schema
 #
 # Usage: scripts/ci.sh
@@ -82,6 +87,7 @@ run "ctest preset: concurrency" ctest --preset concurrency
 run "ctest preset: overload" ctest --preset overload
 run "ctest preset: mqo-cache" ctest --preset mqo-cache
 run "ctest preset: columnar" ctest --preset columnar
+run "ctest preset: memory" ctest --preset memory
 run "ctest preset: fuzz-smoke" ctest --preset fuzz-smoke
 
 # bench_concurrency doubles as an integration smoke: it fails unless all 8

@@ -137,6 +137,11 @@ void AddFaultCounters(const JobResult& job, QueryRunReport* report) {
   report->block_corruptions += job.block_corruptions;
   report->checksum_refetches += job.checksum_refetches;
   report->records_quarantined += job.records_quarantined;
+  report->reduce_spills += job.reduce_spills;
+  report->spill_bytes_written += job.spill_bytes_written;
+  report->spill_bytes_read += job.spill_bytes_read;
+  report->peak_task_memory_bytes =
+      std::max(report->peak_task_memory_bytes, job.peak_task_memory_bytes);
 }
 
 void AddFaultCounters(const JobResult& job, StaticRunResult* result) {
@@ -151,6 +156,11 @@ void AddFaultCounters(const JobResult& job, StaticRunResult* result) {
   result->block_corruptions += job.block_corruptions;
   result->checksum_refetches += job.checksum_refetches;
   result->records_quarantined += job.records_quarantined;
+  result->reduce_spills += job.reduce_spills;
+  result->spill_bytes_written += job.spill_bytes_written;
+  result->spill_bytes_read += job.spill_bytes_read;
+  result->peak_task_memory_bytes =
+      std::max(result->peak_task_memory_bytes, job.peak_task_memory_bytes);
 }
 
 /// How many permanent job failures one block tolerates (each triggers a
@@ -245,6 +255,26 @@ DynoDriver::DynoDriver(MapReduceEngine* engine, Catalog* catalog,
       options_.retry_budget_ms = EnvInt64OrDie("DYNO_RETRY_BUDGET_MS", env, 0,
                                                int64_t{1} << 40);
     }
+  }
+  if (options_.oom_retry_ladder < 0) {
+    options_.oom_retry_ladder = 0;
+    if (const char* env = std::getenv("DYNO_OOM_RETRIES")) {
+      options_.oom_retry_ladder =
+          static_cast<int>(EnvInt64OrDie("DYNO_OOM_RETRIES", env, 0, 16));
+    }
+  }
+  if (options_.sync_cost_memory) {
+    // Single source of truth for the memory model: the optimizer's
+    // feasibility/spill knobs are the engine's, so plan-time admission can
+    // never disagree with run-time enforcement. Spill costing only engages
+    // when the engine actually enforces reduce memory — otherwise the cost
+    // model must reproduce the legacy (memory-oblivious) plans bit for bit.
+    const ClusterConfig& cluster = engine_->config();
+    bool enforced = cluster.reduce_memory_mode !=
+                    ClusterConfig::ReduceMemoryMode::kUnbounded;
+    options_.cost.AdoptClusterMemoryModel(
+        cluster.memory_per_task_bytes, cluster.broadcast_memory_factor,
+        enforced ? cluster.bytes_per_reduce_task : 0, cluster.reduce_slots);
   }
 }
 
@@ -888,6 +918,53 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     return last;
   };
 
+  // OOM retry ladder (DESIGN.md §6.10): a repartition unit whose reducers
+  // died of OutOfMemory under the strict memory mode is re-submitted with
+  // spill mode forced (rung 1); each further rung doubles the reducer count
+  // so every reducer's sort state halves. Runs until the ladder is
+  // exhausted, success, or a non-OOM failure (handed back for the normal
+  // retry/abandon machinery). Map-only (broadcast) OOMs never come here —
+  // the adaptive join fallback owns those.
+  auto oom_ladder = [&](const PlanExecutor::UnitRequest& original,
+                        int planned_reducers,
+                        Status first_error) -> Result<StepResult> {
+    PlanExecutor::UnitRequest request = original;
+    request.reduce_memory_mode = 1;  // ClusterConfig::ReduceMemoryMode::kSpill
+    Status last = std::move(first_error);
+    int reducers = planned_reducers;
+    for (int rung = 1; rung <= options_.oom_retry_ladder; ++rung) {
+      if (rung >= 2) {
+        if (reducers <= 0) reducers = 1;
+        reducers *= 2;
+        request.num_reduce_tasks = reducers;
+      }
+      ++report->oom_retries;
+      if (metrics != nullptr) {
+        metrics->GetCounter("driver.oom_retries")->Add();
+      }
+      if (trace != nullptr) {
+        trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                      obs::TraceLane::kDriver, "driver",
+                                      "oom_retry")
+                          .ArgInt("unit", request.unit->uid)
+                          .ArgInt("rung", rung)
+                          .ArgInt("reduce_tasks", request.num_reduce_tasks)
+                          .Arg("error", last.ToString()));
+      }
+      DYNO_ASSIGN_OR_RETURN(std::vector<StepResult> again,
+                            executor.Execute({request}));
+      StepResult& step = again[0];
+      if (step.status.ok()) return std::move(step);
+      if (step.status.code() != StatusCode::kOutOfMemory) return step.status;
+      last = step.status;
+      // The failed attempt still froze a reducer count; double from it.
+      if (step.job.reduce_tasks_planned > 0) {
+        reducers = step.job.reduce_tasks_planned;
+      }
+    }
+    return last;  // Ladder exhausted: the OOM is permanent.
+  };
+
   // A permanently failed unit is abandoned: the driver re-plans around the
   // subtrees it already materialized (bounded, and pointless when the
   // failure is environmental). Returns true when the loop should re-plan.
@@ -927,6 +1004,11 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     report->block_corruptions += run.block_corruptions;
     report->checksum_refetches += run.checksum_refetches;
     report->records_quarantined += run.records_quarantined;
+    report->reduce_spills += run.reduce_spills;
+    report->spill_bytes_written += run.spill_bytes_written;
+    report->spill_bytes_read += run.spill_bytes_read;
+    report->peak_task_memory_bytes = std::max(report->peak_task_memory_bytes,
+                                              run.peak_task_memory_bytes);
     return run.output;
   }
 
@@ -1007,6 +1089,13 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
         }
       }
       auto attempt = executor.ExecuteOne(request);
+      if (!attempt.ok() &&
+          attempt.status().code() == StatusCode::kOutOfMemory &&
+          !root.map_only && options_.oom_retry_ladder > 0) {
+        // Reduce-side OOM: climb the ladder before giving up. On success
+        // the ladder's Execute already bound the unit's output.
+        attempt = oom_ladder(request, 0, attempt.status());
+      }
       StepResult step;
       if (attempt.ok()) {
         step = std::move(*attempt);
@@ -1153,6 +1242,19 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
     DYNO_ASSIGN_OR_RETURN(std::vector<StepResult> steps,
                           executor.Execute(requests));
     for (size_t i = 0; i < steps.size(); ++i) {
+      if (!steps[i].status.ok() &&
+          steps[i].status.code() == StatusCode::kOutOfMemory &&
+          !chosen[i]->map_only && options_.oom_retry_ladder > 0) {
+        auto climbed = oom_ladder(requests[i],
+                                  steps[i].job.reduce_tasks_planned,
+                                  steps[i].status);
+        if (climbed.ok()) {
+          steps[i] = std::move(*climbed);
+          replan = true;  // the plan's memory footprint was provably wrong
+        } else {
+          steps[i].status = climbed.status();
+        }
+      }
       if (!steps[i].status.ok()) {
         if (steps[i].status.code() == StatusCode::kOutOfMemory &&
             options_.adaptive_join_fallback && chosen[i]->map_only) {
@@ -1204,6 +1306,10 @@ Result<std::shared_ptr<DfsFile>> DynoDriver::RunJoinBlock(
       double error = std::abs(observed - estimated) / estimated;
       bool step_triggers_replan = error > options_.reopt_row_error_threshold;
       if (step_triggers_replan) replan = true;
+      // Observed spilling re-plans even when the cardinality landed: the
+      // cost model charges spill I/O (SpillCost), so the re-optimizer can
+      // trade the next joins toward broadcasts or cheaper shapes.
+      if (steps[i].job.reduce_spills > 0) replan = true;
       if (trace != nullptr) {
         trace->Record(
             obs::TraceEvent(engine_->now(), -1, obs::TraceLane::kDriver,

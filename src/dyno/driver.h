@@ -81,6 +81,23 @@ struct DynoOptions {
   /// unlimited.
   SimMillis retry_budget_ms = -1;
 
+  /// OOM retry ladder for spillable (reduce-side) operators, replacing the
+  /// historical "OutOfMemory is never retried" rule: rung 1 re-runs the
+  /// failed unit with spill mode forced (JobSpec::reduce_memory_mode = 1),
+  /// each further rung also doubles the engine's planned reducer count so
+  /// per-reducer state shrinks, and exhausting the ladder surfaces the
+  /// OutOfMemory as permanent. The value is the number of rungs; 0 keeps
+  /// the legacy behavior. < 0 reads DYNO_OOM_RETRIES (strict-or-abort),
+  /// defaulting to 0. Broadcast (map-only) OOM keeps its own fallback
+  /// (adaptive_join_fallback).
+  int oom_retry_ladder = -1;
+
+  /// Copy the engine's ClusterConfig memory model (memory_per_task_bytes,
+  /// broadcast_memory_factor) into `cost` at construction, so plan-time
+  /// broadcast feasibility and run-time enforcement cannot disagree. Tests
+  /// that deliberately lie to the optimizer opt out.
+  bool sync_cost_memory = true;
+
   /// Test kill switch: abort the query with Cancelled once this many jobs
   /// have been accounted (< 0 = never). Simulates the driver process dying
   /// mid-query so checkpoint/resume tests can exercise Resume().
@@ -133,6 +150,16 @@ struct QueryRunReport {
   /// Records excluded from every output and statistic by bad-record
   /// quarantine — observed checkpoint stats count these as excluded.
   uint64_t records_quarantined = 0;
+  /// Reduce-memory totals (see JobResult; DESIGN.md §6.10). All zero with
+  /// the memory model off.
+  int reduce_spills = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
+  /// Max over the query's jobs of JobResult::peak_task_memory_bytes.
+  uint64_t peak_task_memory_bytes = 0;
+  /// OOM-ladder re-executions (jobs re-run in spill mode / with doubled
+  /// reducers after an OutOfMemory).
+  int oom_retries = 0;
   /// Driver-level recovery accounting.
   int job_retries = 0;    ///< Whole-job re-submissions after a failure.
   /// Slot-ms charged against DynoOptions::retry_budget_ms by those
@@ -238,6 +265,12 @@ struct StaticRunResult {
   int block_corruptions = 0;
   int checksum_refetches = 0;
   uint64_t records_quarantined = 0;
+  /// Reduce-memory totals (see JobResult; DESIGN.md §6.10).
+  int reduce_spills = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
+  uint64_t peak_task_memory_bytes = 0;
+  int oom_retries = 0;
 };
 
 /// Executes `plan` as-is on `executor` (whose bindings must cover every

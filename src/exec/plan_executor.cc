@@ -328,6 +328,12 @@ Result<std::vector<StepResult>> PlanExecutor::Execute(
 
     if (!unit.map_only) {
       // --- Repartition join: one full map-reduce job. ---
+      // The driver's OOM retry ladder re-runs a unit with spill mode forced
+      // and/or a pinned (doubled) reducer count; both default to "inherit".
+      p.spec.reduce_memory_mode = request.reduce_memory_mode;
+      if (request.num_reduce_tasks > 0) {
+        p.spec.num_reduce_tasks = request.num_reduce_tasks;
+      }
       const PlanNode& node = root;
       DYNO_ASSIGN_OR_RETURN(std::string left_id, ResolveInput(unit.inputs[0]));
       DYNO_ASSIGN_OR_RETURN(std::string right_id,

@@ -149,6 +149,15 @@ class PlanExecutor {
     std::vector<std::string> stats_columns;
     /// Output projection (empty = keep all columns).
     std::vector<std::string> projection;
+    /// Per-job reduce-memory override (JobSpec::reduce_memory_mode): -1
+    /// inherits the cluster knob, 1 forces spill mode. Set by the driver's
+    /// OOM retry ladder when it re-runs a unit that died of OutOfMemory.
+    int reduce_memory_mode = -1;
+    /// Reducer-count override for the unit's repartition job (> 0 pins
+    /// JobSpec::num_reduce_tasks). The OOM ladder's doubled-reducer rung
+    /// uses this so each reducer's partition — and thus its memory state —
+    /// shrinks.
+    int num_reduce_tasks = 0;
     /// Per-record CPU charged for statistics collection; reported in the
     /// JobResult's observer overhead.
     bool collect_stats() const { return !stats_columns.empty(); }

@@ -47,4 +47,15 @@ void FaultConfig::ApplyEnvOverrides() {
          &max_skipped_records);
 }
 
+void ClusterConfig::ApplyMemoryEnvOverrides() {
+  if (const char* env = std::getenv("DYNO_TASK_MEMORY_BYTES")) {
+    memory_per_task_bytes = static_cast<uint64_t>(EnvInt64OrDie(
+        "DYNO_TASK_MEMORY_BYTES", env, 1, std::numeric_limits<int64_t>::max()));
+  }
+  if (const char* env = std::getenv("DYNO_SPILL")) {
+    reduce_memory_mode = static_cast<ReduceMemoryMode>(
+        EnvInt64OrDie("DYNO_SPILL", env, 0, 2));
+  }
+}
+
 }  // namespace dyno

@@ -107,7 +107,9 @@ struct FaultConfig {
   /// file's replica count; shuffle: fetches, capped at
   /// max_shuffle_fetch_retries + 1).
   struct ScriptedCorruption {
-    enum class Target { kBlock, kShuffle };
+    /// kSpill targets a reduce attempt's spill-run read-back; it only fires
+    /// when the attempt actually spills (memory mode on and over budget).
+    enum class Target { kBlock, kShuffle, kSpill };
     Target target = Target::kBlock;
     std::string job;  ///< Exact JobSpec name.
     int task_id = 0;
@@ -202,6 +204,40 @@ struct ClusterConfig {
 
   /// Hash-table expansion over raw build-side bytes.
   double broadcast_memory_factor = 1.5;
+
+  /// --- Reduce-side memory model (DESIGN.md §6.10). ---
+  /// How a reduce task whose simulated sort/hash state outgrows
+  /// `memory_per_task_bytes` degrades. The default (kUnbounded) is the
+  /// historical behavior: reduce state is never charged, so the knob-off
+  /// path stays byte-identical to older builds.
+  enum class ReduceMemoryMode {
+    kUnbounded = 0,  ///< Legacy: reduce state is not charged against memory.
+    kSpill = 1,      ///< Overflowing tasks spill CRC-framed runs to DFS.
+    kStrict = 2,     ///< Overflowing jobs fail with OutOfMemory (no spill).
+  };
+  ReduceMemoryMode reduce_memory_mode = ReduceMemoryMode::kUnbounded;
+
+  /// Sort/hash-state expansion over raw partition bytes — the reduce-side
+  /// analogue of broadcast_memory_factor. A reduce task's simulated state is
+  /// ceil(partition_bytes * reduce_memory_factor); it spills (or OOMs) when
+  /// that exceeds memory_per_task_bytes.
+  double reduce_memory_factor = 1.5;
+
+  /// Maximum spill runs merged per pass. R runs need
+  /// ceil(log_fan_in(R)) merge passes, each billed as one full
+  /// write + read of the partition's bytes.
+  int spill_merge_fan_in = 8;
+
+  /// A task needing more than this many spill runs fails with OutOfMemory
+  /// even in kSpill mode (its merge state no longer fits either) — this is
+  /// what makes the retry ladder's doubled-reducer rung meaningful.
+  int max_spill_runs = 64;
+
+  /// Overwrites memory fields from DYNO_TASK_MEMORY_BYTES (strict int) and
+  /// DYNO_SPILL (0 = unbounded, 1 = spill, 2 = strict). Applied by the
+  /// engine under the same `faults.use_env_defaults` gate as the fault
+  /// knobs, and only when the mode is still kUnbounded in code.
+  void ApplyMemoryEnvOverrides();
 
   /// Default split-to-reduce-task ratio when a job does not pin the reducer
   /// count: one reduce task per this many bytes of map output (Hive-like).

@@ -86,6 +86,9 @@ struct TaskData {
   double observer_charge = 0.0;  ///< CPU units the observer replay costs.
   Split quarantine;   ///< Poison records skipped by this (map) task.
   std::vector<uint64_t> quarantine_indexes;  ///< Their record indexes.
+  /// CRC-framed spill runs of a reduce task that sorted externally; written
+  /// to the job's `.spill/` sibling DFS file at durable completion.
+  std::vector<Split> spill_runs;
 };
 
 /// Execution state for one concurrently running job.
@@ -140,6 +143,10 @@ struct RunningJob {
   /// tasks (checked against the max_skipped_records budget; decremented
   /// when a node crash invalidates a completed task).
   uint64_t records_quarantined = 0;
+
+  /// DFS paths of spill-run files written by completed reduce tasks;
+  /// deleted when the job ends (they are scratch, not output).
+  std::vector<std::string> spill_paths;
 
   bool Finished() const { return phase == JobPhase::kDone; }
 };
@@ -199,6 +206,9 @@ struct TaskOutcome {
   bool poison_failure = false;  ///< The attempt died on a poison record.
   Split quarantine;  ///< Poison records skipped in skip mode.
   std::vector<uint64_t> quarantine_indexes;
+  /// Encoded spill runs produced by an externally-sorted reduce attempt
+  /// (empty when the task sorted in memory).
+  std::vector<Split> spill_runs_written;
 };
 
 /// One launched task: the inputs decided by the scheduler plus the outcome
@@ -241,6 +251,20 @@ struct TaskLaunch {
   /// task's TaskRunState, stable for the wave's lifetime).
   const std::vector<uint64_t>* poison = nullptr;
   bool skip_mode = false;
+  /// Reduce-memory plan, decided at launch on the scheduler thread
+  /// (DESIGN.md §6.10). `spill_runs` > 1 means the attempt's simulated
+  /// sort state exceeds the task memory budget and it sorts externally in
+  /// that many runs, merged in `spill_merge_passes` bounded-memory passes;
+  /// the commit bills the pass I/O from `bucket_bytes`. `corrupt_spill`
+  /// (drawn like the other corruption faults) makes run 0 read back
+  /// corrupt, failing the attempt with DataLoss.
+  int spill_runs = 0;
+  int spill_merge_passes = 0;
+  uint64_t bucket_bytes = 0;
+  /// Simulated memory this attempt holds: expanded state when in-memory,
+  /// the task budget when spilling. Feeds JobResult::peak_task_memory_bytes.
+  uint64_t task_memory_bytes = 0;
+  bool corrupt_spill = false;
   TaskOutcome outcome;
 };
 
@@ -450,17 +474,85 @@ void ExecuteMapTask(const MapInput& input, const Split& split,
 }
 
 /// Runs one reduce task's data flow over its (moved-in) partition bucket.
+/// `spill_runs` > 1 switches the sort to the bounded-memory external path:
+/// the bucket is cut input-order into that many chunks, each chunk is
+/// stable-sorted and round-tripped through the CRC-framed spill-run codec
+/// (the encoded runs are staged in the outcome for the DFS write at durable
+/// completion), and the decoded runs are stable-merged with ties going to
+/// the lowest run index — which is exactly one full stable sort, so spilled
+/// output is row-for-row identical to the in-memory path. `corrupt_spill`
+/// models a flipped bit in run 0's stored bytes: the checksum must reject
+/// it and the attempt dies with DataLoss (never a wrong answer).
 void ExecuteReduceTask(const JobSpec& spec,
                        std::vector<std::pair<Value, Value>> bucket,
+                       int spill_runs, bool corrupt_spill,
                        TaskOutcome* out) {
-  std::stable_sort(bucket.begin(), bucket.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first.Compare(b.first) < 0;
-                   });
   for (const auto& [key, value] : bucket) {
     out->reduce_input_bytes += key.EncodedSize() + value.EncodedSize();
   }
   out->reduce_input_records = bucket.size();
+  auto key_less = [](const std::pair<Value, Value>& a,
+                     const std::pair<Value, Value>& b) {
+    return a.first.Compare(b.first) < 0;
+  };
+  if (spill_runs > 1 && !bucket.empty()) {
+    const size_t n = bucket.size();
+    const size_t per_run =
+        (n + static_cast<size_t>(spill_runs) - 1) /
+        static_cast<size_t>(spill_runs);
+    std::vector<std::vector<std::pair<Value, Value>>> decoded;
+    for (size_t start = 0; start < n; start += per_run) {
+      const size_t end = std::min(n, start + per_run);
+      std::vector<std::pair<Value, Value>> run(
+          std::make_move_iterator(bucket.begin() + start),
+          std::make_move_iterator(bucket.begin() + end));
+      std::stable_sort(run.begin(), run.end(), key_less);
+      out->spill_runs_written.push_back(EncodeSpillRun(run));
+    }
+    if (corrupt_spill) {
+      Split bad = out->spill_runs_written.front();
+      if (!bad.data.empty()) bad.data[0] ^= 0x01;
+      if (DecodeSpillRun(bad).ok()) {
+        out->status = Status::Internal(
+            "checksum failed to detect a corrupted spill run");
+        return;
+      }
+      out->status = Status::DataLoss(StrFormat(
+          "spill run 0 of reduce task in %s failed checksum verification "
+          "on read-back",
+          spec.name.c_str()));
+      return;
+    }
+    for (const Split& s : out->spill_runs_written) {
+      Result<std::vector<std::pair<Value, Value>>> run = DecodeSpillRun(s);
+      if (!run.ok()) {
+        out->status = run.status();
+        return;
+      }
+      decoded.push_back(std::move(*run));
+    }
+    // Bounded-memory merge of the sorted runs; ties go to the lowest run
+    // index, matching what one stable sort of the whole bucket yields.
+    bucket.clear();
+    bucket.reserve(n);
+    std::vector<size_t> pos(decoded.size(), 0);
+    while (true) {
+      int best = -1;
+      for (size_t r = 0; r < decoded.size(); ++r) {
+        if (pos[r] >= decoded[r].size()) continue;
+        if (best < 0 ||
+            decoded[r][pos[r]].first.Compare(
+                decoded[best][pos[best]].first) < 0) {
+          best = static_cast<int>(r);
+        }
+      }
+      if (best < 0) break;
+      bucket.push_back(std::move(decoded[best][pos[best]]));
+      ++pos[best];
+    }
+  } else {
+    std::stable_sort(bucket.begin(), bucket.end(), key_less);
+  }
 
   TaskReduceContext ctx(out);
   out->cpu_units += static_cast<double>(bucket.size());
@@ -492,9 +584,51 @@ void ExecuteReduceTask(const JobSpec& spec,
 
 }  // namespace
 
+Split EncodeSpillRun(const std::vector<std::pair<Value, Value>>& pairs) {
+  Split run;
+  for (const auto& [key, value] : pairs) {
+    key.EncodeTo(&run.data);
+    value.EncodeTo(&run.data);
+  }
+  run.num_records = 2 * pairs.size();
+  run.logical_bytes = run.data.size();
+  run.crc32c = Crc32c(run.data);
+  return run;
+}
+
+Result<std::vector<std::pair<Value, Value>>> DecodeSpillRun(
+    const Split& run) {
+  DYNO_RETURN_IF_ERROR(VerifySplit(run));
+  if (run.num_records % 2 != 0) {
+    return Status::DataLoss(StrFormat(
+        "spill run holds %llu records, not an even key/value count",
+        (unsigned long long)run.num_records));
+  }
+  std::vector<std::pair<Value, Value>> pairs;
+  pairs.reserve(run.num_records / 2);
+  SplitReader reader(&run);
+  while (!reader.AtEnd()) {
+    Result<Value> key = reader.Next();
+    if (!key.ok()) return key.status();
+    if (reader.AtEnd()) {
+      return Status::DataLoss("spill run ends with a dangling key");
+    }
+    Result<Value> value = reader.Next();
+    if (!value.ok()) return value.status();
+    pairs.emplace_back(std::move(*key), std::move(*value));
+  }
+  return pairs;
+}
+
 ClusterConfig MapReduceEngine::ResolveFaultEnv(ClusterConfig config) {
   if (config.faults.use_env_defaults && !config.faults.enabled()) {
     config.faults.ApplyEnvOverrides();
+  }
+  // The memory knobs ride the same gate: env-driven only when the caller
+  // did not configure a memory mode in code.
+  if (config.faults.use_env_defaults &&
+      config.reduce_memory_mode == ClusterConfig::ReduceMemoryMode::kUnbounded) {
+    config.ApplyMemoryEnvOverrides();
   }
   return config;
 }
@@ -529,6 +663,16 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
   const bool retries_enabled = config_.faults.enabled();
   const int max_attempts = std::max(1, config_.faults.max_task_attempts);
 
+  // Effective reduce-memory mode of one job: the per-job override wins,
+  // otherwise the cluster-wide knob applies (DESIGN.md §6.10).
+  auto job_memory_mode = [&](const RunningJob& job) {
+    if (job.spec->reduce_memory_mode >= 0) {
+      return static_cast<ClusterConfig::ReduceMemoryMode>(
+          job.spec->reduce_memory_mode);
+    }
+    return config_.reduce_memory_mode;
+  };
+
   // Cache instrument pointers once per submission; the hot paths below then
   // pay only a relaxed atomic per update.
   obs::Counter* m_jobs = nullptr;
@@ -549,6 +693,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
   obs::Counter* m_integrity_failures = nullptr;
   /// Registered lazily on the first committed columnar decode (see below).
   obs::Counter* m_scan_batches = nullptr;
+  /// Memory-model counters, registered lazily on first use so runs that
+  /// never spill or OOM keep their exact metric registry.
+  obs::Counter* m_spilled_tasks = nullptr;
+  obs::Counter* m_spill_bytes = nullptr;
+  obs::Counter* m_oom_failures = nullptr;
   obs::Histogram* h_map_ms = nullptr;
   obs::Histogram* h_reduce_ms = nullptr;
   obs::Histogram* h_job_ms = nullptr;
@@ -585,6 +734,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
     }
     if (spec.output_path.empty()) {
       return Status::InvalidArgument("job has no output path: " + spec.name);
+    }
+    if (spec.reduce_memory_mode < -1 || spec.reduce_memory_mode > 2) {
+      return Status::InvalidArgument(
+          StrFormat("bad reduce_memory_mode %d in %s",
+                    spec.reduce_memory_mode, spec.name.c_str()));
     }
     RunningJob& job = jobs[i];
     job.spec = &spec;
@@ -803,10 +957,29 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
                                (int64_t)job->result.records_quarantined)
                        .ArgInt("output_records",
                                (int64_t)job->result.counters.output_records);
+    // Memory args only under an active memory mode, so knob-off traces
+    // keep their exact historical bytes (golden traces predate them).
+    if (job_memory_mode(*job) != ClusterConfig::ReduceMemoryMode::kUnbounded) {
+      ev = std::move(ev)
+               .ArgInt("reduce_spills", job->result.reduce_spills)
+               .ArgInt("spill_runs", job->result.spill_runs)
+               .ArgInt("spill_bytes_written",
+                       (int64_t)job->result.spill_bytes_written)
+               .ArgInt("peak_task_memory",
+                       (int64_t)job->result.peak_task_memory_bytes);
+    }
     if (!job->spec->query_id.empty()) {
       ev = std::move(ev).Arg("query", job->spec->query_id);
     }
     trace_->Record(std::move(ev));
+  };
+
+  // Spill-run files are scratch: they exist between a spilling reduce
+  // task's durable completion and the end of its job, and are removed on
+  // both the success and the failure path.
+  auto cleanup_spill_files = [&](RunningJob* job) {
+    for (const std::string& p : job->spill_paths) dfs_->Delete(p).ok();
+    job->spill_paths.clear();
   };
 
   auto drain_failed_job = [&](RunningJob* job) {
@@ -816,6 +989,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
     job->result.finish_time_ms = now_;
     dfs_->Delete(job->spec->output_path).ok();
     job->output = nullptr;
+    cleanup_spill_files(job);
     record_job_end(job);
     --unfinished;
   };
@@ -885,6 +1059,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
                          .Arg("job", job->spec->name)
                          .ArgInt("reduce_tasks", job->num_reduce_tasks));
     }
+    cleanup_spill_files(job);
     record_job_end(job);
     --unfinished;
   };
@@ -963,6 +1138,15 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
       }
       launch->corrupt_fetches = bad;
     }
+    // A spilling reduce attempt's run read-back can hit a flipped bit too.
+    // The draw is consumed only when the attempt actually spills (possible
+    // only with the memory mode on), so corruption campaigns without the
+    // memory model keep their exact historical draw sequence.
+    if (!launch->is_map && launch->spill_runs > 1 &&
+        f.block_corruption_rate > 0.0 &&
+        job->fault_rng->Bernoulli(f.block_corruption_rate)) {
+      launch->corrupt_spill = true;
+    }
     // Scripted corruption (exact placement for tests, no draws consumed).
     if (!f.scripted_corruptions.empty()) {
       const TaskRunState& st = launch->is_map
@@ -981,6 +1165,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
         if (launch->is_map) {
           launch->corrupt_replica_reads =
               std::clamp(sc.count, 0, launch->replicas);
+        } else if (sc.target ==
+                   FaultConfig::ScriptedCorruption::Target::kSpill) {
+          // Fires only when the attempt actually spills: an in-memory
+          // attempt has no run files to corrupt.
+          if (launch->spill_runs > 1) launch->corrupt_spill = sc.count > 0;
         } else if (!job->partitions[launch->task_id].empty()) {
           launch->corrupt_fetches = std::clamp(
               sc.count, 0, 1 + std::max(0, f.max_shuffle_fetch_retries));
@@ -1046,6 +1235,7 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
         reducers = std::clamp(reducers, 1, config_.reduce_slots);
       }
       job->num_reduce_tasks = reducers;
+      job->result.reduce_tasks_planned = reducers;
       job->reduce_states.assign(reducers, TaskRunState{});
       job->reduce_data.assign(reducers, TaskData{});
       job->reduce_tasks_remaining = reducers;
@@ -1074,6 +1264,48 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
       if (!retain_emissions) {
         d.emissions.clear();
         d.emissions.shrink_to_fit();
+      }
+    }
+    // Memory check at shuffle start (DESIGN.md §6.10): each reducer's
+    // simulated sort/hash state is its partition bytes scaled by
+    // reduce_memory_factor. Strict mode fails the job with OutOfMemory as
+    // soon as any reducer is over budget; spill mode fails only when a
+    // reducer would need more runs than max_spill_runs (its merge state no
+    // longer fits either) — that residual OOM is what the driver's
+    // doubled-reducer retry rung resolves.
+    const auto memory_mode = job_memory_mode(*job);
+    if (memory_mode != ClusterConfig::ReduceMemoryMode::kUnbounded) {
+      const double budget =
+          std::max(1.0, static_cast<double>(config_.memory_per_task_bytes));
+      for (int p = 0; p < reducers; ++p) {
+        if (job->reduce_states[p].completed) continue;
+        uint64_t bytes = 0;
+        for (const auto& kv : job->partitions[p]) {
+          bytes += kv.first.EncodedSize() + kv.second.EncodedSize();
+        }
+        const double state = std::ceil(static_cast<double>(bytes) *
+                                       config_.reduce_memory_factor);
+        if (state <= budget) continue;
+        bool over = memory_mode == ClusterConfig::ReduceMemoryMode::kStrict;
+        if (!over) {
+          const double runs = std::ceil(state / budget);
+          over = runs > static_cast<double>(std::max(1, config_.max_spill_runs));
+        }
+        if (!over) continue;
+        if (m_oom_failures == nullptr && metrics_ != nullptr) {
+          m_oom_failures = metrics_->GetCounter("mr.memory_oom_failures");
+        }
+        if (m_oom_failures != nullptr) m_oom_failures->Add();
+        fail_job(job,
+                 Status::OutOfMemory(StrFormat(
+                     "reduce task %d of %s needs %.0f bytes of sort state "
+                     "(task memory %llu, %s mode)",
+                     p, job->spec->name.c_str(), state,
+                     (unsigned long long)config_.memory_per_task_bytes,
+                     memory_mode == ClusterConfig::ReduceMemoryMode::kStrict
+                         ? "strict"
+                         : "spill")));
+        return;
       }
     }
     // Shuffle is billed at the cluster's aggregate cross-network rate: the
@@ -1153,6 +1385,22 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
       }
     }
     if (d.valid) job->observer_cpu_units += d.observer_charge;
+    if (!is_map && d.valid && !d.spill_runs.empty()) {
+      // The winning attempt's spill runs become durable DFS scratch under a
+      // sibling path of the job output; the path carries its own write
+      // epoch, so spill files never perturb the table versioning of the
+      // output itself. Removed at job end (cleanup_spill_files).
+      std::string spath =
+          StrFormat("%s.spill/t%d", job->spec->output_path.c_str(), task_id);
+      dfs_->Delete(spath).ok();
+      auto sfile = dfs_->Create(spath);
+      if (sfile.ok()) {
+        for (Split& s : d.spill_runs) (*sfile)->AppendSplit(std::move(s));
+        job->spill_paths.push_back(std::move(spath));
+      }
+      d.spill_runs.clear();
+      d.spill_runs.shrink_to_fit();
+    }
     if (!is_map) {
       job->partitions[task_id].clear();
       job->partitions[task_id].shrink_to_fit();
@@ -1335,6 +1583,46 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
                    CeilDiv(cpu, config_.cpu_units_per_ms) +
                    CeilDiv(static_cast<double>(written_bytes),
                            config_.reduce_write_bytes_per_ms);
+        if (t.spill_runs > 1) {
+          // External-sort I/O: run formation writes the bucket once, each
+          // further merge pass re-reads and re-writes it, and the final
+          // pass re-reads it into the reduce stream — pass_bytes of writes
+          // and pass_bytes of reads in total. A corrupt run is discovered
+          // on the first read-back, so a DataLoss attempt bills one pass.
+          const int passes = o.status.ok() ? t.spill_merge_passes : 1;
+          const double pass_bytes = static_cast<double>(t.bucket_bytes) *
+                                    static_cast<double>(passes);
+          duration +=
+              CeilDiv(pass_bytes, config_.reduce_write_bytes_per_ms) +
+              CeilDiv(pass_bytes, config_.reduce_read_bytes_per_ms);
+          job->result.reduce_spills += 1;
+          job->result.spill_runs += t.spill_runs;
+          job->result.spill_merge_passes += passes;
+          job->result.spill_bytes_written += static_cast<uint64_t>(pass_bytes);
+          job->result.spill_bytes_read += static_cast<uint64_t>(pass_bytes);
+          if (metrics_ != nullptr) {
+            // Registered lazily: runs that never spill keep their exact
+            // metric registry (like scan.batches above).
+            if (m_spilled_tasks == nullptr) {
+              m_spilled_tasks =
+                  metrics_->GetCounter("mr.memory_spilled_tasks");
+              m_spill_bytes = metrics_->GetCounter("mr.memory_spill_bytes");
+            }
+            m_spilled_tasks->Add();
+            m_spill_bytes->Add(2 * static_cast<int64_t>(pass_bytes));
+          }
+          if (trace_ != nullptr) {
+            trace_->Record(obs::TraceEvent(now_, -1, obs::TraceLane::kTasks,
+                                           "mr", "task_spill")
+                               .Arg("job", job->spec->name)
+                               .ArgInt("task", t.task_id)
+                               .ArgInt("attempt", st.failures + 1)
+                               .ArgInt("runs", t.spill_runs)
+                               .ArgInt("merge_passes", passes)
+                               .ArgInt("bytes", (int64_t)t.bucket_bytes)
+                               .ArgBool("ok", o.status.ok()));
+          }
+        }
         if (!already_failed && o.status.ok()) {
           TaskData& d = job->reduce_data[t.task_id];
           d.valid = true;
@@ -1343,8 +1631,11 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
           d.counters.output_records = o.output.num_records;
           d.output = std::move(o.output);
           d.observer_charge = obs_charge;
+          d.spill_runs = std::move(o.spill_runs_written);
         }
       }
+      job->result.peak_task_memory_bytes = std::max(
+          job->result.peak_task_memory_bytes, t.task_memory_bytes);
     }
     SimMillis base = duration;
     if (t.slowdown > 1.0) {
@@ -1635,6 +1926,48 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
             ++job.result.task_retries;
             if (m_retries != nullptr) m_retries->Add();
           }
+          // Reduce-memory plan, decided before the fault draws (which gate
+          // the spill-corruption draw on it). The simulated sort/hash state
+          // is the bucket's bytes scaled by reduce_memory_factor; over
+          // budget in spill mode, the attempt sorts externally in
+          // ceil(state / budget) runs (capped at one run per record) and
+          // merges them fan_in-at-a-time. on_map_phase_complete already
+          // failed the job if the plan would exceed max_spill_runs.
+          {
+            const auto mode = job_memory_mode(job);
+            uint64_t bytes = 0;
+            for (const auto& kv : job.partitions[next.task_id]) {
+              bytes += kv.first.EncodedSize() + kv.second.EncodedSize();
+            }
+            launch.bucket_bytes = bytes;
+            const double state = std::ceil(
+                static_cast<double>(bytes) * config_.reduce_memory_factor);
+            launch.task_memory_bytes = static_cast<uint64_t>(state);
+            const double budget = std::max(
+                1.0, static_cast<double>(config_.memory_per_task_bytes));
+            if (mode == ClusterConfig::ReduceMemoryMode::kSpill &&
+                state > budget) {
+              int runs = static_cast<int>(std::ceil(state / budget));
+              runs = std::min<int>(
+                  runs,
+                  static_cast<int>(std::max<size_t>(
+                      1, job.partitions[next.task_id].size())));
+              if (runs > 1) {
+                launch.spill_runs = runs;
+                const int fan = std::max(2, config_.spill_merge_fan_in);
+                int passes = 0;
+                long long width = 1;
+                while (width < runs) {
+                  width *= fan;
+                  ++passes;
+                }
+                launch.spill_merge_passes = std::max(1, passes);
+                // A spilling task holds only the budget; the rest lives in
+                // its run files.
+                launch.task_memory_bytes = config_.memory_per_task_bytes;
+              }
+            }
+          }
           draw_faults(&job, &launch);
           if (launch.inject_failure) {
             // The attempt dies before finishing; its bucket stays in place
@@ -1712,7 +2045,8 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
         ExecuteMapTask(t.job->spec->inputs[t.map_ref.input_index], *t.split,
                        t.task_index, t.poison, t.skip_mode, &t.outcome);
       } else {
-        ExecuteReduceTask(*t.job->spec, std::move(t.bucket), &t.outcome);
+        ExecuteReduceTask(*t.job->spec, std::move(t.bucket), t.spill_runs,
+                          t.corrupt_spill, &t.outcome);
       }
     };
     if (pool_ != nullptr && wave.size() > 1) {
@@ -1980,7 +2314,16 @@ Result<std::vector<JobResult>> MapReduceEngine::SubmitAllDirect(
           // broadcast join discovers it does not fit and dies.
           double need = static_cast<double>(job.spec->side_memory_bytes) *
                         config_.broadcast_memory_factor;
+          if (job.spec->side_memory_bytes > 0) {
+            job.result.peak_task_memory_bytes =
+                std::max(job.result.peak_task_memory_bytes,
+                         static_cast<uint64_t>(need));
+          }
           if (need > static_cast<double>(config_.memory_per_task_bytes)) {
+            if (m_oom_failures == nullptr && metrics_ != nullptr) {
+              m_oom_failures = metrics_->GetCounter("mr.memory_oom_failures");
+            }
+            if (m_oom_failures != nullptr) m_oom_failures->Add();
             fail_job(&job,
                      Status::OutOfMemory(StrFormat(
                          "broadcast build side of %s needs %.0f bytes "

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -23,6 +24,22 @@ namespace obs {
 class MetricsRegistry;
 class TraceSink;
 }  // namespace obs
+
+class Value;
+
+/// Encodes one sorted spill run — a sequence of (key, value) pairs — into a
+/// CRC-framed row-format Split (alternating encoded keys and values, so
+/// num_records == 2 * pairs). Spill runs live in DFS files next to the job
+/// output (`<output>.spill/t<task>`) while a spilling reduce task is the
+/// winning attempt, and are decoded back through the same checksum path as
+/// any other split: a flipped bit or truncation is DataLoss, never a wrong
+/// answer (DESIGN.md §6.10).
+Split EncodeSpillRun(const std::vector<std::pair<Value, Value>>& pairs);
+
+/// Decodes a spill run back into (key, value) pairs. Verifies the CRC frame
+/// first; corruption or an odd record count returns DataLoss.
+Result<std::vector<std::pair<Value, Value>>> DecodeSpillRun(
+    const Split& run);
 
 /// The MapReduce cluster simulator. Jobs execute their *real* data flow
 /// (map functions run over decoded rows, emissions are partitioned, sorted

@@ -120,6 +120,12 @@ struct JobSpec {
   /// 0 = derive from map output volume (Hive-like default).
   int num_reduce_tasks = 0;
 
+  /// Per-job override of ClusterConfig::reduce_memory_mode: -1 inherits the
+  /// cluster setting; 0/1/2 force unbounded/spill/strict for this job. The
+  /// driver's OOM retry ladder uses this to re-run a job in spill mode
+  /// without reconfiguring the whole engine.
+  int reduce_memory_mode = -1;
+
   /// DFS path for the output file. Must not exist yet.
   std::string output_path;
 
@@ -194,6 +200,21 @@ struct JobResult {
   /// DFS path of the per-job quarantine file (empty when no record was
   /// quarantined). Holds the poison records, in map-task order.
   std::string quarantine_path;
+
+  /// Reduce-memory accounting (all zero in kUnbounded mode, DESIGN.md
+  /// §6.10). Sizes are simulated: partition bytes * reduce_memory_factor.
+  int reduce_spills = 0;           ///< Reduce tasks that spilled to DFS.
+  int spill_runs = 0;              ///< Total sorted runs written.
+  int spill_merge_passes = 0;      ///< Total bounded-memory merge passes.
+  uint64_t spill_bytes_written = 0;///< Run-formation + merge-pass writes.
+  uint64_t spill_bytes_read = 0;   ///< Merge-pass reads.
+  /// Largest simulated memory footprint any task of this job held: spilling
+  /// tasks hold the budget, in-memory reduce state and broadcast builds
+  /// their expanded size.
+  uint64_t peak_task_memory_bytes = 0;
+  /// Reducer count the engine froze at map-phase end (the derived count for
+  /// num_reduce_tasks <= 0). The driver's OOM ladder doubles from this.
+  int reduce_tasks_planned = 0;
 
   SimMillis Elapsed() const { return finish_time_ms - submit_time_ms; }
 };

@@ -26,7 +26,12 @@ namespace dyno::obs {
 /// deadline_exceeded / load_shed / service_halt service events; service
 /// "wave" spans gained a pressure arg (busy-slot fraction of the previous
 /// wave); new driver retry_budget_exhausted event.
-inline constexpr int kTraceSchemaVersion = 4;
+/// v5: memory model — new task_spill engine events and driver oom_retry /
+/// service memory_pressure events; mr "job" spans gain reduce_spills /
+/// spill_runs / spill_bytes_written / peak_task_memory args (only when a
+/// reduce memory mode is enforced); load_shed events gain a
+/// memory_pressure arg.
+inline constexpr int kTraceSchemaVersion = 5;
 
 /// Logical lanes events are grouped under in the Chrome trace_event export
 /// (one "thread" row per lane). Values are stable serialization constants.

@@ -1,6 +1,7 @@
 #ifndef DYNO_OPTIMIZER_COST_MODEL_H_
 #define DYNO_OPTIMIZER_COST_MODEL_H_
 
+#include <algorithm>
 #include <cstdint>
 
 namespace dyno {
@@ -34,8 +35,28 @@ struct CostModelParams {
   /// Maximum memory available to one task for hash-join build sides, and
   /// the hash-table expansion factor applied to raw build bytes. Mirror
   /// ClusterConfig so plan-time feasibility matches run-time enforcement.
+  /// These are normally not set by hand: DynoDriver copies the engine's
+  /// ClusterConfig values in via AdoptClusterMemoryModel (unless
+  /// DynoOptions::sync_cost_memory is off), so the optimizer and the engine
+  /// cannot disagree about whether a broadcast fits.
   uint64_t max_memory_bytes = 1 << 20;
   double memory_factor = 1.5;
+
+  /// Per-byte cost of reduce-side spill I/O, in the same abstract units.
+  /// Charged by SpillCost when a repartition join's estimated per-reducer
+  /// state exceeds max_memory_bytes: every overflowing byte is written to a
+  /// run file and read back at least once. 0 disables the charge.
+  double c_spill = 2.0;
+
+  /// Mirror of the engine's reducer planning (ClusterConfig::
+  /// bytes_per_reduce_task and reduce_slots), so EstimatedReducers can
+  /// predict how many reducers a repartition join would be dealt — the
+  /// denominator of its per-reducer sort state. 0 disables plan-time spill
+  /// costing entirely (the legacy, memory-oblivious cost model); the driver
+  /// seeds it via AdoptClusterMemoryModel only when the engine actually
+  /// enforces reduce memory.
+  uint64_t bytes_per_reduce_task = 0;
+  int reduce_slots = 0;
 
   /// Extra headroom demanded before broadcasting a build side whose size
   /// is an *estimate* (a multi-relation subtree rather than a measured
@@ -61,6 +82,31 @@ struct CostModelParams {
   /// late, the paper's Fig. 3 plan shape.
   bool mpp_pipelined = false;
 
+  /// Copies the engine's memory model (ClusterConfig::memory_per_task_bytes
+  /// and broadcast_memory_factor) into the plan-time knobs — the single
+  /// source of truth that prevents the optimizer choosing a broadcast the
+  /// engine then kills with OutOfMemory at launch. Takes the raw values
+  /// rather than ClusterConfig itself so this header stays dependency-free.
+  void AdoptClusterMemoryModel(uint64_t memory_per_task_bytes,
+                               double broadcast_memory_factor,
+                               uint64_t reduce_task_bytes = 0,
+                               int cluster_reduce_slots = 0) {
+    max_memory_bytes = memory_per_task_bytes;
+    memory_factor = broadcast_memory_factor;
+    bytes_per_reduce_task = reduce_task_bytes;
+    reduce_slots = cluster_reduce_slots;
+  }
+
+  /// Reducer count the engine would deal a repartition join shuffling
+  /// `input_bytes` (mirrors the engine's first-shuffle planning). 0 when
+  /// spill costing is disabled.
+  int EstimatedReducers(double input_bytes) const {
+    if (bytes_per_reduce_task == 0 || reduce_slots <= 0) return 0;
+    int reducers = static_cast<int>(
+        input_bytes / static_cast<double>(bytes_per_reduce_task) + 1.0);
+    return std::clamp(reducers, 1, reduce_slots);
+  }
+
   bool BroadcastFits(double build_bytes) const {
     return build_bytes * memory_factor <=
            static_cast<double>(max_memory_bytes);
@@ -75,6 +121,21 @@ struct CostModelParams {
                          double out_bytes) const {
     if (mpp_pipelined) return c_rep * (left_bytes + right_bytes);
     return c_rep * (left_bytes + right_bytes) + c_out * out_bytes;
+  }
+
+  /// Spill I/O charge for a repartition join whose estimated per-reducer
+  /// sort state (total input bytes * memory_factor / reducers) overflows
+  /// the task budget: each overflowing byte pays c_spill. The driver feeds
+  /// observed reducer counts here on re-optimization, which is how heavy
+  /// spilling can flip the plan toward a broadcast or more reducers.
+  double SpillCost(double input_bytes, int reducers) const {
+    if (c_spill <= 0.0 || reducers <= 0) return 0.0;
+    double per_reducer = input_bytes * memory_factor /
+                         static_cast<double>(reducers);
+    double budget = static_cast<double>(max_memory_bytes);
+    if (per_reducer <= budget) return 0.0;
+    return c_spill * (per_reducer - budget) * static_cast<double>(reducers) /
+           memory_factor;
   }
 
   double BroadcastCost(double probe_bytes, double build_bytes,

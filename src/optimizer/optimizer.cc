@@ -221,11 +221,16 @@ class Search {
       const GroupProps& lp = Props(sub);
       const GroupProps& rp = Props(rest);
 
-      // Repartition alternative.
+      // Repartition alternative. SpillCost is the memory model's charge for
+      // reduce-side sort state overflowing the task budget (0 unless the
+      // driver adopted an enforcing cluster memory model).
       ++report_.expressions_costed;
+      double rep_input = lp.bytes + rp.bytes;
       double rep = left_cost + right_cost + params_.c_job +
                    params_.RepartitionCost(lp.bytes, rp.bytes,
-                                           out_props.bytes);
+                                           out_props.bytes) +
+                   params_.SpillCost(rep_input,
+                                     params_.EstimatedReducers(rep_input));
       if (rep < w.cost) {
         w = {true, rep, sub, JoinMethod::kRepartition};
       }
@@ -364,9 +369,11 @@ double RecostPlan(PlanNode* node, const CostModelParams& params,
       RecostPlan(node->right.get(), params, /*chained_by_parent=*/false);
   double own = 0.0;
   if (node->method == JoinMethod::kRepartition) {
+    double rep_input = node->left->est_bytes + node->right->est_bytes;
     own = params.c_job +
           params.RepartitionCost(node->left->est_bytes,
-                                 node->right->est_bytes, node->est_bytes);
+                                 node->right->est_bytes, node->est_bytes) +
+          params.SpillCost(rep_input, params.EstimatedReducers(rep_input));
   } else {
     own = params.c_build * node->right->est_bytes;
     if (!node->chain_with_left) {

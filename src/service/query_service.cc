@@ -54,6 +54,10 @@ void QueryServiceOptions::ApplyEnvOverrides() {
     load_shed_max_priority = static_cast<int>(
         EnvInt64OrDie("DYNO_LOAD_SHED_PRIORITY", env, 0, 1 << 20));
   }
+  if (const char* env = std::getenv("DYNO_MEMORY_ADMISSION")) {
+    memory_ledger_bytes = static_cast<uint64_t>(
+        EnvInt64OrDie("DYNO_MEMORY_ADMISSION", env, 0, int64_t{1} << 40));
+  }
 }
 
 /// All mutable state is guarded by QueryService::mu_; the baton protocol
@@ -95,6 +99,12 @@ struct QueryService::Session {
   bool recovered = false;  ///< Came in through RecoverPending().
   std::optional<SimMillis> cancel_at;
   bool reaped = false;  ///< Outcome collected, thread joined.
+  /// Bytes this session currently holds against the memory ledger (0 when
+  /// not admitted or memory-aware admission is off).
+  uint64_t memory_charge = 0;
+  /// A memory_pressure hold-back was already traced for this wait (reset
+  /// on admission), so the queue doesn't re-log every scheduler pass.
+  bool memory_held = false;
 
   /// Set by the gate while kWaitingSubmit; consumed by the scheduler.
   std::vector<JobSpec> pending_specs;
@@ -359,9 +369,17 @@ std::vector<QueryOutcome> QueryService::RunAll() {
   obs::Counter* m_preemptions = nullptr;
   obs::Counter* m_shed = nullptr;
   obs::Counter* m_deadline = nullptr;
+  obs::Counter* m_memory_held = nullptr;
+  obs::Gauge* g_memory_reserved = nullptr;
   obs::Gauge* g_running = nullptr;
   obs::Histogram* h_latency = nullptr;
   obs::Histogram* h_queue_wait = nullptr;
+  if (metrics != nullptr && options_.memory_ledger_bytes > 0) {
+    // Registered only when the ledger is enabled, so knob-off metric dumps
+    // stay byte-identical to pre-memory-model builds.
+    m_memory_held = metrics->GetCounter("service.memory_held_back");
+    g_memory_reserved = metrics->GetGauge("service.memory_reserved_bytes");
+  }
   if (metrics != nullptr) {
     m_admitted = metrics->GetCounter("service.admitted");
     m_completed = metrics->GetCounter("service.completed");
@@ -397,6 +415,14 @@ std::vector<QueryOutcome> QueryService::RunAll() {
 
   int running = 0;  ///< Admitted, not yet reaped.
   std::map<std::string, int> tenant_running;
+  /// Bytes currently promised against the memory ledger (scheduler-thread
+  /// only, like all admission state — deterministic by construction).
+  uint64_t memory_reserved = 0;
+  auto query_memory_charge = [&](Session* session) -> uint64_t {
+    return session->sub.estimated_memory_bytes > 0
+               ? session->sub.estimated_memory_bytes
+               : options_.default_query_memory_bytes;
+  };
   // Halt mode (crash simulation / drain): no cleanup of service state.
   bool halted = false;
 
@@ -478,6 +504,13 @@ std::vector<QueryOutcome> QueryService::RunAll() {
       --running;
       --tenant_running[session->sub.tenant];
       if (g_running != nullptr) g_running->Set(running);
+      if (session->memory_charge > 0) {
+        memory_reserved -= session->memory_charge;
+        session->memory_charge = 0;
+        if (g_memory_reserved != nullptr) {
+          g_memory_reserved->Set(static_cast<int64_t>(memory_reserved));
+        }
+      }
 
       if (session->preempt_requested && !session->cancelled &&
           !session->deadline_hit && !halted &&
@@ -585,11 +618,20 @@ std::vector<QueryOutcome> QueryService::RunAll() {
     if (session->preempt_count > 0 || session->resume_on_start) return;
     const SimMillis waited = engine_->now() - session->arrival_ms;
     const double pressure = engine_->last_wave_pressure();
+    // Ledger utilization joins slot pressure as a shed trigger: a cluster
+    // whose memory is promised out is as overloaded as one out of slots.
+    const double memory_pressure =
+        options_.memory_ledger_bytes > 0
+            ? static_cast<double>(memory_reserved) /
+                  static_cast<double>(options_.memory_ledger_bytes)
+            : 0.0;
     const bool queue_shed =
         options_.load_shed_queue_ms > 0 && waited >= options_.load_shed_queue_ms;
     const bool pressure_shed = options_.load_shed_pressure > 0.0 &&
                                pressure >= options_.load_shed_pressure;
-    if (!queue_shed && !pressure_shed) return;
+    const bool memory_shed = options_.load_shed_pressure > 0.0 &&
+                             memory_pressure >= options_.load_shed_pressure;
+    if (!queue_shed && !pressure_shed && !memory_shed) return;
     finalize_queued(session,
                     Status::ResourceExhausted(
                         "query " + session->sub.query_id +
@@ -600,10 +642,12 @@ std::vector<QueryOutcome> QueryService::RunAll() {
                                     obs::TraceLane::kService, "service",
                                     "load_shed")
                         .Arg("query", session->sub.query_id)
-                        .Arg("reason",
-                             queue_shed ? "queue_wait" : "pressure")
+                        .Arg("reason", queue_shed      ? "queue_wait"
+                                       : pressure_shed ? "pressure"
+                                                       : "memory_pressure")
                         .ArgInt("waited_ms", waited)
-                        .ArgDouble("pressure", pressure));
+                        .ArgDouble("pressure", pressure)
+                        .ArgDouble("memory_pressure", memory_pressure));
     }
   };
 
@@ -645,6 +689,38 @@ std::vector<QueryOutcome> QueryService::RunAll() {
       if (options_.tenant_slots > 0 &&
           tenant_running[session->sub.tenant] >= options_.tenant_slots) {
         continue;  // Quota; later arrivals of other tenants may still fit.
+      }
+      if (options_.memory_ledger_bytes > 0) {
+        // Memory-aware admission: hold back a query whose charge would
+        // oversubscribe the ledger. An empty ledger always admits, so one
+        // oversized query cannot deadlock the queue — it runs alone and
+        // degrades via the engine's spill/OOM machinery instead.
+        const uint64_t charge = query_memory_charge(session);
+        if (memory_reserved > 0 &&
+            memory_reserved + charge > options_.memory_ledger_bytes) {
+          if (!session->memory_held) {
+            session->memory_held = true;
+            if (m_memory_held != nullptr) m_memory_held->Add();
+            if (trace != nullptr) {
+              trace->Record(obs::TraceEvent(engine_->now(), -1,
+                                            obs::TraceLane::kService,
+                                            "service", "memory_pressure")
+                                .Arg("query", session->sub.query_id)
+                                .ArgInt("charge_bytes", charge)
+                                .ArgInt("reserved_bytes", memory_reserved)
+                                .ArgInt("ledger_bytes",
+                                        options_.memory_ledger_bytes));
+            }
+          }
+          maybe_shed(session);
+          continue;
+        }
+        memory_reserved += charge;
+        session->memory_charge = charge;
+        session->memory_held = false;
+        if (g_memory_reserved != nullptr) {
+          g_memory_reserved->Set(static_cast<int64_t>(memory_reserved));
+        }
       }
       session->admit_seq = next_admit_seq_++;
       const bool first_admission = session->admit_ms < 0;

@@ -83,6 +83,18 @@ struct QueryServiceOptions {
   double load_shed_pressure = 0.0;
   int load_shed_max_priority = 0;
 
+  /// Cluster memory ledger (DESIGN.md §6.10): total task-memory bytes the
+  /// service may promise to concurrently admitted queries. 0 (default)
+  /// disables memory-aware admission. A due arrival whose charge would
+  /// oversubscribe the ledger is held back at admission — unless nothing is
+  /// currently reserved, so one query always makes progress and admission
+  /// can never deadlock on an oversized estimate. Ledger utilization also
+  /// joins slot pressure as a load_shed_pressure trigger.
+  uint64_t memory_ledger_bytes = 0;
+  /// Ledger charge for a submission that does not pin its own
+  /// QuerySubmission::estimated_memory_bytes.
+  uint64_t default_query_memory_bytes = 1 << 20;
+
   /// Service checkpoint namespace. When set: a submission without its own
   /// checkpoint_path checkpoints under "<root>/q/<query_id>"; admission
   /// writes a pending marker "<root>/pending/<query_id>" that finalization
@@ -104,8 +116,10 @@ struct QueryServiceOptions {
   /// > 0 enables it at that budget) / DYNO_STATS_CACHE (0/1) /
   /// DYNO_PRIORITY_PREEMPTION (0/1) / DYNO_QUERY_DEADLINE_MS /
   /// DYNO_LOAD_SHED_QUEUE_MS / DYNO_LOAD_SHED_PRESSURE (fraction in
-  /// [0, 1]) / DYNO_LOAD_SHED_PRIORITY. Absent variables leave fields
-  /// untouched; malformed values abort (same contract as FaultConfig).
+  /// [0, 1]) / DYNO_LOAD_SHED_PRIORITY / DYNO_MEMORY_ADMISSION (ledger
+  /// bytes; 0 disables memory-aware admission). Absent variables leave
+  /// fields untouched; malformed values abort (same contract as
+  /// FaultConfig).
   void ApplyEnvOverrides();
 };
 
@@ -133,6 +147,10 @@ struct QuerySubmission {
   /// Per-query deadline as an offset from arrival. < 0 inherits
   /// QueryServiceOptions::default_deadline_ms; 0 explicitly disables.
   SimMillis deadline_ms = -1;
+  /// Estimated peak task memory this query holds while running — its
+  /// charge against QueryServiceOptions::memory_ledger_bytes under
+  /// memory-aware admission. 0 inherits default_query_memory_bytes.
+  uint64_t estimated_memory_bytes = 0;
 };
 
 /// Everything the service knows about one finished session.

@@ -364,6 +364,134 @@ TEST(EngineDeterminismTest, IdenticalResultsUnderDataCorruption) {
   EXPECT_NE(one, RunWorkload(1));
 }
 
+/// Spill-heavy memory-pressure workload: a tight per-task budget in kSpill
+/// mode plus fault injection (task failures and corruption draws, which
+/// also arm random spill-run rot), so run formation, bounded-memory merge
+/// passes, corrupt-run retries and the billed spill I/O all fire under
+/// slot contention. Every draw happens on the scheduler thread at launch,
+/// so the digest — job accounting, spill counters, output bytes and the
+/// serialized trace — must be bit-identical across thread counts.
+std::string RunMemoryPressureWorkload(int threads,
+                                      FaultTotals* totals = nullptr,
+                                      int* spilled_tasks = nullptr) {
+  Dfs dfs;
+  Catalog catalog(&dfs);
+  ClusterConfig config;
+  config.map_slots = 8;
+  config.reduce_slots = 4;
+  config.job_startup_ms = 500;
+  config.execution_threads = threads;
+  config.reduce_memory_mode = ClusterConfig::ReduceMemoryMode::kSpill;
+  config.memory_per_task_bytes = 2048;
+  config.spill_merge_fan_in = 4;
+  // Pin the fault settings so the memory preset's env vars (tight budget,
+  // DYNO_SPILL, fault rates) cannot perturb these fingerprint comparisons.
+  config.faults.use_env_defaults = false;
+  config.faults.seed = 1234;
+  config.faults.task_failure_rate = 0.08;
+  config.faults.block_corruption_rate = 0.05;
+  config.faults.retry_backoff_ms = 100;
+  MapReduceEngine engine(&dfs, config);
+  obs::TraceSink trace;
+  engine.set_trace(&trace);
+
+  std::vector<Value> rows;
+  for (int i = 0; i < 4000; ++i) {
+    rows.push_back(MakeRow({{"id", Value::Int(i)},
+                            {"k", Value::Int(i % 160)},
+                            {"pad", Value::String(std::string(24, 'y'))}}));
+  }
+  EXPECT_TRUE(catalog.CreateTable("wide", rows).ok());
+  auto wide = catalog.OpenTable("wide");
+  EXPECT_TRUE(wide.ok());
+
+  // Map-only copy contending for the same slots as the spilling reducers.
+  JobSpec copy;
+  copy.name = "mcopy";
+  copy.output_path = "/out/mcopy";
+  {
+    MapInput input;
+    input.file = *wide;
+    input.map_fn = [](const Value& record, MapContext* ctx) -> Status {
+      ctx->Output(MakeRow({{"id", *record.FindField("id")}}));
+      return Status::OK();
+    };
+    copy.inputs = {std::move(input)};
+  }
+
+  // Group job whose padded values push every reducer's buffered state far
+  // past the 2 KiB budget, forcing multi-run spills and merge passes.
+  JobSpec group;
+  group.name = "mgroup";
+  group.output_path = "/out/mgroup";
+  {
+    MapInput input;
+    input.file = *wide;
+    input.map_fn = [](const Value& record, MapContext* ctx) -> Status {
+      const Value* k = record.FindField("k");
+      ctx->Emit(Value::Int(k->int_value() % 20),
+                MakeRow({{"id", *record.FindField("id")},
+                         {"pad", *record.FindField("pad")}}));
+      return Status::OK();
+    };
+    group.inputs = {std::move(input)};
+  }
+  group.num_reduce_tasks = 4;
+  group.reduce_fn = [](const Value& key, const std::vector<Value>& values,
+                       ReduceContext* ctx) -> Status {
+    ctx->Output(MakeRow({{"g", key},
+                         {"n", Value::Int(static_cast<int64_t>(
+                                   values.size()))}}));
+    return Status::OK();
+  };
+
+  auto results = engine.SubmitAll({copy, group});
+  EXPECT_TRUE(results.ok());
+
+  std::string fp = StrFormat("now0=%lld\n",
+                             static_cast<long long>(engine.now()));
+  for (const JobResult& job : *results) {
+    fp += FingerprintJob(job);
+    fp += StrFormat(" rsp=%d runs=%d passes=%d sw=%llu sr=%llu peak=%llu "
+                    "planned=%d\n",
+                    job.reduce_spills, job.spill_runs,
+                    job.spill_merge_passes,
+                    (unsigned long long)job.spill_bytes_written,
+                    (unsigned long long)job.spill_bytes_read,
+                    (unsigned long long)job.peak_task_memory_bytes,
+                    job.reduce_tasks_planned);
+    if (totals != nullptr) {
+      totals->failures_injected += job.task_failures_injected;
+      totals->retries += job.task_retries;
+      totals->block_corruptions += job.block_corruptions;
+    }
+    if (spilled_tasks != nullptr) {
+      *spilled_tasks += job.reduce_spills;
+    }
+  }
+  fp += StrFormat("now=%lld", static_cast<long long>(engine.now()));
+  fp += "\ntrace:\n" + trace.SerializeJsonl();
+  return fp;
+}
+
+TEST(EngineDeterminismTest,
+     MemoryPressureSpillsDeterministicAcrossThreadCounts) {
+  ScopedEnv row_mode = RowMode();
+  FaultTotals totals;
+  int spilled_tasks = 0;
+  std::string one = RunMemoryPressureWorkload(1, &totals, &spilled_tasks);
+  std::string four = RunMemoryPressureWorkload(4);
+  std::string eight = RunMemoryPressureWorkload(8);
+  EXPECT_EQ(one, four) << "1-thread and 4-thread spill runs diverged";
+  EXPECT_EQ(one, eight) << "1-thread and 8-thread spill runs diverged";
+
+  // The comparison only means something if the memory model engaged.
+  EXPECT_GT(spilled_tasks, 0) << "no reducer spilled at this budget";
+  EXPECT_GT(totals.failures_injected, 0);
+  EXPECT_NE(one.find("task_spill"), std::string::npos)
+      << "spill events missing from the serialized trace";
+}
+
 /// A driver run killed mid-query and resumed from its checkpoint, digested
 /// down to what recovery promises to preserve: result rows and records,
 /// job accounting and the checkpointed (signature, stats) pairs. DFS paths

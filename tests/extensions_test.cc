@@ -208,6 +208,7 @@ TEST_F(ExtensionsTest, FallbackRescuesUnderestimatedBroadcast) {
   DynoOptions options = MakeOptions();
   options.cost.max_memory_bytes = 64 * 1024;  // optimizer believes 64K
   options.cost.estimated_build_margin = 1.0;
+  options.sync_cost_memory = false;  // keep the deliberate lie above
   options.adaptive_join_fallback = true;
   DynoDriver driver(&engine, &catalog_, &store_, options);
   Query q10 = MakeTpchQ10();
@@ -227,6 +228,7 @@ TEST_F(ExtensionsTest, WithoutFallbackSameQueryDies) {
   DynoOptions options = MakeOptions();
   options.cost.max_memory_bytes = 64 * 1024;
   options.cost.estimated_build_margin = 1.0;
+  options.sync_cost_memory = false;  // keep the deliberate lie above
   options.adaptive_join_fallback = false;  // Jaql semantics
   StatsStore store2;
   DynoDriver driver(&engine, &catalog_, &store2, options);

@@ -229,6 +229,92 @@ TEST_P(DfsRotFuzzTest, BitFlippedQuarantineFilesAlwaysReadAsDataLoss) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DfsRotFuzzTest, ::testing::Values(1, 2, 3));
 
+// ---------------------------------------------------------------------------
+// Reduce spill runs under bit rot (DESIGN.md §6.10): the CRC framing of the
+// external-sort run files must turn every corruption into DataLoss on
+// read-back — a rotten run fails the attempt, it never merges wrong rows.
+// ---------------------------------------------------------------------------
+
+class SpillRunRotFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::vector<std::pair<Value, Value>> RandomSpillPairs(Rng* rng,
+                                                      uint64_t max_pairs) {
+  std::vector<std::pair<Value, Value>> pairs;
+  uint64_t n = 1 + rng->Uniform(max_pairs);
+  for (uint64_t p = 0; p < n; ++p) {
+    pairs.emplace_back(RandomValue(rng, 3), RandomValue(rng, 2));
+  }
+  return pairs;
+}
+
+TEST_P(SpillRunRotFuzzTest, SpillRunsRoundTripExactly) {
+  Rng rng(GetParam() * 2713 + 5);
+  const int iters = FuzzIters(80);
+  for (int i = 0; i < iters; ++i) {
+    auto pairs = RandomSpillPairs(&rng, 40);
+    Split run = EncodeSpillRun(pairs);
+    ASSERT_TRUE(VerifySplit(run).ok());
+    auto decoded = DecodeSpillRun(run);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_EQ(decoded->size(), pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      EXPECT_EQ((*decoded)[p].first.Compare(pairs[p].first), 0) << p;
+      EXPECT_EQ((*decoded)[p].second.Compare(pairs[p].second), 0) << p;
+    }
+  }
+}
+
+TEST_P(SpillRunRotFuzzTest, BitFlippedSpillRunsAlwaysReadAsDataLoss) {
+  Rng rng(GetParam() * 9973 + 11);
+  const int iters = FuzzIters(120);
+  for (int i = 0; i < iters; ++i) {
+    Split run = EncodeSpillRun(RandomSpillPairs(&rng, 30));
+    if (run.data.empty()) continue;
+    Split bad = run;
+    bad.data[rng.Uniform(bad.data.size())] ^=
+        static_cast<char>(1 + rng.Uniform(255));
+    auto decoded = DecodeSpillRun(bad);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss)
+        << decoded.status().ToString();
+  }
+}
+
+TEST_P(SpillRunRotFuzzTest, TruncatedSpillRunsAlwaysReadAsDataLoss) {
+  Rng rng(GetParam() * 5861 + 23);
+  const int iters = FuzzIters(120);
+  for (int i = 0; i < iters; ++i) {
+    Split run = EncodeSpillRun(RandomSpillPairs(&rng, 30));
+    if (run.data.empty()) continue;
+    Split bad = run;
+    bad.data.resize(rng.Uniform(bad.data.size()));
+    auto decoded = DecodeSpillRun(bad);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss)
+        << decoded.status().ToString();
+  }
+}
+
+TEST_P(SpillRunRotFuzzTest, OddRecordCountIsDataLossNotDanglingRead) {
+  // A frame whose CRC verifies but whose record count is odd (torn between
+  // a key and its value) must be rejected before any pair is surfaced.
+  Rng rng(GetParam() * 769 + 1);
+  const int iters = FuzzIters(60);
+  for (int i = 0; i < iters; ++i) {
+    auto pairs = RandomSpillPairs(&rng, 20);
+    Split run = EncodeSpillRun(pairs);
+    Split torn = run;
+    torn.num_records = run.num_records - 1;  // CRC still matches data.
+    auto decoded = DecodeSpillRun(torn);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss)
+        << decoded.status().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpillRunRotFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
 /// A random but valid CheckpointManifest (driver recovery state).
 CheckpointManifest RandomManifest(Rng* rng) {
   CheckpointManifest manifest;
